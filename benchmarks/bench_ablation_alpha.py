@@ -1,0 +1,27 @@
+"""Benchmark ABL-α — the forgetting factor on a drifting stream.
+
+Section II-B: α "adjusts the rate at which the evolving solution ...
+forgets about past observations"; α = 1 is infinite memory.  On a
+drifting subspace there is a tracking sweet spot: too small forgets the
+signal, too large (or 1) cannot follow the drift.
+"""
+
+from repro.experiments import run_alpha_ablation
+
+
+def test_alpha_ablation(benchmark):
+    result = benchmark.pedantic(run_alpha_ablation, rounds=1, iterations=1)
+    print()
+    print(result.table().render())
+
+    by = {a: i for i, a in enumerate(result.alphas)}
+    angles = result.tracking_angles
+    # Infinite memory cannot track a drifting subspace...
+    assert angles[by[1.0]] > 0.5
+    # ...a mid-range window tracks well...
+    best = result.best_alpha()
+    assert 0.9 < best < 1.0
+    assert min(angles) < 0.2
+    # ...and the extremes on both sides are worse than the sweet spot.
+    assert angles[by[0.9]] > min(angles)
+    assert angles[by[1.0]] > min(angles)

@@ -1,0 +1,19 @@
+"""Benchmark ABL-ORDER — stream ordering under finite memory.
+
+Section II-B: "due to the finite memory of the recursion, it is clearly
+disadvantageous to put the spectra on the stream in a systematic order;
+instead they should be randomized for best results."  This bench streams
+the same galaxy spectra in random vs archive-sorted order and measures
+the final subspace error.
+"""
+
+from repro.experiments import run_order_ablation
+
+
+def test_order_ablation(benchmark):
+    result = benchmark.pedantic(run_order_ablation, rounds=1, iterations=1)
+    print()
+    print(result.table().render())
+
+    # Randomized order beats the systematic (sorted-by-type) order.
+    assert result.angle_of("random") < result.angle_of("sorted")

@@ -1,0 +1,92 @@
+"""Benchmark PERF-CORE — the per-tuple update microbenchmarks.
+
+Section III-A.2 claims the stateful operator's per-tuple work is
+"computationally inexpensive algebraic operations"; Section III-D keeps
+d = 250 "to decrease the influence of SVD computation speed".  These
+microbenchmarks measure the real Python operator's per-update cost across
+the paper's dimensional range, the merge step (the "most
+computation-intensive operation" triggered by sync), and the gap-filling
+path — the numbers that calibrate the cluster simulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Eigensystem,
+    RobustIncrementalPCA,
+    fill_from_basis,
+    merge_pair,
+)
+from repro.data import PlantedSubspaceModel
+
+
+def _warm_estimator(dim: int, p: int, seed: int = 0):
+    model = PlantedSubspaceModel(
+        dim=dim,
+        signal_variances=tuple(float(v) for v in range(p + 4, 4, -1)),
+        noise_std=0.3,
+        seed=seed,
+    )
+    rng = np.random.default_rng(seed + 1)
+    est = RobustIncrementalPCA(p, alpha=0.999, init_size=max(2 * p, 16))
+    est.partial_fit(model.sample(est.init_size + 50, rng))
+    return est, model, rng
+
+
+@pytest.mark.parametrize("dim", [250, 500, 1000, 2000])
+def test_update_cost_vs_dimension(benchmark, dim):
+    """Per-tuple robust update across the paper's Fig. 7 dimensions."""
+    est, model, rng = _warm_estimator(dim, p=8)
+    block = model.sample(4096, rng)
+    idx = iter(np.resize(np.arange(block.shape[0]), 1 << 20))
+
+    def one_update():
+        est.update(block[next(idx)])
+
+    benchmark(one_update)
+
+
+@pytest.mark.parametrize("p", [4, 8, 16, 32])
+def test_update_cost_vs_components(benchmark, p):
+    """Per-tuple robust update as the retained rank grows."""
+    est, model, rng = _warm_estimator(500, p=p)
+    block = model.sample(4096, rng)
+    idx = iter(np.resize(np.arange(block.shape[0]), 1 << 20))
+
+    def one_update():
+        est.update(block[next(idx)])
+
+    benchmark(one_update)
+
+
+def test_outlier_rejection_is_cheap(benchmark):
+    """A rejected outlier skips the eigensolve — near-free (§II claims)."""
+    est, model, rng = _warm_estimator(1000, p=8)
+    junk = 50.0 * rng.standard_normal(1000)
+
+    def one_outlier():
+        est.update(junk)
+
+    benchmark(one_outlier)
+    assert est.n_outliers > 0
+
+
+def test_merge_cost(benchmark):
+    """The sync-time merge: eigensolve of the 2p(+1)-column factor."""
+    est1, model, rng = _warm_estimator(1000, p=8, seed=1)
+    est2, _, _ = _warm_estimator(1000, p=8, seed=2)
+    s1, s2 = est1.public_state(), est2.public_state()
+
+    benchmark(lambda: merge_pair(s1, s2, 8))
+
+
+def test_gap_fill_cost(benchmark):
+    """Masked least-squares patching of a 25%-gappy spectrum."""
+    est, model, rng = _warm_estimator(1000, p=8)
+    st: Eigensystem = est.state
+    x = model.sample(1, rng)[0]
+    mask = rng.random(1000) < 0.25
+    x[mask] = np.nan
+
+    benchmark(lambda: fill_from_basis(x, st.mean, st.basis))

@@ -1,0 +1,32 @@
+"""Benchmark FIG1 — classic vs robust streaming PCA under contamination.
+
+Regenerates the data behind paper Fig. 1: eigenvalue traces for both
+estimators on a Gaussian stream with gross outliers, plus outlier
+detection quality.  Asserts the qualitative claims (classical estimator
+captured by outliers, robust estimator converged) so a regression in the
+algorithm fails the bench.
+"""
+
+from repro.experiments import Fig1Config, run_fig1
+
+
+def test_fig1_robust_vs_classic(benchmark):
+    result = benchmark.pedantic(
+        run_fig1, args=(Fig1Config(),), rounds=1, iterations=1
+    )
+    print()
+    print(result.table().render())
+
+    # Shape assertions (the figure's story):
+    # classical PCA is captured by the outliers...
+    assert result.classic_angle > 0.5
+    # ...the robust one converges to the planted subspace...
+    assert result.robust_angle < 0.2
+    # ...its eigenvalue trace settles while the classical one churns...
+    assert (
+        result.robust_tail_dispersion[0]
+        < result.classic_tail_dispersion[0]
+    )
+    # ...and the flagged outliers are the injected ones.
+    assert result.detection["precision"] > 0.95
+    assert result.detection["recall"] > 0.90

@@ -1,0 +1,40 @@
+"""Benchmark FIG6 — throughput vs parallel threads (simulated testbed).
+
+Regenerates paper Fig. 6: tuples/second for 1–30 PCA engines with
+single-node vs distributed placement on the simulated 10×4-core cluster
+(d = 250, N = 5000).  The shape assertions encode the paper's findings:
+distributed peaks near 2 threads/node and degrades at 30; single-node
+saturates at the core count.
+"""
+
+from repro.experiments import Fig6Config, run_fig6
+
+
+def test_fig6_thread_scaling(benchmark):
+    config = Fig6Config()
+    result = benchmark.pedantic(
+        run_fig6, args=(config,), rounds=1, iterations=1
+    )
+    print()
+    print(result.table().render())
+    peak_threads, peak_rate = result.distributed_peak()
+    print(f"distributed peak: {peak_rate:.0f} tuples/s at {peak_threads} threads")
+
+    idx = {t: i for i, t in enumerate(result.threads)}
+    dist = [r.throughput for r in result.distributed]
+    single = [r.throughput for r in result.single]
+
+    # Distributed scales up to ~2 threads/node...
+    assert dist[idx[20]] > dist[idx[10]] > dist[idx[5]] > dist[idx[1]]
+    # ...peaks at 2/node (20 threads on 10 nodes)...
+    assert peak_threads == 20
+    # ...and degrades when the interconnect saturates at 30.
+    assert dist[idx[30]] < dist[idx[20]]
+    # Single-node placement saturates at the core count and stays flat.
+    cores = config.spec.cores_per_node
+    assert abs(single[idx[20]] - single[idx[10]]) / single[idx[10]] < 0.05
+    assert single[idx[5]] < cores * single[idx[1]] * 1.05
+    # At 1 thread, single-node (fused) beats distributed (network overhead).
+    assert single[idx[1]] > dist[idx[1]]
+    # At the optimum, distributed wins by a wide margin (the paper's point).
+    assert dist[idx[20]] > 3 * single[idx[20]]

@@ -1,0 +1,33 @@
+"""Benchmark FIG7 — per-thread throughput vs data dimensionality.
+
+Regenerates paper Fig. 7: tuples/second/thread for 1, 5, 10 and 20
+distributed PCA engines as the stream dimensionality sweeps 250–2000.
+"""
+
+from repro.experiments import Fig7Config, run_fig7
+
+
+def test_fig7_dimension_scaling(benchmark):
+    config = Fig7Config()
+    result = benchmark.pedantic(
+        run_fig7, args=(config,), rounds=1, iterations=1
+    )
+    print()
+    print(result.table().render())
+
+    d_lo, d_hi = config.dims[0], config.dims[-1]
+
+    # Per-thread rate falls with dimensionality (O(d·p²) update)...
+    for t in config.threads:
+        assert result.per_thread(t, d_hi) < result.per_thread(t, d_lo) / 4
+    # 5 and 10 threads scale well: per-thread within 5% of each other.
+    for d in config.dims:
+        r5, r10 = result.per_thread(5, d), result.per_thread(10, d)
+        assert abs(r5 - r10) / r10 < 0.05
+    # 20 threads saturate the interconnect at small d...
+    assert result.per_thread(20, d_lo) < 0.85 * result.per_thread(10, d_lo)
+    # ...but rejoin the compute-bound line at large d.
+    assert result.per_thread(20, d_hi) > 0.95 * result.per_thread(10, d_hi)
+    # Single distributed thread underperforms at small d (default
+    # unoptimized placement: relay hop + connector latency).
+    assert result.per_thread(1, d_lo) < 0.95 * result.per_thread(10, d_lo)

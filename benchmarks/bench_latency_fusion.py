@@ -1,0 +1,23 @@
+"""Benchmark LAT — operator fusion vs per-tuple latency.
+
+Section III-D: passing tuples in local memory instead of over the
+network "gives significant decrease of latency"; extra hops from
+unoptimized placement add "unnecessary packet latency".
+"""
+
+from repro.experiments import run_latency
+
+
+def test_fusion_latency(benchmark):
+    result = benchmark.pedantic(run_latency, rounds=1, iterations=1)
+    print()
+    print(result.table().render())
+
+    fused = result.p50_of("fused")
+    dist = result.p50_of("distributed")
+    relay = result.p50_of("relay")
+    # Fusion is the latency winner; each extra hop costs more.
+    assert fused < dist < relay
+    # The network hop is a significant fraction of the total (the
+    # paper's motivation for fusing in the first place).
+    assert dist > 1.3 * fused

@@ -1,0 +1,93 @@
+"""Benchmark the stream engine itself: per-tuple framework overhead.
+
+InfoSphere's value proposition is that the dataflow substrate adds little
+cost over the math; this bench measures our substitute's overhead — the
+synchronous engine's per-tuple dispatch, the threaded engine's queue hop,
+and the end-to-end parallel PCA application on both runtimes.
+"""
+
+import numpy as np
+
+from repro.data import PlantedSubspaceModel, VectorStream
+from repro.parallel import ParallelStreamingPCA
+from repro.streams import (
+    CollectingSink,
+    FusionPlan,
+    Graph,
+    Split,
+    SynchronousEngine,
+    ThreadedEngine,
+    Union,
+    VectorSource,
+)
+
+
+def _pipeline_graph(x: np.ndarray, n_ways: int = 4) -> tuple[Graph, CollectingSink]:
+    g = Graph("bench")
+    src = g.add(VectorSource("src", VectorStream.from_array(x)))
+    split = g.add(Split("split", n_ways, strategy="round_robin"))
+    uni = g.add(Union("union", n_ways))
+    sink = g.add(CollectingSink("sink"))
+    g.connect(src, split)
+    for i in range(n_ways):
+        g.connect(split, uni, out_port=i, in_port=i)
+    g.connect(uni, sink)
+    return g, sink
+
+
+def test_synchronous_engine_dispatch(benchmark):
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((20_000, 16))
+
+    def run():
+        g, sink = _pipeline_graph(x)
+        SynchronousEngine(g).run()
+        return len(sink.tuples)
+
+    n = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert n == 20_000
+
+
+def test_threaded_engine_dispatch(benchmark):
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((20_000, 16))
+
+    def run():
+        g, sink = _pipeline_graph(x)
+        ThreadedEngine(g, fusion=FusionPlan.fuse_chains(g)).run(timeout_s=60)
+        return len(sink.tuples)
+
+    n = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert n == 20_000
+
+
+def test_parallel_pca_end_to_end_synchronous(benchmark):
+    model = PlantedSubspaceModel(dim=100, seed=4)
+    x = model.sample(4000, np.random.default_rng(1))
+
+    def run():
+        runner = ParallelStreamingPCA(
+            5, n_engines=4, alpha=0.995, collect_diagnostics=False
+        )
+        return runner.run(VectorStream.from_array(x))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.global_state.n_components == 5
+
+
+def test_parallel_pca_end_to_end_threaded(benchmark):
+    model = PlantedSubspaceModel(dim=100, seed=4)
+    x = model.sample(4000, np.random.default_rng(1))
+
+    def run():
+        runner = ParallelStreamingPCA(
+            5,
+            n_engines=4,
+            alpha=0.995,
+            runtime="threaded",
+            collect_diagnostics=False,
+        )
+        return runner.run(VectorStream.from_array(x))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.global_state.n_components == 5

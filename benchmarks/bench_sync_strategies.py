@@ -1,0 +1,41 @@
+"""Benchmark SYNC/ABL-TOPO/ABL-GATE — synchronization behaviour.
+
+Covers the paper's §II-C/III-B claims: the data-driven 1.5·N gate keeps
+engines statistically independent between merges; ring sync achieves
+"reasonable global solutions while minimizing the network traffic";
+broadcast buys tighter cross-engine consistency with more messages.
+"""
+
+from repro.experiments import run_gate_ablation, run_sync_strategies
+
+
+def test_sync_strategies(benchmark):
+    result = benchmark.pedantic(run_sync_strategies, rounds=1, iterations=1)
+    print()
+    print(result.table().render())
+
+    by = {s: i for i, s in enumerate(result.strategies)}
+    # Broadcast sends more merge messages than ring...
+    assert result.merge_messages[by["broadcast"]] > result.merge_messages[by["ring"]]
+    # ...and achieves at-least-as-tight cross-engine consistency.
+    assert (
+        result.max_pairwise_angle[by["broadcast"]]
+        <= result.max_pairwise_angle[by["ring"]] + 1e-9
+    )
+    # Every topology still produces an accurate *global* answer.
+    assert all(a < 0.2 for a in result.global_angle)
+
+
+def test_sync_gate_factor(benchmark):
+    result = benchmark.pedantic(run_gate_ablation, rounds=1, iterations=1)
+    print()
+    print(result.table().render())
+
+    # More aggressive syncing (smaller gate) => strictly more messages.
+    assert all(
+        a >= b
+        for a, b in zip(result.merge_messages, result.merge_messages[1:])
+    )
+    # The paper's 1.5 setting stays accurate.
+    idx = result.factors.index(1.5)
+    assert result.global_angle[idx] < 0.1

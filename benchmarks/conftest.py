@@ -1,0 +1,19 @@
+"""Benchmark harness configuration.
+
+Each ``bench_*.py`` regenerates one paper figure (or ablation) and prints
+its data table; run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The printed tables are the artifacts recorded in EXPERIMENTS.md.
+"""
+
+collect_ignore_glob: list[str] = []
+
+
+def pytest_configure(config):
+    # Benchmarks are long-running by design; make sure accidental plain
+    # `pytest benchmarks/` runs still work but measure only once.
+    config.option.benchmark_min_rounds = getattr(
+        config.option, "benchmark_min_rounds", 1
+    )

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Cluster-health monitoring with streaming robust PCA.
+
+The paper's conclusion proposes exactly this: stream per-server telemetry
+(CPU/disk temperatures, fan RPMs, power) through the robust PCA; the
+healthy cluster is low-rank (shared load + ambient + diurnal factors),
+and "a significant eigensystem deviation could indicate a hardware
+failure".  Here a fan failure and thermal runaway are injected into the
+simulated telemetry and surface as residual spikes/outlier flags.
+
+Run:  python examples/cluster_health_monitoring.py
+"""
+
+import numpy as np
+
+from repro.core import RobustIncrementalPCA
+from repro.data import ClusterTelemetryModel
+
+
+def main() -> None:
+    model = ClusterTelemetryModel(
+        n_servers=25,      # 25 servers × 4 sensors = 100-dim stream
+        fault_rate=0.0,
+        seed=13,
+    )
+    rng = np.random.default_rng(4)
+    est = RobustIncrementalPCA(
+        n_components=3, alpha=0.995, init_size=50
+    )
+
+    print(f"monitoring {model.n_servers} servers "
+          f"({model.dim} sensor channels)...")
+    print("learning the healthy regime (3000 ticks)...")
+    for x in model.stream(3000, rng):
+        est.update(x)
+    print(f"  residual scale sigma² = {est.scale_:.1f}")
+    print(f"  top eigenvalues (latent factors): "
+          f"{np.round(est.eigenvalues_, 1)}")
+
+    print("\nenabling hardware faults (fault_rate = 2%/tick)...")
+    model.fault_rate = 0.02
+    alarms: list[tuple[int, float]] = []
+    for x in model.stream(1000, rng):
+        res = est.update(x)
+        if res is not None and res.is_outlier:
+            alarms.append((model._step, res.scaled_residual))
+
+    fault_steps = set(model.fault_steps().tolist())
+    print(f"\ninjected faults: {len(model.faults)}")
+    for ev in model.faults:
+        print(f"  t={ev.step}: {ev.kind} on server {ev.server} "
+              f"({ev.duration} ticks)")
+
+    hits = sum(1 for step, _ in alarms if step in fault_steps)
+    print(f"\nalarms raised: {len(alarms)} "
+          f"({hits} during a fault window)")
+    if alarms:
+        worst = max(alarms, key=lambda a: a[1])
+        print(f"largest deviation: t={worst[0]}, r²/σ² = {worst[1]:.1f}")
+    if len(alarms) == 0:
+        print("no alarms — try a longer fault window or higher fault_rate")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Galaxy eigenspectra from a stream of SDSS-like spectra (Figs. 4–5).
+
+The paper's headline application: stream synthetic galaxy spectra —
+redshifted, gappy, brightness-scattered, with a sprinkle of junk — through
+the robust incremental PCA.  Spectra are mean-flux normalized on the fly,
+gaps are patched with the running eigenbasis, and the eigensystem is
+checkpointed periodically so the convergence history can be inspected
+afterwards (Fig. 4 "noisy" → Fig. 5 "smooth, physical").
+
+Run:  python examples/galaxy_spectra_pipeline.py [output_dir]
+"""
+
+import sys
+import tempfile
+
+import numpy as np
+
+from repro.core import (
+    NormalizationError,
+    RobustIncrementalPCA,
+    principal_angles,
+    roughness,
+    unit_mean_flux,
+)
+from repro.data import GalaxySpectrumModel, WavelengthGrid, shuffled
+from repro.io import CheckpointStore, write_vectors_csv
+
+
+def main(output_dir: str | None = None) -> None:
+    if output_dir is None:
+        output_dir = tempfile.mkdtemp(prefix="eigenspectra-")
+
+    model = GalaxySpectrumModel(
+        grid=WavelengthGrid(lam_min=3800.0, lam_max=9200.0, n_bins=400),
+        z_max=0.2,          # redshift-correlated blue-end gaps
+        noise_std=0.06,
+        dropout_rate=0.15,  # random snippet dropouts
+        outlier_rate=0.01,  # junk spectra
+        seed=11,
+    )
+    rng = np.random.default_rng(1)
+    print("generating 4000 synthetic galaxy spectra...")
+    sample = model.sample(4000, rng)
+    gap_fraction = float(np.mean(~np.isfinite(sample.flux)))
+    print(f"  gap fraction: {gap_fraction:.1%}, "
+          f"junk spectra: {int(sample.is_outlier.sum())}")
+
+    est = RobustIncrementalPCA(
+        n_components=4,
+        extra_components=2,   # higher-order gap residual correction
+        alpha=0.9995,
+        init_size=32,
+    )
+    store = CheckpointStore(output_dir, every=500)
+
+    dropped = 0
+    # Randomized order: "it is clearly disadvantageous to put the spectra
+    # on the stream in a systematic order" (§II-B).
+    for flux in shuffled(sample.flux, np.random.default_rng(2)):
+        try:
+            x = unit_mean_flux(flux)
+        except NormalizationError:
+            dropped += 1
+            continue
+        est.update(x)
+        if est.is_initialized:
+            store.maybe_save(est.state)
+    store.save(est.state)
+    print(f"processed {est.n_seen} spectra "
+          f"({dropped} unnormalizable dropped, "
+          f"{est.n_outliers} flagged as outliers)")
+
+    # Convergence history: roughness of the leading eigenspectra.
+    history = store.load_history()
+    print("\neigenspectrum roughness over the stream "
+          "(smoothness = robustness, Fig. 5):")
+    print(f"{'n_seen':>8}  " + "  ".join(f"{'e'+str(j+1):>9}" for j in range(4)))
+    for n_seen, state in history:
+        vals = [
+            roughness(state.basis[:, j])
+            for j in range(min(4, state.n_components))
+        ]
+        print(f"{n_seen:>8}  " + "  ".join(f"{v:9.2e}" for v in vals))
+
+    # Compare against the clean-population ground truth.
+    _, truth, _ = model.ground_truth_basis(4)
+    angles = principal_angles(est.state.basis[:, :4], truth)
+    print(f"\nprincipal angles to the clean-population basis: "
+          f"{np.round(angles, 3)}")
+
+    # Dump the final eigenspectra for plotting.
+    out_csv = f"{output_dir}/eigenspectra.csv"
+    rows = [model.grid.wavelengths] + [
+        est.state.basis[:, j] for j in range(4)
+    ]
+    write_vectors_csv(out_csv, rows)
+    print(f"final eigenspectra written to {out_csv} "
+          f"(rows: wavelength, e1..e4)")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else None)

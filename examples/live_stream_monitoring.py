@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Live ingestion: TCP feed → streaming robust PCA → drift alarms.
+
+Demonstrates the paper's "network TCP sockets ... supported out of the
+box as a source of data" path end to end: a feeder thread serves
+telemetry vectors over a local socket; the application graph ingests
+them with :class:`TCPVectorSource`, updates the robust PCA per tuple,
+and a :class:`SubspaceDriftDetector` watches periodic eigensystem
+snapshots for the "significant eigensystem deviation [that] could
+indicate a hardware failure".
+
+Halfway through the feed, the telemetry's correlation structure is
+deliberately broken (a simulated controller firmware bug flips the
+load/fan correlation) — the drift detector should alarm shortly after.
+
+Run:  python examples/live_stream_monitoring.py
+"""
+
+import numpy as np
+
+from repro.core import RobustIncrementalPCA, SubspaceDriftDetector
+from repro.data import ClusterTelemetryModel
+from repro.streams import (
+    CallbackSink,
+    Graph,
+    SynchronousEngine,
+    TCPVectorSource,
+    serve_vectors,
+)
+
+
+def build_feed(n_healthy: int = 2500, n_broken: int = 1200) -> np.ndarray:
+    """Telemetry with a structural break at ``n_healthy``."""
+    model = ClusterTelemetryModel(n_servers=15, fault_rate=0.0, seed=17)
+    rng = np.random.default_rng(9)
+    healthy = np.vstack(list(model.stream(n_healthy, rng)))
+    broken = np.vstack(list(model.stream(n_broken, rng)))
+    # Firmware bug: fan RPMs (sensor index 1 of each server) decouple
+    # from load and start oscillating on their own.
+    fan_cols = np.arange(1, broken.shape[1], 4)
+    t = np.arange(n_broken)[:, None]
+    broken[:, fan_cols] = (
+        3000.0
+        + 1500.0 * np.sin(2 * np.pi * t / 60.0)
+        + 100.0 * rng.standard_normal((n_broken, fan_cols.size))
+    )
+    return np.vstack([healthy, broken]), n_healthy
+
+
+def main() -> None:
+    feed, break_at = build_feed()
+    print(f"serving {feed.shape[0]} telemetry vectors "
+          f"({feed.shape[1]} channels) over a local TCP socket...")
+    port, feeder = serve_vectors(feed)
+
+    est = RobustIncrementalPCA(n_components=3, alpha=0.999, init_size=50)
+    # The telemetry's trailing factors are weak, so the basis wanders a
+    # little between snapshots even when healthy — rely on the
+    # eigenvalue/scale axes (with a loose angle gate) for alarming.
+    detector = SubspaceDriftDetector(
+        warmup_snapshots=4, angle_threshold=0.8,
+        eigenvalue_rtol=0.6, scale_rtol=0.6,
+    )
+    alarms: list[tuple[int, str]] = []
+
+    def on_tuple(tup, port_idx):
+        est.update(tup["x"])
+        if est.is_initialized and est.n_seen % 250 == 0:
+            report = detector.observe(est.public_state())
+            if report and report.alarmed:
+                alarms.append((est.n_seen, report.worst_axis()))
+
+    g = Graph("live-monitoring")
+    src = g.add(TCPVectorSource("tcp-feed", "127.0.0.1", port))
+    sink = g.add(CallbackSink("monitor", on_tuple))
+    g.connect(src, sink)
+    SynchronousEngine(g).run()
+    feeder.join(timeout=10)
+
+    print(f"processed {est.n_seen} observations; structural break "
+          f"injected at t={break_at}")
+    if alarms:
+        for n_seen, axis in alarms:
+            print(f"  DRIFT ALARM at t={n_seen} (dominant axis: {axis})")
+        first = alarms[0][0]
+        print(f"\ndetection delay: {first - break_at} observations "
+              f"after the break")
+    else:
+        print("no drift alarms raised — try a larger structural break")
+
+
+if __name__ == "__main__":
+    main()

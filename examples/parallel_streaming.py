@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Parallel streaming PCA with ring synchronization (Fig. 2 end to end).
+
+Builds the paper's full analysis graph — source → threaded split → four
+PCA engines ⇄ sync controller — and runs it on the *threaded* runtime,
+so the engines genuinely process their sub-streams concurrently.  Engines
+announce sync-readiness through the data-driven 1.5·N gate; the controller
+routes eigensystems around the ring; the final answer is the merge of all
+engines' states.
+
+Run:  python examples/parallel_streaming.py
+"""
+
+import numpy as np
+
+from repro.core import largest_principal_angle
+from repro.data import (
+    GrossOutlierInjector,
+    PlantedSubspaceModel,
+    VectorStream,
+)
+from repro.parallel import ParallelStreamingPCA
+
+
+def main() -> None:
+    model = PlantedSubspaceModel(
+        dim=120,
+        signal_variances=(25.0, 16.0, 9.0),
+        noise_std=0.5,
+        seed=3,
+    )
+    rng = np.random.default_rng(10)
+    injector = GrossOutlierInjector(rate=0.03, amplitude=25.0, rng=rng)
+    print("generating a contaminated stream of 12000 observations...")
+    stream = np.vstack([injector(x)[0] for x in model.stream(12_000, rng)])
+
+    runner = ParallelStreamingPCA(
+        n_components=3,
+        n_engines=4,
+        alpha=0.998,              # effective window N = 500
+        strategy="ring",          # Fig. 3's circular pattern
+        runtime="threaded",
+        split_strategy="random",  # the paper's load balancer
+        split_seed=5,
+    )
+    print("running the Fig. 2 graph on the threaded runtime...")
+    result = runner.run(VectorStream.from_array(stream))
+
+    print(f"\nwall time: {result.run_stats.wall_time_s:.2f}s, "
+          f"throughput: {result.run_stats.throughput():,.0f} tuples/s")
+    print(f"sync traffic: {result.sync_stats.n_states_routed} states "
+          f"routed, {result.sync_stats.n_merge_commands} merges")
+
+    print("\nper-engine report:")
+    for rep in result.engine_reports:
+        print(
+            f"  engine {rep['engine']}: {rep['n_local']:>5} tuples, "
+            f"{rep['n_outliers']:>3} outliers flagged, "
+            f"{rep['n_syncs_received']} merges received"
+        )
+
+    angle = largest_principal_angle(result.global_state.basis, model.basis)
+    print(f"\nglobal eigenvalues: {np.round(result.eigenvalues, 2)} "
+          f"(truth: {np.round(model.eigenvalues, 2)})")
+    print(f"global subspace angle to truth: {angle:.3f} rad")
+
+    # "The resulting eigensystem can be obtained from any node":
+    print("\nper-engine subspace angles to truth:")
+    for engine_id, state in sorted(result.engine_states.items()):
+        a = largest_principal_angle(state.basis, model.basis)
+        print(f"  engine {engine_id}: {a:.3f} rad")
+
+    flagged = result.outlier_seqs()
+    truth = set((injector.steps - 1).tolist())
+    hits = sum(1 for s in flagged if int(s) in truth)
+    print(f"\noutliers: {len(flagged)} flagged across engines, "
+          f"{hits}/{len(truth)} injected ones caught")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Quickstart: robust streaming PCA on a contaminated data stream.
+
+Generates a Gaussian stream with a planted low-rank subspace, corrupts 4%
+of the observations with gross outliers, and runs both the classical and
+the robust incremental PCA over it — the Fig. 1 story of the paper in
+~30 lines of user code.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    IncrementalPCA,
+    OutlierLog,
+    RobustIncrementalPCA,
+    largest_principal_angle,
+)
+from repro.data import GrossOutlierInjector, PlantedSubspaceModel
+
+
+def main() -> None:
+    # A 100-dimensional stream with 4 strong directions + noise.
+    model = PlantedSubspaceModel(
+        dim=100,
+        signal_variances=(25.0, 16.0, 9.0, 4.0),
+        noise_std=0.5,
+        seed=7,
+    )
+    rng = np.random.default_rng(42)
+    injector = GrossOutlierInjector(rate=0.04, amplitude=20.0, rng=rng)
+
+    classic = IncrementalPCA(n_components=4, alpha=0.998)
+    robust = RobustIncrementalPCA(n_components=4, alpha=0.998)
+    log = OutlierLog()
+
+    print("streaming 6000 observations (4% gross outliers)...")
+    for x in injector.wrap(model.stream(6000, rng)):
+        classic.update(x)
+        log.observe(robust.update(x))
+
+    print(f"\ntrue eigenvalues    : {np.round(model.eigenvalues, 2)}")
+    print(f"classic estimate    : {np.round(classic.eigenvalues_, 2)}")
+    print(f"robust estimate     : {np.round(robust.eigenvalues_, 2)}")
+
+    ang_c = largest_principal_angle(classic.state.basis, model.basis)
+    ang_r = largest_principal_angle(
+        robust.state.basis[:, :4], model.basis
+    )
+    print(f"\nsubspace angle to truth — classic: {ang_c:.3f} rad "
+          f"(captured by outliers!)")
+    print(f"subspace angle to truth — robust : {ang_r:.3f} rad")
+
+    stats = log.detection_stats(injector.steps)
+    print(
+        f"\noutlier detection: {int(stats['true_positives'])} hits, "
+        f"precision {stats['precision']:.2%}, recall {stats['recall']:.2%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Reproduce the paper's throughput figures on the simulated testbed.
+
+Runs compact versions of the Fig. 6 (throughput vs parallel threads,
+single-node vs distributed placement) and Fig. 7 (tuples/s/thread vs
+dimensionality) sweeps on the discrete-event model of the 10-node
+testbed, and prints the same series the paper plots.
+
+Run:  python examples/simulate_testbed.py [--full]
+      (--full uses the complete sweep grids; takes a few minutes)
+"""
+
+import sys
+
+from repro.experiments import Fig6Config, Fig7Config, run_fig6, run_fig7
+
+
+def main(full: bool = False) -> None:
+    if full:
+        fig6_cfg = Fig6Config()
+        fig7_cfg = Fig7Config()
+    else:
+        fig6_cfg = Fig6Config(
+            threads=(1, 5, 10, 20, 30), warmup_s=0.2, window_s=0.5
+        )
+        fig7_cfg = Fig7Config(
+            dims=(250, 500, 1000, 2000), warmup_s=0.2, window_s=0.5
+        )
+
+    print("simulating Fig. 6: throughput vs parallel threads "
+          f"(d={fig6_cfg.dim}, N={fig6_cfg.sync_window})...\n")
+    fig6 = run_fig6(fig6_cfg)
+    print(fig6.table().render())
+    threads, rate = fig6.distributed_peak()
+    print(f"\ndistributed peak: {rate:,.0f} tuples/s at {threads} threads "
+          f"(paper: optimum at 2 threads/node = 20 threads)")
+
+    print("\nsimulating Fig. 7: tuples/s/thread vs dimensionality...\n")
+    fig7 = run_fig7(fig7_cfg)
+    print(fig7.table().render())
+    d = fig7_cfg.dims[0]
+    print(
+        f"\nat d={d}: 20 threads reach "
+        f"{fig7.per_thread(20, d) / fig7.per_thread(10, d):.0%} of the "
+        "10-thread per-thread rate (interconnect saturation)"
+    )
+
+
+if __name__ == "__main__":
+    main(full="--full" in sys.argv)

@@ -1,0 +1,5 @@
+"""Setup shim: enables legacy editable installs in offline environments
+(no `wheel` package available); all metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

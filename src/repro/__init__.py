@@ -1,0 +1,41 @@
+"""repro — robust incremental & parallel streaming PCA.
+
+A full reproduction of *Incremental and Parallel Analytics on
+Astrophysical Data Streams* (Mishin, Budavári, Szalay, Ahmad; SC 2012):
+the robust streaming PCA algorithm (:mod:`repro.core`), a from-scratch
+stream-processing engine standing in for IBM InfoSphere Streams
+(:mod:`repro.streams`), the parallel PCA application with data-driven
+synchronization (:mod:`repro.parallel`), a discrete-event cluster
+simulator for the throughput experiments (:mod:`repro.cluster`), and the
+workload generators (:mod:`repro.data`).
+
+Quickstart::
+
+    import numpy as np
+    from repro.core import RobustIncrementalPCA
+    from repro.data import PlantedSubspaceModel, GrossOutlierInjector
+
+    model = PlantedSubspaceModel(dim=100)
+    rng = np.random.default_rng(7)
+    inject = GrossOutlierInjector(rate=0.03, amplitude=20.0, rng=rng)
+
+    pca = RobustIncrementalPCA(n_components=5, alpha=0.999)
+    for x in inject.wrap(model.stream(5000, rng)):
+        pca.update(x)
+    print(pca.eigenvalues_)
+"""
+
+__version__ = "1.0.0"
+
+from . import cluster, core, data, experiments, io, parallel, streams
+
+__all__ = [
+    "cluster",
+    "core",
+    "data",
+    "experiments",
+    "io",
+    "parallel",
+    "streams",
+    "__version__",
+]

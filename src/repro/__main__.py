@@ -1,0 +1,105 @@
+"""Command-line entry point: ``python -m repro <experiment>``.
+
+Runs any of the paper-reproduction experiments or ablations and prints
+its data table — the scriptable face of the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+EXPERIMENTS = {
+    "fig1": "classic vs robust streaming PCA under contamination",
+    "fig45": "eigenspectra convergence on galaxy spectra",
+    "fig6": "throughput vs parallel threads (simulated testbed)",
+    "fig7": "tuples/s/thread vs dimensionality (simulated testbed)",
+    "lat": "per-tuple latency vs placement (fusion effect)",
+    "conv": "in-flight convergence before stream end",
+    "abl-alpha": "forgetting factor on a drifting stream",
+    "abl-gaps": "gap residual-estimation modes",
+    "abl-order": "random vs systematic stream order",
+    "abl-topo": "sync topology trade-offs",
+    "abl-gate": "data-driven sync gate factor",
+    "all": "run every experiment above",
+}
+
+
+def _run_one(name: str, sink=None) -> None:
+    from repro import experiments as exp
+
+    start = time.perf_counter()
+    if name == "fig1":
+        result = exp.run_fig1()
+    elif name == "fig45":
+        result = exp.run_fig45()
+    elif name == "fig6":
+        result = exp.run_fig6()
+    elif name == "fig7":
+        result = exp.run_fig7()
+    elif name == "lat":
+        result = exp.run_latency()
+    elif name == "conv":
+        result = exp.run_convergence()
+    elif name == "abl-alpha":
+        result = exp.run_alpha_ablation()
+    elif name == "abl-gaps":
+        result = exp.run_gap_ablation()
+    elif name == "abl-order":
+        result = exp.run_order_ablation()
+    elif name == "abl-topo":
+        result = exp.run_sync_strategies()
+    elif name == "abl-gate":
+        result = exp.run_gate_ablation()
+    else:  # pragma: no cover - guarded by argparse choices
+        raise ValueError(name)
+    text = result.table().render()
+    print(text)
+    print(f"[{name}: {time.perf_counter() - start:.1f}s]\n")
+    if sink is not None:
+        sink.write(f"## {name}\n\n```\n{text}\n```\n\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and run the selected experiment(s)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Reproduction experiments for 'Incremental and Parallel "
+            "Analytics on Astrophysical Data Streams' (SC 2012)."
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="experiments:\n"
+        + "\n".join(f"  {k:<10} {v}" for k, v in EXPERIMENTS.items()),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS),
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        metavar="FILE",
+        help="also write the result tables to FILE as markdown",
+    )
+    args = parser.parse_args(argv)
+
+    names = (
+        [k for k in EXPERIMENTS if k != "all"]
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+    sink = open(args.output, "w") if args.output else None
+    try:
+        for name in names:
+            _run_one(name, sink)
+    finally:
+        if sink is not None:
+            sink.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

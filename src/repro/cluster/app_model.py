@@ -1,0 +1,316 @@
+"""The streaming-PCA application expressed as simulator processes.
+
+This is the model behind Figures 6 and 7: a source with unbounded supply
+(the paper verified "the maximum rate of data generated was ... higher
+than processing rate"), a multithreaded split on the splitter node, one
+PCA engine process per thread, ring synchronization with the 1.5·N
+data-driven gate, all mapped onto nodes by a
+:class:`~repro.cluster.placement.Placement` and costed by a
+:class:`~repro.cluster.costmodel.PCACostModel`.
+
+Modeling choices (documented per DESIGN.md):
+
+* The multithreaded split is one sender process per engine channel in a
+  closed loop with bounded per-engine buffers — work-conserving, so
+  "faster nodes get more data", exactly the paper's load-balancer
+  semantics.  All senders share the splitter node's cores.
+* Fused (co-located) edges cost nothing on the wire and skip
+  serialization CPU; remote edges pay sender CPU + NIC occupancy +
+  latency + receiver CPU.  An optional relay hop models default
+  unoptimized placement.
+* Synchronization ships the eigensystem to the ring successor and pays a
+  merge eigensolve on the receiver's node, competing with its engine for
+  cores.
+* ``batch_size`` coarsens the event granularity (one simulated message =
+  ``batch_size`` observations with proportional costs) to keep large
+  sweeps fast; rates are unchanged, only queueing granularity coarsens.
+
+Throughput is measured exactly as in the paper: tuples leaving the split
+per second, averaged over a window after a warm-up period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .costmodel import PCACostModel
+from .events import Simulator
+from .network import Network
+from .placement import Placement
+from .resources import Resource, Store
+from .topology import ClusterSpec
+
+__all__ = ["SimConfig", "SimReport", "simulate_streaming_pca"]
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Full description of one simulated run.
+
+    Attributes mirror the paper's §III-D settings: ``dim=250``, ``p=8``,
+    ``sync_window=5000`` (their N), gate factor 1.5.
+
+    ``offered_rate_per_engine`` switches the source from the paper's
+    closed loop ("generation rate higher than processing rate": measures
+    *capacity*) to an open loop pacing each channel at the given
+    observations/second — the right regime for *latency* comparisons,
+    where queues must not be saturated by construction.
+
+    ``node_speed_factors`` makes the cluster heterogeneous: a node with
+    factor ``f`` runs CPU work ``f×`` faster.  Under the work-conserving
+    split this realizes the paper's "faster nodes will get more data than
+    slower ones in a period of time".
+    """
+
+    spec: ClusterSpec
+    placement: Placement
+    cost: PCACostModel
+    dim: int = 250
+    n_components: int = 8
+    sync_window: int = 5000
+    sync_gate_factor: float = 1.5
+    sync_enabled: bool = True
+    offered_rate_per_engine: float | None = None
+    node_speed_factors: tuple[float, ...] | None = None
+    queue_capacity: int = 8
+    batch_size: int = 1
+    warmup_s: float = 0.5
+    window_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.placement.max_node() >= self.spec.n_nodes:
+            raise ValueError(
+                f"placement references node {self.placement.max_node()} but "
+                f"the cluster has only {self.spec.n_nodes} nodes"
+            )
+        if self.dim < 1 or self.n_components < 1:
+            raise ValueError("dim and n_components must be >= 1")
+        if self.sync_window < 1:
+            raise ValueError("sync_window must be >= 1")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if (
+            self.offered_rate_per_engine is not None
+            and self.offered_rate_per_engine <= 0
+        ):
+            raise ValueError("offered_rate_per_engine must be positive")
+        if self.node_speed_factors is not None:
+            if len(self.node_speed_factors) != self.spec.n_nodes:
+                raise ValueError(
+                    "node_speed_factors needs one entry per node "
+                    f"({self.spec.n_nodes}), got {len(self.node_speed_factors)}"
+                )
+            if any(f <= 0 for f in self.node_speed_factors):
+                raise ValueError("node speed factors must be positive")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.warmup_s < 0 or self.window_s <= 0:
+            raise ValueError("warmup_s >= 0 and window_s > 0 required")
+
+
+@dataclass
+class SimReport:
+    """Measured outcome of one simulated run.
+
+    ``throughput`` is observations/second over the measurement window
+    (the paper's y-axis in Fig. 6); ``per_thread`` divides by the engine
+    count (Fig. 7's y-axis).  ``latency_*`` summarize the end-to-end
+    per-tuple sojourn (splitter pickup → engine completion, including
+    queueing) over the window — the quantity InfoSphere fusion exists to
+    shrink ("significant decrease of latency", §III-D).
+    """
+
+    config: SimConfig
+    tuples_processed: int
+    throughput: float
+    per_engine: list[float] = field(default_factory=list)
+    latency_mean_s: float = 0.0
+    latency_p50_s: float = 0.0
+    latency_p95_s: float = 0.0
+    n_syncs: int = 0
+    splitter_cpu_utilization: float = 0.0
+    splitter_nic_utilization: float = 0.0
+    node_cpu_utilization: list[float] = field(default_factory=list)
+    n_events: int = 0
+
+    @property
+    def per_thread(self) -> float:
+        """Observations/second/engine (Fig. 7's metric)."""
+        return self.throughput / max(self.config.placement.n_engines, 1)
+
+
+class _AppState:
+    """Mutable counters shared by the simulation processes."""
+
+    def __init__(self, n_engines: int) -> None:
+        self.processed = [0] * n_engines  # observations, cumulative
+        self.window_counts = [0] * n_engines
+        self.in_window = False
+        self.since_sync = [0] * n_engines
+        self.n_syncs = 0
+        self.latencies: list[float] = []
+
+
+def simulate_streaming_pca(config: SimConfig) -> SimReport:
+    """Run one simulated configuration and measure its throughput."""
+    sim = Simulator()
+    spec = config.spec
+    placement = config.placement
+    cost = config.cost
+    n_engines = placement.n_engines
+
+    cpus = [
+        Resource(sim, spec.cores_per_node, name=f"cpu-{i}")
+        for i in range(spec.n_nodes)
+    ]
+    net = Network(sim, spec)
+    stores = [
+        Store(sim, capacity=config.queue_capacity, name=f"chan-{i}")
+        for i in range(n_engines)
+    ]
+    state = _AppState(n_engines)
+
+    tuple_bytes = cost.tuple_bytes(config.dim) * config.batch_size
+    state_bytes = cost.state_bytes(config.dim, config.n_components)
+    update_s = cost.update_cost(config.dim, config.n_components) * config.batch_size
+    merge_s = cost.merge_cost(config.dim, config.n_components)
+    gate = config.sync_gate_factor * config.sync_window
+
+    # Register persistent flows so connection overhead reflects topology.
+    for i in range(n_engines):
+        hops = _data_path(placement, i)
+        for src, dst in hops:
+            net.register_flow(src, dst)
+    if config.sync_enabled and n_engines > 1:
+        for i in range(n_engines):
+            src = placement.engine_nodes[i]
+            dst = placement.engine_nodes[(i + 1) % n_engines]
+            if src != dst:
+                net.register_flow(src, dst)
+
+    speed = config.node_speed_factors or (1.0,) * spec.n_nodes
+
+    def cpu_work(node: int, seconds: float):
+        """Acquire one core on ``node`` for ``seconds`` (speed-scaled)."""
+        if seconds <= 0:
+            return
+        yield cpus[node].request()
+        yield sim.timeout(seconds / speed[node])
+        cpus[node].release()
+
+    interval = (
+        config.batch_size / config.offered_rate_per_engine
+        if config.offered_rate_per_engine
+        else None
+    )
+
+    def sender(engine: int):
+        """One channel of the multithreaded split."""
+        hops = _data_path(placement, engine)
+        next_emit = 0.0
+        while True:
+            if interval is not None:
+                if sim.now < next_emit:
+                    yield sim.timeout(next_emit - sim.now)
+                next_emit = max(next_emit + interval, sim.now)
+            born = sim.now
+            # Routing work on the splitter node; serialization only if the
+            # first hop leaves the node (fused edges pass pointers).
+            work = config.cost.route_s * config.batch_size
+            if hops:
+                work += cost.send_cost(tuple_bytes)
+            yield from cpu_work(placement.splitter_node, work)
+            for h, (src, dst) in enumerate(hops):
+                yield from net.transfer(src, dst, tuple_bytes)
+                if h < len(hops) - 1:
+                    # Relay node: deserialize + reserialize.
+                    relay_work = cost.recv_cost(tuple_bytes) + cost.send_cost(
+                        tuple_bytes
+                    )
+                    yield from cpu_work(dst, relay_work)
+            yield stores[engine].put((config.batch_size, born))
+
+    def engine_proc(engine: int):
+        node = placement.engine_nodes[engine]
+        crossed_network = bool(_data_path(placement, engine))
+        while True:
+            batch, born = yield stores[engine].get()
+            work = update_s
+            if crossed_network:
+                work += cost.recv_cost(tuple_bytes)
+            yield from cpu_work(node, work)
+            state.processed[engine] += batch
+            if state.in_window:
+                state.window_counts[engine] += batch
+                state.latencies.append(sim.now - born)
+            if config.sync_enabled and n_engines > 1:
+                state.since_sync[engine] += batch
+                if state.since_sync[engine] > gate:
+                    state.since_sync[engine] = 0
+                    sim.process(sync_proc(engine))
+
+    def sync_proc(engine: int):
+        """Ship state to the ring successor and merge there."""
+        src = placement.engine_nodes[engine]
+        target = (engine + 1) % n_engines
+        dst = placement.engine_nodes[target]
+        yield from cpu_work(src, cost.send_cost(state_bytes))
+        yield from net.transfer(src, dst, state_bytes)
+        yield from cpu_work(
+            dst, cost.recv_cost(state_bytes) + merge_s
+        )
+        state.n_syncs += 1
+
+    for i in range(n_engines):
+        sim.process(sender(i))
+        sim.process(engine_proc(i))
+
+    sim.run(until=config.warmup_s)
+    state.in_window = True
+    sim.run(until=config.warmup_s + config.window_s)
+
+    window_total = sum(state.window_counts)
+    horizon = config.warmup_s + config.window_s
+    if state.latencies:
+        lat = np.sort(np.asarray(state.latencies))
+        lat_mean = float(lat.mean())
+        lat_p50 = float(lat[int(0.50 * (lat.size - 1))])
+        lat_p95 = float(lat[int(0.95 * (lat.size - 1))])
+    else:
+        lat_mean = lat_p50 = lat_p95 = 0.0
+    return SimReport(
+        config=config,
+        tuples_processed=sum(state.processed),
+        throughput=window_total / config.window_s,
+        per_engine=[c / config.window_s for c in state.window_counts],
+        latency_mean_s=lat_mean,
+        latency_p50_s=lat_p50,
+        latency_p95_s=lat_p95,
+        n_syncs=state.n_syncs,
+        splitter_cpu_utilization=cpus[placement.splitter_node].utilization(
+            horizon
+        ),
+        splitter_nic_utilization=net.egress_utilization(
+            placement.splitter_node, horizon
+        ),
+        node_cpu_utilization=[
+            cpus[i].utilization(horizon) for i in range(spec.n_nodes)
+        ],
+        n_events=sim.n_events_processed,
+    )
+
+
+def _data_path(placement: Placement, engine: int) -> list[tuple[int, int]]:
+    """Network hops a data tuple takes to reach ``engine`` (empty=fused)."""
+    src = placement.splitter_node
+    dst = placement.engine_nodes[engine]
+    if src == dst:
+        return []
+    if placement.relay_node is not None and placement.relay_node not in (
+        src,
+        dst,
+    ):
+        return [(src, placement.relay_node), (placement.relay_node, dst)]
+    return [(src, dst)]

@@ -1,0 +1,153 @@
+"""Per-tuple cost model of the streaming-PCA application.
+
+The simulator needs service times for every action the real system
+performs.  The compute costs follow the algorithm's complexity — the
+per-tuple update solves the eigensystem of a ``(p+1)``-column factor,
+
+.. math::
+
+    c_{update}(d, p) = a\\,d\\,(p+1)^2 + c\\,(p+1)^3 + b ,
+
+and a merge does the same with ``2p+1`` columns.  The coefficients can be
+**calibrated against the real operator** (:meth:`PCACostModel.calibrate`
+times actual ``RobustIncrementalPCA`` updates and fits ``a, b, c`` by
+least squares), or taken from :meth:`PCACostModel.paper_scale`, whose
+constants are tuned so a single simulated engine processes ~1.2 k
+tuples/s at ``d=250, p=8`` — the paper's measured single-thread scale —
+making the Fig. 6/7 axes directly comparable.
+
+Wire sizes are exact: ``8d`` bytes per observation tuple,
+``8·d·(p+1)`` per shipped eigensystem, plus headers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PCACostModel"]
+
+_TUPLE_HEADER_BYTES = 64
+_STATE_HEADER_BYTES = 128
+
+
+@dataclass(frozen=True)
+class PCACostModel:
+    """Service-time model (seconds) for the simulated application.
+
+    Attributes
+    ----------
+    a / b / c:
+        Update-cost coefficients (see module docstring).
+    route_s:
+        Splitter CPU per tuple (target choice + queue handoff).
+    send_overhead_s / send_per_byte_s:
+        Sender-side serialization CPU per message (paid only on
+        network, i.e. non-fused, edges).
+    recv_overhead_s / recv_per_byte_s:
+        Receiver-side deserialization CPU per message (the SPL
+        tuple-conversion cost of Section III-A.2's network connectors).
+    """
+
+    a: float
+    b: float
+    c: float
+    route_s: float = 2.0e-6
+    send_overhead_s: float = 8.0e-6
+    send_per_byte_s: float = 1.0e-9
+    recv_overhead_s: float = 8.0e-6
+    recv_per_byte_s: float = 2.5e-8
+
+    def __post_init__(self) -> None:
+        for name in ("a", "b", "c", "route_s", "send_overhead_s",
+                     "send_per_byte_s", "recv_overhead_s",
+                     "recv_per_byte_s"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+    # -- compute ---------------------------------------------------------
+
+    def update_cost(self, dim: int, p: int) -> float:
+        """CPU seconds for one streaming update (factor has p+1 columns)."""
+        m = p + 1
+        return self.a * dim * m * m + self.c * m**3 + self.b
+
+    def merge_cost(self, dim: int, p: int) -> float:
+        """CPU seconds for one eigensystem merge (2p+1 columns)."""
+        m = 2 * p + 1
+        return self.a * dim * m * m + self.c * m**3 + self.b
+
+    # -- wire --------------------------------------------------------------
+
+    @staticmethod
+    def tuple_bytes(dim: int) -> int:
+        """Wire size of one observation tuple."""
+        return 8 * dim + _TUPLE_HEADER_BYTES
+
+    @staticmethod
+    def state_bytes(dim: int, p: int) -> int:
+        """Wire size of one shipped eigensystem."""
+        return 8 * dim * (p + 2) + _STATE_HEADER_BYTES
+
+    def send_cost(self, nbytes: int) -> float:
+        """Sender serialization CPU for a message of ``nbytes``."""
+        return self.send_overhead_s + self.send_per_byte_s * nbytes
+
+    def recv_cost(self, nbytes: int) -> float:
+        """Receiver deserialization CPU for a message of ``nbytes``."""
+        return self.recv_overhead_s + self.recv_per_byte_s * nbytes
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def paper_scale(cls) -> "PCACostModel":
+        """Constants tuned to the paper's absolute throughput scale.
+
+        ``update_cost(250, 8) ≈ 0.83 ms`` ⇒ one engine ≈ 1.2 k tuples/s,
+        matching the single-thread operating point of Section III-D.
+        """
+        return cls(a=4.0e-8, b=2.0e-5, c=1.0e-9)
+
+    @classmethod
+    def calibrate(
+        cls,
+        dims: tuple[int, ...] = (128, 512, 1024),
+        ps: tuple[int, ...] = (4, 8, 16),
+        *,
+        n_updates: int = 200,
+        seed: int = 0,
+        **overrides,
+    ) -> "PCACostModel":
+        """Fit ``a, b, c`` by timing the *real* streaming operator.
+
+        Runs :class:`~repro.core.robust.RobustIncrementalPCA` on random
+        data over a ``(dim, p)`` grid and least-squares fits the cost
+        surface.  This anchors the simulator to this machine's actual
+        Python/numpy speed (the HPC-guide way: measure, don't guess).
+        """
+        from ..core.robust import RobustIncrementalPCA  # local: avoid cycle
+
+        rng = np.random.default_rng(seed)
+        rows, times = [], []
+        for d in dims:
+            for p in ps:
+                est = RobustIncrementalPCA(
+                    p, alpha=0.999, init_size=max(2 * p, 10)
+                )
+                x = rng.standard_normal((n_updates + est.init_size, d))
+                for row in x[: est.init_size]:
+                    est.update(row)
+                start = time.perf_counter()
+                for row in x[est.init_size :]:
+                    est.update(row)
+                elapsed = (time.perf_counter() - start) / n_updates
+                m = p + 1
+                rows.append([d * m * m, 1.0, m**3])
+                times.append(elapsed)
+        from scipy.optimize import nnls
+
+        coeffs, _ = nnls(np.asarray(rows), np.asarray(times))
+        a, b, c = (float(v) for v in coeffs)
+        return cls(a=a, b=b, c=c, **overrides)

@@ -1,0 +1,163 @@
+"""A minimal discrete-event simulation kernel.
+
+The throughput experiments of Figs. 6–7 ran on a 10-node testbed we do
+not have; we replace it with a discrete-event simulation of the cluster
+(see DESIGN.md, substitution table).  This module is the kernel: a
+virtual clock, an event heap, and generator-based processes in the style
+of SimPy — a process is a Python generator that ``yield``\\ s events
+(timeouts, resource grants, store gets) and is resumed when they fire.
+
+The kernel is deliberately tiny and fully deterministic: same inputs,
+same event order (ties broken by schedule sequence number).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable
+
+__all__ = ["SimEvent", "Timeout", "Process", "AllOf", "Simulator"]
+
+
+class SimEvent:
+    """A one-shot event; processes wait on it, callbacks fire on trigger."""
+
+    __slots__ = ("sim", "triggered", "value", "_callbacks")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.triggered = False
+        self.value: Any = None
+        self._callbacks: list[Callable[[SimEvent], None]] = []
+
+    def on_trigger(self, fn: Callable[["SimEvent"], None]) -> None:
+        """Register a callback (fires immediately if already triggered)."""
+        if self.triggered:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the event now; idempotence is an error (one-shot)."""
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self.triggered = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+
+class Timeout(SimEvent):
+    """An event that fires ``delay`` simulated seconds in the future."""
+
+    def __init__(self, sim: "Simulator", delay: float) -> None:
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        super().__init__(sim)
+        sim._schedule(delay, self.trigger)
+
+
+class AllOf(SimEvent):
+    """Fires when every child event has fired."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[SimEvent]) -> None:
+        super().__init__(sim)
+        events = list(events)
+        self._pending = len(events)
+        if self._pending == 0:
+            sim._schedule(0.0, self.trigger)
+            return
+        for ev in events:
+            ev.on_trigger(self._child_done)
+
+    def _child_done(self, _ev: SimEvent) -> None:
+        self._pending -= 1
+        if self._pending == 0 and not self.triggered:
+            self.trigger()
+
+
+class Process(SimEvent):
+    """A generator-based process; itself an event that fires on return.
+
+    The generator yields :class:`SimEvent` instances; the process resumes
+    (with the event's ``value`` sent in) when each fires.
+    """
+
+    def __init__(
+        self, sim: "Simulator", gen: Generator[SimEvent, Any, Any]
+    ) -> None:
+        super().__init__(sim)
+        self._gen = gen
+        sim._schedule(0.0, lambda: self._step(None))
+
+    def _step(self, send_value: Any) -> None:
+        try:
+            ev = self._gen.send(send_value)
+        except StopIteration as stop:
+            self.trigger(stop.value)
+            return
+        if not isinstance(ev, SimEvent):
+            raise TypeError(
+                f"process yielded {type(ev).__name__}, expected SimEvent"
+            )
+        ev.on_trigger(lambda e: self._step(e.value))
+
+
+class Simulator:
+    """The event loop: clock + heap.
+
+    Use :meth:`process` to launch generators, :meth:`timeout` inside them,
+    and :meth:`run` to drive the loop.
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Callable]] = []
+        self._seq = itertools.count()
+        self._n_events = 0
+
+    # -- scheduling (kernel-internal) -----------------------------------
+
+    def _schedule(self, delay: float, fn: Callable, *args: Any) -> None:
+        heapq.heappush(
+            self._heap, (self.now + delay, next(self._seq), lambda: fn(*args))
+        )
+
+    # -- public API ------------------------------------------------------
+
+    def timeout(self, delay: float) -> Timeout:
+        """An event firing ``delay`` seconds from now."""
+        return Timeout(self, delay)
+
+    def event(self) -> SimEvent:
+        """A bare event, to be triggered manually."""
+        return SimEvent(self)
+
+    def all_of(self, events: Iterable[SimEvent]) -> AllOf:
+        """An event firing when all ``events`` have fired."""
+        return AllOf(self, events)
+
+    def process(self, gen: Generator[SimEvent, Any, Any]) -> Process:
+        """Launch a generator as a process."""
+        return Process(self, gen)
+
+    def run(self, until: float | None = None) -> None:
+        """Run until the heap empties or the clock passes ``until``."""
+        while self._heap:
+            t, _, fn = self._heap[0]
+            if until is not None and t > until:
+                self.now = until
+                return
+            heapq.heappop(self._heap)
+            self.now = t
+            self._n_events += 1
+            fn()
+        if until is not None:
+            self.now = until
+
+    @property
+    def n_events_processed(self) -> int:
+        """Total events executed (a determinism/regression probe)."""
+        return self._n_events

@@ -1,0 +1,96 @@
+"""Network model: per-node full-duplex NICs with FIFO serialization.
+
+Each node owns an egress NIC and an ingress NIC, each a unit-capacity
+FIFO :class:`~repro.cluster.resources.Resource`: messages from one node
+serialize on its egress, cross the wire after a propagation latency, and
+serialize again on the receiver's ingress.  Co-located endpoints (fused
+operators) bypass the network entirely — InfoSphere's "exchange data in
+local memory" optimization, and the single-node arm of Fig. 6.
+
+Per-message NIC occupancy is::
+
+    wire_time(nbytes) + connection_overhead · n_active_flows(sender)
+
+The second term is the connection-management cost under heavy fan-out:
+it is what makes a *saturated* sender NIC degrade (not merely plateau)
+as the number of flows keeps growing, reproducing the 30-thread droop in
+Fig. 6.  Set ``connection_overhead_s = 0`` for an ideal NIC.
+"""
+
+from __future__ import annotations
+
+from .events import Simulator
+from .resources import Resource
+from .topology import ClusterSpec
+
+__all__ = ["Network"]
+
+
+class Network:
+    """All NICs of the cluster plus flow bookkeeping and byte counters."""
+
+    def __init__(self, sim: Simulator, spec: ClusterSpec) -> None:
+        self.sim = sim
+        self.spec = spec
+        self.egress = [
+            Resource(sim, 1, name=f"nic-out-{i}") for i in range(spec.n_nodes)
+        ]
+        self.ingress = [
+            Resource(sim, 1, name=f"nic-in-{i}") for i in range(spec.n_nodes)
+        ]
+        self._flows_out = [0] * spec.n_nodes
+        self.bytes_sent = [0] * spec.n_nodes
+        self.messages_sent = [0] * spec.n_nodes
+
+    # ------------------------------------------------------------------
+
+    def register_flow(self, src: int, dst: int) -> None:
+        """Declare a persistent connection ``src → dst`` (counted once)."""
+        self._check_node(src)
+        self._check_node(dst)
+        if src != dst:
+            self._flows_out[src] += 1
+
+    def active_flows(self, node: int) -> int:
+        """Registered outgoing flows at ``node``."""
+        self._check_node(node)
+        return self._flows_out[node]
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.spec.n_nodes:
+            raise ValueError(
+                f"node {node} out of range 0..{self.spec.n_nodes - 1}"
+            )
+
+    # ------------------------------------------------------------------
+
+    def transfer(self, src: int, dst: int, nbytes: int):
+        """Generator: move ``nbytes`` from ``src`` to ``dst``.
+
+        ``yield from`` this inside a process.  Co-located endpoints cost
+        nothing (fused/local-memory path).
+        """
+        self._check_node(src)
+        self._check_node(dst)
+        if src == dst:
+            return
+        spec = self.spec
+        occupancy = spec.wire_time(nbytes) + (
+            spec.connection_overhead_s * self._flows_out[src]
+        )
+        yield self.egress[src].request()
+        yield self.sim.timeout(occupancy)
+        self.egress[src].release()
+        self.bytes_sent[src] += nbytes
+        self.messages_sent[src] += 1
+
+        yield self.sim.timeout(spec.hop_latency_s)
+
+        yield self.ingress[dst].request()
+        yield self.sim.timeout(spec.wire_time(nbytes))
+        self.ingress[dst].release()
+
+    def egress_utilization(self, node: int, horizon: float) -> float:
+        """Fraction of ``horizon`` the node's egress NIC was busy."""
+        self._check_node(node)
+        return self.egress[node].utilization(horizon)

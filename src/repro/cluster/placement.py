@@ -1,0 +1,118 @@
+"""Operator → node placement schemes (Section III-A/D).
+
+"The analysis graph can be partitioned in many ways across the cluster
+nodes"; Fig. 6 compares two:
+
+* :meth:`Placement.single_node` — every component on one node, fully
+  fused: no network traffic at all, but all engines share that node's
+  cores (the "Single" line).
+* :meth:`Placement.distributed_even` — engines spread round-robin over
+  the nodes starting next to the splitter (the "Distributed" line; at 20
+  engines on 10 nodes this reproduces the paper's "grouped by 2 on all
+  distributed computing nodes evenly").
+* :meth:`Placement.default_unoptimized` — the distributed layout as
+  InfoSphere's *default* (profile-free) placement would produce it: when
+  most of the cluster is idle (``n_engines < n_nodes // 2``) the default
+  scatter puts the splitter's network connector on its own node, adding a
+  relay hop to every tuple.  This models the paper's own diagnosis of the
+  1-thread anomaly in Fig. 7 ("most likely caused by the non optimal
+  distribution of components in the cluster and interconnect overhead").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Placement"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Node assignment for the streaming-PCA application.
+
+    Attributes
+    ----------
+    splitter_node:
+        Node hosting the source + split operator.
+    engine_nodes:
+        Node of each PCA engine, index-aligned with engine ids.
+    relay_node:
+        Optional extra hop: every data tuple traverses
+        ``splitter → relay → engine`` instead of going direct (``None``
+        disables; ignored for engines co-located with the splitter).
+    """
+
+    splitter_node: int
+    engine_nodes: tuple[int, ...]
+    relay_node: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.engine_nodes:
+            raise ValueError("need at least one engine")
+        if self.splitter_node < 0 or any(n < 0 for n in self.engine_nodes):
+            raise ValueError("node indices must be >= 0")
+        if self.relay_node is not None and self.relay_node < 0:
+            raise ValueError("relay_node must be >= 0")
+
+    @property
+    def n_engines(self) -> int:
+        """Number of PCA engines."""
+        return len(self.engine_nodes)
+
+    def max_node(self) -> int:
+        """Highest node index referenced (for spec validation)."""
+        nodes = [self.splitter_node, *self.engine_nodes]
+        if self.relay_node is not None:
+            nodes.append(self.relay_node)
+        return max(nodes)
+
+    def engines_on(self, node: int) -> int:
+        """How many engines share ``node``."""
+        return sum(1 for n in self.engine_nodes if n == node)
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def single_node(cls, n_engines: int, node: int = 0) -> "Placement":
+        """Everything on one node (fully fused, zero network)."""
+        if n_engines < 1:
+            raise ValueError(f"n_engines must be >= 1, got {n_engines}")
+        return cls(splitter_node=node, engine_nodes=(node,) * n_engines)
+
+    @classmethod
+    def distributed_even(
+        cls, n_engines: int, n_nodes: int, *, splitter_node: int = 0
+    ) -> "Placement":
+        """Engines round-robin over the cluster, starting after the
+        splitter's node so small configurations avoid sharing it."""
+        if n_engines < 1:
+            raise ValueError(f"n_engines must be >= 1, got {n_engines}")
+        if n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+        engine_nodes = tuple(
+            (splitter_node + 1 + i) % n_nodes for i in range(n_engines)
+        )
+        return cls(splitter_node=splitter_node, engine_nodes=engine_nodes)
+
+    @classmethod
+    def default_unoptimized(
+        cls, n_engines: int, n_nodes: int, *, splitter_node: int = 0
+    ) -> "Placement":
+        """The distributed layout with InfoSphere's profile-free default
+        scatter: a relay network-connector node appears whenever most of
+        the cluster would otherwise sit idle."""
+        base = cls.distributed_even(
+            n_engines, n_nodes, splitter_node=splitter_node
+        )
+        if n_nodes >= 3 and n_engines < n_nodes // 2:
+            used = {splitter_node, *base.engine_nodes}
+            idle = [n for n in range(n_nodes) if n not in used]
+            relay = idle[0] if idle else (splitter_node + 2) % n_nodes
+            return cls(
+                splitter_node=base.splitter_node,
+                engine_nodes=base.engine_nodes,
+                relay_node=relay,
+            )
+        return base

@@ -1,0 +1,138 @@
+"""Simulation resources: FIFO server pools and bounded stores.
+
+* :class:`Resource` — ``capacity`` identical servers with a FIFO request
+  queue.  Models a node's CPU cores: an operator thread acquires a core,
+  holds it for its service time, releases it.  More runnable threads than
+  cores ⇒ queueing ⇒ the per-thread slowdown Fig. 6 shows beyond
+  2 threads/node.
+* :class:`Store` — a bounded tuple buffer with blocking put/get.  Models
+  the inter-PE queues; a full store blocks the producer, which is exactly
+  the backpressure path from engines back to the splitter.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from .events import SimEvent, Simulator
+
+__all__ = ["Resource", "Store"]
+
+
+class Resource:
+    """``capacity`` servers, FIFO grant order.
+
+    Usage inside a process::
+
+        grant = resource.request()
+        yield grant
+        yield sim.timeout(service_time)
+        resource.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiting: deque[SimEvent] = deque()
+        # Utilization accounting.
+        self._busy_time = 0.0
+        self._last_change = 0.0
+
+    def request(self) -> SimEvent:
+        """An event that fires when a server is granted."""
+        ev = self.sim.event()
+        if self._in_use < self.capacity:
+            self._account()
+            self._in_use += 1
+            self.sim._schedule(0.0, ev.trigger)
+        else:
+            self._waiting.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Return a server; the longest-waiting request (if any) gets it."""
+        if self._in_use <= 0:
+            raise RuntimeError(f"release without acquire on {self.name!r}")
+        if self._waiting:
+            ev = self._waiting.popleft()
+            # server passes directly to the waiter; _in_use unchanged
+            self.sim._schedule(0.0, ev.trigger)
+        else:
+            self._account()
+            self._in_use -= 1
+
+    def _account(self) -> None:
+        now = self.sim.now
+        self._busy_time += self._in_use * (now - self._last_change)
+        self._last_change = now
+
+    @property
+    def queue_length(self) -> int:
+        """Requests currently waiting."""
+        return len(self._waiting)
+
+    def utilization(self, horizon: float) -> float:
+        """Mean busy servers over ``horizon`` seconds, as a fraction of
+        capacity."""
+        if horizon <= 0:
+            return 0.0
+        self._account()
+        return self._busy_time / (self.capacity * horizon)
+
+
+class Store:
+    """A bounded FIFO buffer of items with blocking put/get."""
+
+    def __init__(
+        self, sim: Simulator, capacity: int | None = None, name: str = ""
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[SimEvent] = deque()
+        self._putters: deque[tuple[SimEvent, Any]] = deque()
+
+    def put(self, item: Any) -> SimEvent:
+        """An event that fires when the item has been accepted."""
+        ev = self.sim.event()
+        if self._getters:
+            getter = self._getters.popleft()
+            self.sim._schedule(0.0, getter.trigger, item)
+            self.sim._schedule(0.0, ev.trigger)
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            self.sim._schedule(0.0, ev.trigger)
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> SimEvent:
+        """An event whose value is the next item, when available."""
+        ev = self.sim.event()
+        if self._items:
+            item = self._items.popleft()
+            if self._putters:
+                put_ev, pending = self._putters.popleft()
+                self._items.append(pending)
+                self.sim._schedule(0.0, put_ev.trigger)
+            self.sim._schedule(0.0, ev.trigger, item)
+        elif self._putters:
+            # capacity == 0 is impossible (>=1), so this branch means a
+            # waiting putter while items is empty: hand over directly.
+            put_ev, pending = self._putters.popleft()
+            self.sim._schedule(0.0, put_ev.trigger)
+            self.sim._schedule(0.0, ev.trigger, pending)
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def __len__(self) -> int:
+        return len(self._items)

@@ -1,0 +1,116 @@
+"""Configuration search over the simulated cluster.
+
+The paper tunes by hand ("the optimum number is 2 instances per node, or
+20 instances per 10 nodes in our case" — §III-D) after repeated profiling
+runs.  With the simulator that search is a function call:
+:func:`optimal_thread_count` sweeps engine counts under a placement rule
+and returns the throughput-maximizing configuration, and
+:func:`scaling_efficiency` reports how far each point sits from ideal
+linear scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from .app_model import SimConfig, SimReport, simulate_streaming_pca
+from .costmodel import PCACostModel
+from .placement import Placement
+from .topology import ClusterSpec
+
+__all__ = ["TuningResult", "optimal_thread_count", "scaling_efficiency"]
+
+
+@dataclass
+class TuningResult:
+    """Outcome of a thread-count sweep."""
+
+    threads: list[int] = field(default_factory=list)
+    reports: list[SimReport] = field(default_factory=list)
+
+    @property
+    def best_threads(self) -> int:
+        """Engine count with the highest simulated throughput."""
+        best = max(
+            range(len(self.threads)), key=lambda i: self.reports[i].throughput
+        )
+        return self.threads[best]
+
+    @property
+    def best_throughput(self) -> float:
+        """Throughput at the optimum."""
+        return max(r.throughput for r in self.reports)
+
+    def throughput_of(self, threads: int) -> float:
+        """Throughput at a specific sampled engine count."""
+        return self.reports[self.threads.index(threads)].throughput
+
+
+def optimal_thread_count(
+    spec: ClusterSpec,
+    cost: PCACostModel,
+    *,
+    dim: int = 250,
+    n_components: int = 8,
+    candidates: Sequence[int] | None = None,
+    placement_rule: Callable[[int, int], Placement] | None = None,
+    warmup_s: float = 0.2,
+    window_s: float = 0.5,
+    **sim_kwargs,
+) -> TuningResult:
+    """Sweep engine counts and return the throughput-optimal one.
+
+    Parameters
+    ----------
+    candidates:
+        Engine counts to try; default 1…3 per node.
+    placement_rule:
+        ``(n_engines, n_nodes) -> Placement``; default
+        :meth:`Placement.default_unoptimized` (what an untuned deployment
+        gets — tune against reality, not the ideal).
+    """
+    if candidates is None:
+        per_node = range(1, 4)
+        candidates = sorted(
+            {k * spec.n_nodes for k in per_node}
+            | {1, spec.n_nodes // 2 or 1, spec.n_nodes}
+        )
+    if placement_rule is None:
+        placement_rule = Placement.default_unoptimized
+
+    result = TuningResult()
+    for n in candidates:
+        placement = placement_rule(n, spec.n_nodes)
+        report = simulate_streaming_pca(
+            SimConfig(
+                spec=spec,
+                placement=placement,
+                cost=cost,
+                dim=dim,
+                n_components=n_components,
+                warmup_s=warmup_s,
+                window_s=window_s,
+                **sim_kwargs,
+            )
+        )
+        result.threads.append(n)
+        result.reports.append(report)
+    return result
+
+
+def scaling_efficiency(result: TuningResult) -> dict[int, float]:
+    """Fraction of ideal linear scaling achieved at each engine count.
+
+    Ideal = single-engine throughput × n; a value near 1.0 means the
+    configuration scales linearly, values well below 1.0 mark the
+    saturation knee the paper reads off Fig. 6.
+    """
+    if 1 not in result.threads:
+        raise ValueError("sweep must include a single-engine point")
+    base = result.throughput_of(1)
+    if base <= 0:
+        raise ValueError("single-engine throughput is zero")
+    return {
+        n: result.throughput_of(n) / (base * n) for n in result.threads
+    }

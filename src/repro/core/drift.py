@@ -1,0 +1,153 @@
+"""Eigensystem drift detection — the monitoring primitive.
+
+The paper's conclusion: "our streaming PCA algorithm can indicate latent
+features and correlations in cluster health, where a significant
+eigensystem deviation could indicate a hardware failure."  Per-tuple
+outlier flags catch *individual* anomalous readings;
+:class:`SubspaceDriftDetector` catches the slower failure mode — the
+*correlation structure itself* changing — by comparing periodic
+eigensystem snapshots.
+
+Drift between two snapshots is scored on three axes:
+
+* ``angle`` — largest principal angle between the retained subspaces;
+* ``eigenvalue_shift`` — largest relative change among matched
+  eigenvalues (variance re-allocation without rotation);
+* ``scale_shift`` — relative change of the residual scale σ² (the noise
+  floor rising, e.g. a sensor going ratty).
+
+An alarm fires when any axis exceeds its threshold.  A baseline window
+of the first ``warmup_snapshots`` snapshots absorbs ordinary convergence
+movement so early learning does not alarm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .eigensystem import Eigensystem
+from .metrics import largest_principal_angle
+
+__all__ = ["DriftReport", "SubspaceDriftDetector"]
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Drift scores for one snapshot against the previous one.
+
+    ``alarmed`` is True when any score exceeded its threshold.
+    """
+
+    n_seen: int
+    angle: float
+    eigenvalue_shift: float
+    scale_shift: float
+    alarmed: bool
+
+    def worst_axis(self) -> str:
+        """Which score dominated (for alarm messages)."""
+        scores = {
+            "angle": self.angle,
+            "eigenvalue_shift": self.eigenvalue_shift,
+            "scale_shift": self.scale_shift,
+        }
+        return max(scores, key=scores.get)  # type: ignore[arg-type]
+
+
+class SubspaceDriftDetector:
+    """Alarm on abrupt eigensystem changes between snapshots.
+
+    Parameters
+    ----------
+    angle_threshold:
+        Radians of subspace rotation per snapshot interval considered
+        anomalous.
+    eigenvalue_rtol / scale_rtol:
+        Relative eigenvalue / σ² changes considered anomalous.
+    warmup_snapshots:
+        Initial snapshots exempt from alarming (convergence movement).
+
+    Usage::
+
+        detector = SubspaceDriftDetector()
+        ...
+        if est.n_seen % 500 == 0:
+            report = detector.observe(est.public_state())
+            if report and report.alarmed:
+                page_the_operator(report.worst_axis())
+    """
+
+    def __init__(
+        self,
+        *,
+        angle_threshold: float = 0.3,
+        eigenvalue_rtol: float = 0.5,
+        scale_rtol: float = 0.5,
+        warmup_snapshots: int = 3,
+    ) -> None:
+        if angle_threshold <= 0:
+            raise ValueError("angle_threshold must be positive")
+        if eigenvalue_rtol <= 0 or scale_rtol <= 0:
+            raise ValueError("relative tolerances must be positive")
+        if warmup_snapshots < 0:
+            raise ValueError("warmup_snapshots must be >= 0")
+        self.angle_threshold = float(angle_threshold)
+        self.eigenvalue_rtol = float(eigenvalue_rtol)
+        self.scale_rtol = float(scale_rtol)
+        self.warmup_snapshots = int(warmup_snapshots)
+        self._previous: Eigensystem | None = None
+        self._n_observed = 0
+        self.reports: list[DriftReport] = []
+
+    def observe(self, state: Eigensystem) -> DriftReport | None:
+        """Score ``state`` against the previous snapshot.
+
+        Returns ``None`` for the very first snapshot (nothing to compare).
+        The snapshot is copied; callers may keep mutating their state.
+        """
+        self._n_observed += 1
+        previous, self._previous = self._previous, state.copy()
+        if previous is None:
+            return None
+
+        angle = (
+            largest_principal_angle(previous.basis, state.basis)
+            if previous.n_components and state.n_components
+            else 0.0
+        )
+        k = min(previous.eigenvalues.size, state.eigenvalues.size)
+        if k:
+            prev_lam = previous.eigenvalues[:k]
+            with np.errstate(divide="ignore", invalid="ignore"):
+                rel = np.abs(state.eigenvalues[:k] - prev_lam) / np.where(
+                    prev_lam > 0, prev_lam, np.inf
+                )
+            eig_shift = float(np.max(rel))
+        else:
+            eig_shift = 0.0
+        lo = min(previous.scale, state.scale)
+        hi = max(previous.scale, state.scale)
+        scale_shift = (hi - lo) / lo if lo > 0 else 0.0
+
+        in_warmup = self._n_observed <= self.warmup_snapshots
+        alarmed = not in_warmup and (
+            angle > self.angle_threshold
+            or eig_shift > self.eigenvalue_rtol
+            or scale_shift > self.scale_rtol
+        )
+        report = DriftReport(
+            n_seen=state.n_seen,
+            angle=angle,
+            eigenvalue_shift=eig_shift,
+            scale_shift=scale_shift,
+            alarmed=alarmed,
+        )
+        self.reports.append(report)
+        return report
+
+    @property
+    def alarms(self) -> list[DriftReport]:
+        """All alarmed reports so far."""
+        return [r for r in self.reports if r.alarmed]

@@ -1,0 +1,267 @@
+"""The streaming eigensystem state.
+
+:class:`Eigensystem` bundles everything a streaming PCA engine carries
+between tuples — the location :math:`\\mu`, the truncated eigenbasis
+:math:`E_p` and eigenvalues :math:`\\Lambda_p`, the robust scale
+:math:`\\sigma^2`, and the exponentially-weighted running sums
+:math:`u, v, q` of eqs. 12–14 that define the γ coefficients.  It is the
+unit of state shipped between PCA instances during synchronization
+(Section III-B) and snapshotted to disk by the checkpoint sink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+import numpy as np
+
+__all__ = ["Eigensystem"]
+
+
+@dataclass
+class Eigensystem:
+    """Truncated eigensystem plus the streaming bookkeeping around it.
+
+    Attributes
+    ----------
+    mean:
+        Location estimate ``µ``, shape ``(d,)``.
+    basis:
+        Orthonormal eigenvectors ``E``, shape ``(d, k)`` with ``k <= p``
+        (``k < p`` transiently while the stream warms up).
+    eigenvalues:
+        Non-negative eigenvalues ``Λ`` in descending order, shape ``(k,)``.
+    scale:
+        Robust residual scale ``σ²`` (M-scale of ``r²``); for the classical
+        estimator this is the mean squared residual.
+    sum_count:
+        Running sum ``u = α·u_prev + 1`` (eq. 14) — the effective sample
+        size, converging to ``1/(1-α)``.
+    sum_weight:
+        Running sum ``v = α·v_prev + w`` (eq. 12) of robust weights.
+    sum_weighted_r2:
+        Running sum ``q = α·q_prev + w·r²`` (eq. 13).
+    n_seen:
+        Total observations consumed by this engine (unweighted).
+    n_since_sync:
+        Observations consumed since the last synchronization; the
+        data-driven sync gate of Section II-C compares this to ``1.5·N``.
+    """
+
+    mean: np.ndarray
+    basis: np.ndarray
+    eigenvalues: np.ndarray
+    scale: float = 1.0
+    sum_count: float = 0.0
+    sum_weight: float = 0.0
+    sum_weighted_r2: float = 0.0
+    n_seen: int = 0
+    n_since_sync: int = 0
+
+    def __post_init__(self) -> None:
+        self.mean = np.asarray(self.mean, dtype=np.float64)
+        self.basis = np.asarray(self.basis, dtype=np.float64)
+        self.eigenvalues = np.asarray(self.eigenvalues, dtype=np.float64)
+        if self.basis.ndim == 1:
+            self.basis = self.basis[:, None]
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def empty(cls, dim: int) -> "Eigensystem":
+        """A zero-knowledge state: no basis vectors, zero mean, unit scale."""
+        return cls(
+            mean=np.zeros(dim),
+            basis=np.zeros((dim, 0)),
+            eigenvalues=np.zeros(0),
+        )
+
+    @classmethod
+    def from_batch(
+        cls, x: np.ndarray, p: int, *, center: bool = True
+    ) -> "Eigensystem":
+        """Initialize from a small accumulated batch (Section III-C).
+
+        The paper's implementation "accumulates a given number of incoming
+        vectors and initializes the eigensystem"; this performs that batch
+        solve with a thin SVD of the centered data.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError(f"batch must be 2-D, got shape {x.shape}")
+        n, d = x.shape
+        if n < 2:
+            raise ValueError(f"need at least 2 vectors to initialize, got {n}")
+        mean = x.mean(axis=0) if center else np.zeros(d)
+        y = x - mean
+        # Thin SVD (guide: never full_matrices=True for skinny problems).
+        u, s, vt = np.linalg.svd(y, full_matrices=False)
+        k = min(p, int(np.sum(s > s[0] * 1e-12)) if s.size else 0)
+        basis = vt[:k].T
+        eigenvalues = (s[:k] ** 2) / n
+        # Residual scale per observation: mean squared residual.
+        recon = y @ basis @ basis.T
+        r2 = np.sum((y - recon) ** 2, axis=1)
+        scale = float(np.mean(r2)) if np.any(r2 > 0) else 1.0
+        if scale <= 0.0:
+            scale = 1.0
+        return cls(
+            mean=mean,
+            basis=basis,
+            eigenvalues=eigenvalues,
+            scale=scale,
+            sum_count=float(n),
+            sum_weight=float(n),
+            sum_weighted_r2=float(np.sum(r2)),
+            n_seen=n,
+            n_since_sync=n,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        """Ambient dimensionality ``d``."""
+        return int(self.mean.shape[0])
+
+    @property
+    def n_components(self) -> int:
+        """Current number of retained eigenpairs ``k``."""
+        return int(self.basis.shape[1])
+
+    @property
+    def effective_sample_size(self) -> float:
+        """The exponentially-weighted count ``u`` (→ ``1/(1-α)``)."""
+        return self.sum_count
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if the state is structurally inconsistent."""
+        if self.mean.ndim != 1:
+            raise ValueError(f"mean must be 1-D, got shape {self.mean.shape}")
+        d = self.mean.shape[0]
+        if self.basis.shape[0] != d:
+            raise ValueError(
+                f"basis rows {self.basis.shape[0]} != dimension {d}"
+            )
+        if self.eigenvalues.shape != (self.basis.shape[1],):
+            raise ValueError(
+                f"eigenvalues shape {self.eigenvalues.shape} does not match "
+                f"basis with {self.basis.shape[1]} columns"
+            )
+        if np.any(self.eigenvalues < -1e-9):
+            raise ValueError("eigenvalues must be non-negative")
+        if not np.isfinite(self.scale) or self.scale < 0:
+            raise ValueError(f"scale must be finite and >= 0, got {self.scale}")
+
+    def orthonormality_error(self) -> float:
+        """``max |EᵀE - I|`` — a health metric checked by tests and sync."""
+        if self.n_components == 0:
+            return 0.0
+        g = self.basis.T @ self.basis
+        return float(np.max(np.abs(g - np.eye(self.n_components))))
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+
+    def center(self, x: np.ndarray) -> np.ndarray:
+        """``y = x - µ`` (works for single vectors and ``(n, d)`` blocks)."""
+        return np.asarray(x, dtype=np.float64) - self.mean
+
+    def project(self, y: np.ndarray) -> np.ndarray:
+        """Expansion coefficients ``Eᵀy`` of centered data on the basis."""
+        return np.asarray(y, dtype=np.float64) @ self.basis
+
+    def reconstruct(self, y: np.ndarray) -> np.ndarray:
+        """Projection ``E Eᵀ y`` of centered data onto the PCA hyperplane."""
+        return self.project(y) @ self.basis.T
+
+    def residual(self, y: np.ndarray) -> np.ndarray:
+        """Residual ``(I - E Eᵀ) y`` of the hyperplane fit (paper eq. 4)."""
+        return np.asarray(y, dtype=np.float64) - self.reconstruct(y)
+
+    def residual_norm2(self, y: np.ndarray) -> float | np.ndarray:
+        """Squared residual norm ``r²``; vectorized over leading axis."""
+        r = self.residual(y)
+        return np.sum(r * r, axis=-1)
+
+    def covariance(self) -> np.ndarray:
+        """Dense ``E Λ Eᵀ`` reconstruction.
+
+        **Test/analysis only** — this materializes a ``d × d`` matrix and is
+        deliberately never called from the streaming path.
+        """
+        return (self.basis * self.eigenvalues) @ self.basis.T
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "Eigensystem":
+        """Deep copy (fresh arrays), e.g. for shipping state during sync."""
+        return replace(
+            self,
+            mean=self.mean.copy(),
+            basis=self.basis.copy(),
+            eigenvalues=self.eigenvalues.copy(),
+        )
+
+    def mark_synced(self) -> None:
+        """Reset the since-sync counter after a completed synchronization."""
+        self.n_since_sync = 0
+
+    # ------------------------------------------------------------------
+    # Serialization (checkpoints, network tuples)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form with list payloads (JSON-friendly)."""
+        return {
+            "mean": self.mean.tolist(),
+            "basis": self.basis.tolist(),
+            "eigenvalues": self.eigenvalues.tolist(),
+            "scale": float(self.scale),
+            "sum_count": float(self.sum_count),
+            "sum_weight": float(self.sum_weight),
+            "sum_weighted_r2": float(self.sum_weighted_r2),
+            "n_seen": int(self.n_seen),
+            "n_since_sync": int(self.n_since_sync),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Eigensystem":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            mean=np.asarray(payload["mean"], dtype=np.float64),
+            basis=np.asarray(payload["basis"], dtype=np.float64).reshape(
+                len(payload["mean"]), -1
+            ),
+            eigenvalues=np.asarray(payload["eigenvalues"], dtype=np.float64),
+            scale=float(payload["scale"]),
+            sum_count=float(payload["sum_count"]),
+            sum_weight=float(payload["sum_weight"]),
+            sum_weighted_r2=float(payload["sum_weighted_r2"]),
+            n_seen=int(payload["n_seen"]),
+            n_since_sync=int(payload["n_since_sync"]),
+        )
+
+    def __eq__(self, other: object) -> bool:  # pragma: no cover - trivial
+        if not isinstance(other, Eigensystem):
+            return NotImplemented
+        return (
+            np.array_equal(self.mean, other.mean)
+            and np.array_equal(self.basis, other.basis)
+            and np.array_equal(self.eigenvalues, other.eigenvalues)
+            and self.scale == other.scale
+            and self.sum_count == other.sum_count
+            and self.sum_weight == other.sum_weight
+            and self.sum_weighted_r2 == other.sum_weighted_r2
+            and self.n_seen == other.n_seen
+            and self.n_since_sync == other.n_since_sync
+        )

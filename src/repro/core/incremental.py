@@ -1,0 +1,226 @@
+"""Classical (non-robust) incremental PCA — the Fig. 1 baseline.
+
+Implements the covariance recursion of paper eq. 1,
+
+.. math::
+
+    C \\approx \\gamma E_p \\Lambda_p E_p^T + (1-\\gamma)\\, y y^T = A A^T ,
+
+with the factor columns of eqs. 2–3 and the SVD of the skinny ``A``
+(delegated to :mod:`repro.core.lowrank`).  With forgetting factor
+``alpha = 1`` the weights reduce to the classical ``γ = n/(n+1)`` running
+average (infinite memory); ``alpha < 1`` gives the exponentially-weighted
+sliding window of Section II-B.
+
+This estimator treats every observation at full weight, which is exactly
+why it fails under contamination: each gross outlier "takes over the top
+eigenvector creating a rainbow effect" (Fig. 1, left).  The robust variant
+lives in :mod:`repro.core.robust`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .eigensystem import Eigensystem
+from .lowrank import rank_one_update
+
+__all__ = ["UpdateResult", "IncrementalPCA"]
+
+
+@dataclass(frozen=True)
+class UpdateResult:
+    """Per-observation diagnostics returned by ``update``.
+
+    Attributes
+    ----------
+    weight:
+        Robust covariance weight given to the observation (always 1.0 for
+        the classical estimator).
+    scaled_residual:
+        ``t = r²/σ²`` — the squared residual in units of the current scale.
+    residual_norm2:
+        Raw squared residual norm ``r²`` of the hyperplane fit.
+    is_outlier:
+        Whether the observation was flagged (never, classically).
+    n_filled:
+        Number of missing entries that were gap-filled before the update.
+    """
+
+    weight: float
+    scaled_residual: float
+    residual_norm2: float
+    is_outlier: bool = False
+    n_filled: int = 0
+
+
+class IncrementalPCA:
+    """Streaming PCA with the low-rank rank-one covariance update.
+
+    Parameters
+    ----------
+    n_components:
+        Number of leading eigenpairs ``p`` to maintain.
+    alpha:
+        Forgetting factor ``α ∈ (0, 1]``; ``1`` = infinite memory
+        (classical running average), smaller values forget the past with an
+        effective window of ``N = 1/(1-α)`` observations.
+    init_size:
+        Number of observations buffered before the eigensystem is
+        initialized with a small batch solve (Section III-C keeps this
+        "small to minimize the computational requirements").
+
+    Notes
+    -----
+    The per-update cost is ``O(d·p² )`` — independent of how many
+    observations have been seen — and no ``d × d`` matrix is formed.
+    """
+
+    def __init__(
+        self,
+        n_components: int,
+        *,
+        alpha: float = 1.0,
+        init_size: int = 10,
+    ) -> None:
+        if n_components < 1:
+            raise ValueError(f"n_components must be >= 1, got {n_components}")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must lie in (0, 1], got {alpha}")
+        if init_size < 2:
+            raise ValueError(f"init_size must be >= 2, got {init_size}")
+        self.n_components = int(n_components)
+        self.alpha = float(alpha)
+        self.init_size = int(init_size)
+        self._buffer: list[np.ndarray] = []
+        self._state: Eigensystem | None = None
+
+    # ------------------------------------------------------------------
+    # State access
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> Eigensystem:
+        """The current eigensystem; raises if still warming up."""
+        if self._state is None:
+            raise RuntimeError(
+                "eigensystem not initialized yet: "
+                f"{len(self._buffer)}/{self.init_size} warm-up vectors seen"
+            )
+        return self._state
+
+    @property
+    def is_initialized(self) -> bool:
+        """Whether the warm-up batch solve has happened."""
+        return self._state is not None
+
+    @property
+    def n_seen(self) -> int:
+        """Total observations consumed (including warm-up)."""
+        if self._state is not None:
+            return self._state.n_seen
+        return len(self._buffer)
+
+    @property
+    def components_(self) -> np.ndarray:
+        """Eigenvectors as rows, sklearn-style ``(p, d)`` view."""
+        return self.state.basis.T
+
+    @property
+    def eigenvalues_(self) -> np.ndarray:
+        """Current eigenvalues in descending order."""
+        return self.state.eigenvalues
+
+    @property
+    def mean_(self) -> np.ndarray:
+        """Current location estimate."""
+        return self.state.mean
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+
+    def update(self, x: np.ndarray) -> UpdateResult | None:
+        """Consume one observation; returns ``None`` during warm-up."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 1:
+            raise ValueError(f"update expects a single vector, got {x.shape}")
+        if self._state is None:
+            self._buffer.append(x.copy())
+            if len(self._buffer) >= self.init_size:
+                self._initialize()
+            return None
+        return self._update_initialized(x)
+
+    def partial_fit(self, x: np.ndarray) -> "IncrementalPCA":
+        """Consume a block of observations of shape ``(n, d)``."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[None, :]
+        for row in x:
+            self.update(row)
+        return self
+
+    # sklearn-style alias
+    fit = partial_fit
+
+    def _initialize(self) -> None:
+        batch = np.asarray(self._buffer)
+        self._state = Eigensystem.from_batch(batch, self.n_components)
+        self._buffer.clear()
+
+    def _update_initialized(self, x: np.ndarray) -> UpdateResult:
+        st = self._state
+        assert st is not None
+        if x.shape != (st.dim,):
+            raise ValueError(f"expected vector of dim {st.dim}, got {x.shape}")
+
+        # Running sums (classical: every weight is 1, so u == v and
+        # q tracks plain r²).
+        u_new = self.alpha * st.sum_count + 1.0
+        gamma = self.alpha * st.sum_count / u_new
+        one_minus_gamma = 1.0 / u_new
+
+        st.mean = gamma * st.mean + one_minus_gamma * x
+        y = x - st.mean
+
+        r = st.residual(y)
+        r2 = float(r @ r)
+        scale_prev = st.scale if st.scale > 0 else 1.0
+
+        st.basis, st.eigenvalues = rank_one_update(
+            st.basis, st.eigenvalues, y, gamma, one_minus_gamma,
+            self.n_components,
+        )
+        st.scale = gamma * st.scale + one_minus_gamma * r2
+        st.sum_count = u_new
+        st.sum_weight = u_new
+        st.sum_weighted_r2 = self.alpha * st.sum_weighted_r2 + r2
+        st.n_seen += 1
+        st.n_since_sync += 1
+        return UpdateResult(
+            weight=1.0,
+            scaled_residual=r2 / scale_prev,
+            residual_norm2=r2,
+        )
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Expansion coefficients of (blocks of) observations."""
+        st = self.state
+        return st.project(st.center(x))
+
+    def inverse_transform(self, z: np.ndarray) -> np.ndarray:
+        """Map coefficients back to the ambient space (adds the mean)."""
+        st = self.state
+        return np.asarray(z, dtype=np.float64) @ st.basis.T + st.mean
+
+    def reconstruction_error(self, x: np.ndarray) -> np.ndarray | float:
+        """Squared residual norm of observations under the current fit."""
+        st = self.state
+        return st.residual_norm2(st.center(x))

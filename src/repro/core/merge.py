@@ -1,0 +1,184 @@
+"""Combining eigensystems from parallel PCA engines (paper Section II-C).
+
+When the stream is split over independent engines, their eigensystems are
+periodically combined so that "the resulting eigensystem can be obtained
+from any node".  The combination weights follow the robust running weight
+sums: for two systems ``γ₁ = v₁/(v₁+v₂)``.
+
+The exact pooled second moment is the law of total covariance:
+
+.. math::
+
+    \\mu = \\sum_i \\gamma_i \\mu_i, \\qquad
+    C = \\sum_i \\gamma_i C_i
+      + \\sum_i \\gamma_i (\\mu_i - \\mu)(\\mu_i - \\mu)^T .
+
+(The paper's eq. 15 prints the µᵢµᵢᵀ terms without their γ weights; the
+γ-weighted form above is the algebraically correct one — with the weights
+in place the two-system mean terms collapse to the familiar
+``γ₁γ₂ (µ₁-µ₂)(µ₁-µ₂)ᵀ``.)
+
+As with the streaming update, the merged covariance is a product ``A Aᵀ``
+of a skinny factor — columns ``Eᵢ√(γᵢΛᵢ)`` plus one mean-difference column
+per system — so the merged eigensystem again comes from a tiny Gram
+matrix (paper eq. 16 is the special case that drops the mean columns when
+the locations already agree).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .eigensystem import Eigensystem
+from .lowrank import eigensystem_of_factor
+
+__all__ = [
+    "merge_weights",
+    "merge_eigensystems",
+    "merge_pair",
+    "eigensystems_consistent",
+]
+
+
+def merge_weights(systems: Sequence[Eigensystem]) -> np.ndarray:
+    """Normalized combination weights ``γᵢ = vᵢ / Σ vⱼ``.
+
+    Falls back to the unweighted counts ``uᵢ`` when the robust weight sums
+    are all zero (e.g. classical engines), and to uniform weights when
+    even those are zero.
+    """
+    v = np.array([s.sum_weight for s in systems], dtype=np.float64)
+    if np.any(v < 0):
+        raise ValueError("weight sums must be non-negative")
+    if v.sum() <= 0:
+        v = np.array([s.sum_count for s in systems], dtype=np.float64)
+    if v.sum() <= 0:
+        v = np.ones(len(systems))
+    return v / v.sum()
+
+
+def merge_eigensystems(
+    systems: Sequence[Eigensystem],
+    n_components: int,
+    *,
+    weights: Sequence[float] | None = None,
+    exact: bool = True,
+) -> Eigensystem:
+    """Merge any number of eigensystems into one.
+
+    Parameters
+    ----------
+    systems:
+        Eigensystems of identical dimension.
+    n_components:
+        Number of leading eigenpairs to retain in the merged system.
+    weights:
+        Combination weights ``γᵢ`` (normalized internally); default from
+        :func:`merge_weights`.
+    exact:
+        Include the mean-difference columns (exact pooled covariance).
+        ``False`` reproduces the paper's eq. 16 approximation, valid when
+        the locations are already close — cheaper by ``len(systems)``
+        factor columns.
+
+    Returns
+    -------
+    Eigensystem
+        Pooled state.  Running sums are added across inputs (the engines
+        are assumed statistically independent at merge time — the point of
+        the 1.5·N sync gate); ``n_since_sync`` is reset to zero.
+    """
+    if not systems:
+        raise ValueError("need at least one eigensystem to merge")
+    dim = systems[0].dim
+    for s in systems[1:]:
+        if s.dim != dim:
+            raise ValueError(f"dimension mismatch: {s.dim} != {dim}")
+    if len(systems) == 1:
+        out = systems[0].copy()
+        out.mark_synced()
+        return out
+
+    if weights is None:
+        gammas = merge_weights(systems)
+    else:
+        gammas = np.asarray(weights, dtype=np.float64)
+        if gammas.shape != (len(systems),) or np.any(gammas < 0):
+            raise ValueError("weights must be non-negative, one per system")
+        total = gammas.sum()
+        if total <= 0:
+            raise ValueError("weights must not all be zero")
+        gammas = gammas / total
+
+    mean = np.zeros(dim)
+    for g, s in zip(gammas, systems):
+        mean += g * s.mean
+
+    cols = []
+    for g, s in zip(gammas, systems):
+        if s.n_components:
+            cols.append(s.basis * np.sqrt(g * np.clip(s.eigenvalues, 0, None)))
+        if exact:
+            cols.append((np.sqrt(g) * (s.mean - mean))[:, None])
+    if cols:
+        factor = np.concatenate(cols, axis=1)
+        basis, eigenvalues = eigensystem_of_factor(factor, n_components)
+    else:  # pragma: no cover - all-empty systems
+        basis, eigenvalues = np.zeros((dim, 0)), np.zeros(0)
+
+    u = sum(s.sum_count for s in systems)
+    v = sum(s.sum_weight for s in systems)
+    q = sum(s.sum_weighted_r2 for s in systems)
+    # Pool the scales with the same γ weights used for the covariance.
+    scale = float(sum(g * s.scale for g, s in zip(gammas, systems)))
+    return Eigensystem(
+        mean=mean,
+        basis=basis,
+        eigenvalues=eigenvalues,
+        scale=scale,
+        sum_count=u,
+        sum_weight=v,
+        sum_weighted_r2=q,
+        n_seen=sum(s.n_seen for s in systems),
+        n_since_sync=0,
+    )
+
+
+def merge_pair(
+    sys1: Eigensystem,
+    sys2: Eigensystem,
+    n_components: int,
+    *,
+    exact: bool = True,
+) -> Eigensystem:
+    """Two-system merge — the operation performed per ring-sync message."""
+    return merge_eigensystems([sys1, sys2], n_components, exact=exact)
+
+
+def eigensystems_consistent(
+    systems: Sequence[Eigensystem],
+    *,
+    angle_tol: float = 0.5,
+    scale_rtol: float = 1.0,
+) -> bool:
+    """Cheap consistency check across engines (Section III-B motivation).
+
+    Returns True when every pair of systems (a) spans subspaces whose
+    largest principal angle is below ``angle_tol`` radians and (b) has
+    scales within a relative factor ``scale_rtol`` of each other.  Used by
+    the sync controller to detect an engine whose state has wandered (bad
+    initialization, an outlier burst, …).
+    """
+    from .metrics import largest_principal_angle  # local: avoid cycle
+
+    for i, a in enumerate(systems):
+        for b in systems[i + 1 :]:
+            if a.n_components and b.n_components:
+                if largest_principal_angle(a.basis, b.basis) > angle_tol:
+                    return False
+            hi, lo = max(a.scale, b.scale), min(a.scale, b.scale)
+            if lo > 0 and (hi - lo) / lo > scale_rtol:
+                return False
+    return True

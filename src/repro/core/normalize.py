@@ -1,0 +1,90 @@
+"""Spectrum normalization — the Euclidean-metric precondition of §II-D.
+
+PCA assumes the Euclidean metric measures similarity.  Two identical
+spectra whose sources differ only in brightness/distance are far apart in
+raw flux, so *every* spectrum must be normalized before entering the
+streaming algorithm.  With gaps this is subtle: a naive norm over observed
+bins is biased low for gappier spectra, so the gappy variants rescale by
+the observed fraction (equivalently: they normalize the *mean* flux per
+observed bin, which is unbiased under a missing-at-random gap pattern).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "unit_norm",
+    "unit_mean_flux",
+    "normalize_block",
+    "NormalizationError",
+]
+
+
+class NormalizationError(ValueError):
+    """Raised when a vector cannot be normalized (zero/negative scale)."""
+
+
+def _observed(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(x, dtype=np.float64)
+    return x, np.isfinite(x)
+
+
+def unit_norm(x: np.ndarray) -> np.ndarray:
+    """Scale ``x`` to unit L2 norm, gap-aware.
+
+    For gappy vectors the norm over observed bins is extrapolated by
+    ``sqrt(d / n_obs)`` so that fully- and partially-observed versions of
+    the same spectrum receive (in expectation) the same scale.
+    Missing entries stay NaN.
+    """
+    x, mask = _observed(x)
+    n_obs = int(np.count_nonzero(mask))
+    if n_obs == 0:
+        raise NormalizationError("cannot normalize a fully-missing vector")
+    norm_obs = float(np.sqrt(np.sum(x[mask] ** 2)))
+    if norm_obs <= 0.0:
+        raise NormalizationError("cannot normalize a zero vector")
+    scale = norm_obs * np.sqrt(x.size / n_obs)
+    return x / scale
+
+
+def unit_mean_flux(x: np.ndarray) -> np.ndarray:
+    """Scale ``x`` so its mean observed flux is 1 (astronomy convention).
+
+    Robust to gaps by construction (the mean is taken over observed bins).
+    Requires a positive mean flux, as is the case for continuum-dominated
+    galaxy spectra.
+    """
+    x, mask = _observed(x)
+    if not np.any(mask):
+        raise NormalizationError("cannot normalize a fully-missing vector")
+    mean_flux = float(np.mean(x[mask]))
+    if mean_flux <= 0.0:
+        raise NormalizationError(
+            f"mean flux must be positive to normalize, got {mean_flux}"
+        )
+    return x / mean_flux
+
+
+_METHODS = {"norm": unit_norm, "mean-flux": unit_mean_flux}
+
+
+def normalize_block(
+    x: np.ndarray, method: str = "mean-flux"
+) -> np.ndarray:
+    """Normalize each row of an ``(n, d)`` block; returns a new array.
+
+    Rows that cannot be normalized raise :class:`NormalizationError` —
+    callers that want to *drop* such rows should filter first.
+    """
+    try:
+        fn = _METHODS[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown normalization {method!r}; choose from {sorted(_METHODS)}"
+        ) from None
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim == 1:
+        return fn(x)
+    return np.vstack([fn(row) for row in x])

@@ -1,0 +1,236 @@
+"""Bounded :math:`\\rho`-functions for M-scale estimation.
+
+The robust streaming PCA of the paper (Section II-A) replaces the classical
+mean-square residual scale by an *M-scale* :math:`\\sigma^2` (Maronna 2005)
+that solves
+
+.. math::
+
+    \\frac{1}{N}\\sum_{n=1}^{N} \\rho\\!\\left(\\frac{r_n^2}{\\sigma^2}\\right)
+    = \\delta ,
+
+where :math:`\\rho` is a bounded, non-decreasing function scaled so that
+:math:`\\rho(0)=0` and :math:`\\rho(\\infty)=1`, and :math:`\\delta` controls
+the breakdown point of the estimator.
+
+Two weight functions derived from :math:`\\rho` drive the algorithm:
+
+``weight``
+    :math:`W(t) = \\rho'(t)` — the per-observation weight entering the
+    weighted mean and weighted covariance (paper eqs. 6–7).
+``wstar``
+    :math:`W^\\star(t) = \\rho(t)/t` — the weight entering the fixed-point
+    re-evaluation of the scale (paper eq. 8), with the continuous limit
+    :math:`W^\\star(0) = \\rho'(0)`.
+
+All functions are vectorized over numpy arrays of the *squared, scaled*
+residual :math:`t = r^2/\\sigma^2 \\ge 0`.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "RhoFunction",
+    "BisquareRho",
+    "CauchyRho",
+    "SkippedMeanRho",
+    "make_rho",
+]
+
+
+class RhoFunction(abc.ABC):
+    """A bounded rho-function of the squared scaled residual ``t = r²/σ²``.
+
+    Subclasses implement :meth:`rho` and :meth:`weight`; :meth:`wstar` has a
+    generic implementation with the correct ``t -> 0`` limit.
+
+    All three methods accept scalars or numpy arrays and return values of
+    the same shape.  Inputs must be non-negative.
+    """
+
+    #: Tuning constant controlling where the function saturates, in units
+    #: of the scaled squared residual.  ``t >= c2`` is (close to) fully
+    #: rejected for redescending families.
+    c2: float
+
+    @abc.abstractmethod
+    def rho(self, t: np.ndarray | float) -> np.ndarray | float:
+        """Evaluate ``rho(t)`` with ``rho(0) = 0`` and ``rho(inf) = 1``."""
+
+    @abc.abstractmethod
+    def weight(self, t: np.ndarray | float) -> np.ndarray | float:
+        """Evaluate ``W(t) = rho'(t)`` (the covariance weight)."""
+
+    @abc.abstractmethod
+    def weight_at_zero(self) -> float:
+        """The limit ``rho'(0)``, used for ``wstar(0)``."""
+
+    def wstar(self, t: np.ndarray | float) -> np.ndarray | float:
+        """Evaluate ``W*(t) = rho(t) / t`` with its limit at ``t = 0``."""
+        t_arr = np.asarray(t, dtype=np.float64)
+        scalar = t_arr.ndim == 0
+        t_arr = np.atleast_1d(t_arr)
+        out = np.empty_like(t_arr)
+        small = t_arr < 1e-300
+        out[small] = self.weight_at_zero()
+        ts = t_arr[~small]
+        out[~small] = np.asarray(self.rho(ts)) / ts
+        return float(out[0]) if scalar else out
+
+    def rejection_point(self) -> float:
+        """Value of ``t`` beyond which ``W(t) = 0`` (``inf`` if none)."""
+        return math.inf
+
+    def with_c2(self, c2: float) -> "RhoFunction":
+        """Return a copy of this family with a new tuning constant."""
+        return type(self)(c2=c2)  # type: ignore[call-arg]
+
+
+def _validated_t(t: np.ndarray | float) -> tuple[np.ndarray, bool]:
+    arr = np.asarray(t, dtype=np.float64)
+    scalar = arr.ndim == 0
+    return np.atleast_1d(arr), scalar
+
+
+@dataclass(frozen=True)
+class BisquareRho(RhoFunction):
+    """Tukey bisquare rho expressed in ``t = r²/σ²``.
+
+    With ``u = r/σ`` the classical biweight is
+    ``rho_u(u) = 1 - (1 - (u/c)²)³`` for ``|u| <= c`` and 1 beyond.  In the
+    squared variable ``t = u²`` and with ``c2 = c²``:
+
+    .. math::
+
+        \\rho(t) = 1 - (1 - t/c_2)^3 \\quad (t \\le c_2), \\qquad
+        \\rho(t) = 1 \\quad (t > c_2).
+
+    This is the redescending family used throughout the paper's lineage
+    (Maronna 2005; Budavári et al. 2009): observations with
+    ``t >= c2`` receive exactly zero covariance weight, which is what makes
+    gross outliers harmless.
+    """
+
+    c2: float = 9.0
+
+    def __post_init__(self) -> None:
+        if not self.c2 > 0:
+            raise ValueError(f"c2 must be positive, got {self.c2}")
+
+    def rho(self, t):
+        arr, scalar = _validated_t(t)
+        z = np.clip(arr / self.c2, 0.0, 1.0)
+        # 1 - (1-z)^3 expanded as z(3 - 3z + z²): algebraically identical
+        # but free of the catastrophic cancellation at z -> 0 that the
+        # direct form suffers (wstar = rho/t needs full precision there).
+        out = z * (3.0 - 3.0 * z + z * z)
+        return float(out[0]) if scalar else out
+
+    def weight(self, t):
+        arr, scalar = _validated_t(t)
+        z = arr / self.c2
+        out = np.where(z < 1.0, (3.0 / self.c2) * (1.0 - np.minimum(z, 1.0)) ** 2, 0.0)
+        return float(out[0]) if scalar else out
+
+    def weight_at_zero(self) -> float:
+        return 3.0 / self.c2
+
+    def rejection_point(self) -> float:
+        return self.c2
+
+
+@dataclass(frozen=True)
+class CauchyRho(RhoFunction):
+    """Smooth bounded rho ``rho(t) = t / (t + c2)``.
+
+    Never fully rejects an observation (``W(t) > 0`` everywhere) but decays
+    as ``1/t²``; useful when a soft down-weighting is preferred over the
+    hard redescend of the bisquare.
+    """
+
+    c2: float = 4.0
+
+    def __post_init__(self) -> None:
+        if not self.c2 > 0:
+            raise ValueError(f"c2 must be positive, got {self.c2}")
+
+    def rho(self, t):
+        arr, scalar = _validated_t(t)
+        out = arr / (arr + self.c2)
+        return float(out[0]) if scalar else out
+
+    def weight(self, t):
+        arr, scalar = _validated_t(t)
+        out = self.c2 / (arr + self.c2) ** 2
+        return float(out[0]) if scalar else out
+
+    def weight_at_zero(self) -> float:
+        return 1.0 / self.c2
+
+
+@dataclass(frozen=True)
+class SkippedMeanRho(RhoFunction):
+    """Hard-rejection rho: ``rho(t) = min(t/c2, 1)``.
+
+    The weight is a step function (``1/c2`` inside the acceptance region,
+    ``0`` outside), i.e. observations are either used at full weight or
+    skipped entirely.  Cheap and easy to reason about, at the cost of a
+    discontinuous influence function.
+    """
+
+    c2: float = 9.0
+
+    def __post_init__(self) -> None:
+        if not self.c2 > 0:
+            raise ValueError(f"c2 must be positive, got {self.c2}")
+
+    def rho(self, t):
+        arr, scalar = _validated_t(t)
+        out = np.minimum(arr / self.c2, 1.0)
+        return float(out[0]) if scalar else out
+
+    def weight(self, t):
+        arr, scalar = _validated_t(t)
+        out = np.where(arr < self.c2, 1.0 / self.c2, 0.0)
+        return float(out[0]) if scalar else out
+
+    def weight_at_zero(self) -> float:
+        return 1.0 / self.c2
+
+    def rejection_point(self) -> float:
+        return self.c2
+
+
+_FAMILIES: dict[str, type[RhoFunction]] = {
+    "bisquare": BisquareRho,
+    "cauchy": CauchyRho,
+    "skipped": SkippedMeanRho,
+}
+
+
+def make_rho(family: str = "bisquare", c2: float | None = None) -> RhoFunction:
+    """Construct a rho-function by family name.
+
+    Parameters
+    ----------
+    family:
+        One of ``"bisquare"`` (default, the paper's choice), ``"cauchy"``,
+        ``"skipped"``.
+    c2:
+        Tuning constant in units of the scaled squared residual; ``None``
+        uses the family default.  See :mod:`repro.core.calibration` for
+        choosing ``c2`` consistently with a breakdown parameter ``delta``.
+    """
+    try:
+        cls = _FAMILIES[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown rho family {family!r}; choose from {sorted(_FAMILIES)}"
+        ) from None
+    return cls() if c2 is None else cls(c2=c2)

@@ -1,0 +1,42 @@
+"""Workload generators: Gaussian planted streams, synthetic SDSS-like
+galaxy spectra, contamination models, and cluster-health telemetry."""
+
+from .gaussian import DriftingSubspaceModel, PlantedSubspaceModel, random_orthonormal
+from .outliers import (
+    GrossOutlierInjector,
+    MixtureContaminator,
+    SpikeInjector,
+    contaminate_block,
+)
+from .sensors import SENSORS_PER_SERVER, ClusterTelemetryModel, FaultEvent
+from .spectra import (
+    ABSORPTION_LINES,
+    EMISSION_LINES,
+    GalaxySample,
+    GalaxySpectrumModel,
+    WavelengthGrid,
+    archetype_spectra,
+)
+from .streams import VectorStream, repeat_epochs, shuffled
+
+__all__ = [
+    "ABSORPTION_LINES",
+    "ClusterTelemetryModel",
+    "DriftingSubspaceModel",
+    "EMISSION_LINES",
+    "FaultEvent",
+    "GalaxySample",
+    "GalaxySpectrumModel",
+    "GrossOutlierInjector",
+    "MixtureContaminator",
+    "PlantedSubspaceModel",
+    "SENSORS_PER_SERVER",
+    "SpikeInjector",
+    "VectorStream",
+    "WavelengthGrid",
+    "archetype_spectra",
+    "contaminate_block",
+    "random_orthonormal",
+    "repeat_epochs",
+    "shuffled",
+]

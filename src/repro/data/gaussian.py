@@ -1,0 +1,177 @@
+"""Gaussian streams with planted low-rank structure.
+
+Section III-D tests the system with "gaussian random data artificially
+enriched with additional signals": isotropic noise plus a handful of
+strong planted directions, so the PCA engines have a well-defined
+ground-truth eigensystem to converge to.  These are the workloads behind
+Figures 1, 6 and 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["random_orthonormal", "PlantedSubspaceModel", "DriftingSubspaceModel"]
+
+
+def random_orthonormal(
+    dim: int, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """A uniformly-random ``(dim, k)`` matrix with orthonormal columns."""
+    if not 0 < k <= dim:
+        raise ValueError(f"need 0 < k <= dim, got k={k}, dim={dim}")
+    a = rng.standard_normal((dim, k))
+    q, r = np.linalg.qr(a)
+    # Fix the sign convention so the distribution is Haar.
+    return q * np.sign(np.diag(r))
+
+
+@dataclass
+class PlantedSubspaceModel:
+    """``x = µ + B s + ε`` with ``s ~ N(0, diag(signal_variances))``.
+
+    Parameters
+    ----------
+    dim:
+        Ambient dimensionality ``d``.
+    signal_variances:
+        Variances of the planted factors, descending; their count is the
+        planted rank.
+    noise_std:
+        Isotropic noise standard deviation.
+    mean_scale:
+        The model mean is drawn once as ``mean_scale · N(0, I)/√d``.
+    seed:
+        Seed for the model's own structural randomness (basis, mean).
+
+    Notes
+    -----
+    Ground truth: population covariance ``B diag(v) Bᵀ + noise_std²·I``;
+    the top eigenvectors are the columns of ``basis`` and the top
+    eigenvalues are ``signal_variances + noise_std²``.
+    """
+
+    dim: int
+    signal_variances: tuple[float, ...] = (25.0, 16.0, 9.0, 4.0, 1.0)
+    noise_std: float = 0.5
+    mean_scale: float = 1.0
+    seed: int = 0
+    basis: np.ndarray = field(init=False, repr=False)
+    mean: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.dim < len(self.signal_variances):
+            raise ValueError(
+                f"dim={self.dim} smaller than planted rank "
+                f"{len(self.signal_variances)}"
+            )
+        if any(v <= 0 for v in self.signal_variances):
+            raise ValueError("signal variances must be positive")
+        if list(self.signal_variances) != sorted(
+            self.signal_variances, reverse=True
+        ):
+            raise ValueError("signal variances must be descending")
+        rng = np.random.default_rng(self.seed)
+        self.basis = random_orthonormal(self.dim, self.rank, rng)
+        self.mean = self.mean_scale * rng.standard_normal(self.dim) / np.sqrt(
+            self.dim
+        )
+
+    @property
+    def rank(self) -> int:
+        """Number of planted directions."""
+        return len(self.signal_variances)
+
+    @property
+    def eigenvalues(self) -> np.ndarray:
+        """Population covariance eigenvalues of the planted directions."""
+        return np.asarray(self.signal_variances) + self.noise_std**2
+
+    @property
+    def total_variance(self) -> float:
+        """Trace of the population covariance."""
+        return float(
+            np.sum(self.signal_variances) + self.dim * self.noise_std**2
+        )
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` observations, shape ``(n, dim)``."""
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        s = rng.standard_normal((n, self.rank)) * np.sqrt(
+            np.asarray(self.signal_variances)
+        )
+        x = s @ self.basis.T
+        x += self.noise_std * rng.standard_normal((n, self.dim))
+        x += self.mean
+        return x
+
+    def stream(
+        self, n: int, rng: np.random.Generator, *, block: int = 256
+    ) -> Iterator[np.ndarray]:
+        """Yield ``n`` observations one at a time (blocks drawn internally
+        so the generator stays vectorized)."""
+        remaining = n
+        while remaining > 0:
+            take = min(block, remaining)
+            for row in self.sample(take, rng):
+                yield row
+            remaining -= take
+
+
+@dataclass
+class DriftingSubspaceModel:
+    """A planted subspace that rotates slowly over the stream.
+
+    Used by the α-ablation (§II-B: the forgetting factor "adjusts the rate
+    at which the evolving solution forgets about past observations" and is
+    what lets the engine *track* time-dependent phenomena).  The basis at
+    step ``t`` is the initial basis rotated by angle ``rate·t`` inside the
+    plane spanned by the first planted direction and a fixed off-subspace
+    direction.
+    """
+
+    dim: int
+    signal_variances: tuple[float, ...] = (25.0, 9.0, 4.0)
+    noise_std: float = 0.5
+    rotation_rate: float = 1e-4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        rng = np.random.default_rng(self.seed)
+        k = len(self.signal_variances)
+        if self.dim < k + 1:
+            raise ValueError("dim must exceed planted rank by at least 1")
+        full = random_orthonormal(self.dim, k + 1, rng)
+        self._base = full[:, :k]
+        self._off = full[:, k]
+        self._step = 0
+
+    @property
+    def rank(self) -> int:
+        """Number of planted directions."""
+        return len(self.signal_variances)
+
+    def basis_at(self, step: int) -> np.ndarray:
+        """Ground-truth basis after ``step`` observations."""
+        theta = self.rotation_rate * step
+        basis = self._base.copy()
+        basis[:, 0] = np.cos(theta) * self._base[:, 0] + np.sin(theta) * self._off
+        return basis
+
+    def sample_next(self, rng: np.random.Generator) -> np.ndarray:
+        """Draw the next observation (the subspace advances by one step)."""
+        basis = self.basis_at(self._step)
+        self._step += 1
+        s = rng.standard_normal(self.rank) * np.sqrt(
+            np.asarray(self.signal_variances)
+        )
+        return basis @ s + self.noise_std * rng.standard_normal(self.dim)
+
+    def stream(self, n: int, rng: np.random.Generator) -> Iterator[np.ndarray]:
+        """Yield ``n`` observations from the drifting model."""
+        for _ in range(n):
+            yield self.sample_next(rng)

@@ -1,0 +1,176 @@
+"""Contamination models for the robustness experiments (Fig. 1).
+
+The paper tests "random test data with artificially generated outliers".
+Three injector flavours cover the failure modes astronomical streams
+actually exhibit:
+
+* :class:`GrossOutlierInjector` — whole-vector junk (misclassified
+  sources, corrupted readouts): the observation is replaced by a large
+  random vector far off the data manifold.
+* :class:`SpikeInjector` — cosmic-ray style: a few pixels of an otherwise
+  valid observation get huge additive spikes.
+* :class:`MixtureContaminator` — point-mass contamination at a fixed
+  off-manifold location, the classical worst case for breakdown analysis.
+
+All injectors are deterministic given their ``numpy.random.Generator``
+and record the stream positions they touched, so experiments can score
+detection precision/recall against ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+__all__ = [
+    "GrossOutlierInjector",
+    "SpikeInjector",
+    "MixtureContaminator",
+    "contaminate_block",
+]
+
+
+class _BaseInjector:
+    """Shared bookkeeping: position log and stream wrapper."""
+
+    def __init__(self, rate: float, rng: np.random.Generator) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"rate must lie in [0, 1), got {rate}")
+        self.rate = float(rate)
+        self.rng = rng
+        self.injected_steps: list[int] = []
+        self._step = 0
+
+    def corrupt(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> tuple[np.ndarray, bool]:
+        """Maybe-corrupt one observation; returns ``(vector, was_injected)``."""
+        self._step += 1
+        if self.rng.random() < self.rate:
+            self.injected_steps.append(self._step)
+            return self.corrupt(np.asarray(x, dtype=np.float64)), True
+        return np.asarray(x, dtype=np.float64), False
+
+    def wrap(self, stream: Iterable[np.ndarray]) -> Iterator[np.ndarray]:
+        """Pass a stream through the injector (positions still logged)."""
+        for x in stream:
+            out, _ = self(x)
+            yield out
+
+    @property
+    def steps(self) -> np.ndarray:
+        """1-based stream positions that were corrupted."""
+        return np.asarray(self.injected_steps, dtype=np.int64)
+
+
+class GrossOutlierInjector(_BaseInjector):
+    """Replace the observation with an isotropic junk vector.
+
+    ``amplitude`` is the per-component standard deviation of the junk; set
+    it several times the data scale so the outliers are *gross* (the
+    regime where classical PCA's eigenvectors get captured).
+    """
+
+    def __init__(
+        self, rate: float, amplitude: float, rng: np.random.Generator
+    ) -> None:
+        super().__init__(rate, rng)
+        if amplitude <= 0:
+            raise ValueError(f"amplitude must be positive, got {amplitude}")
+        self.amplitude = float(amplitude)
+
+    def corrupt(self, x: np.ndarray) -> np.ndarray:
+        return self.amplitude * self.rng.standard_normal(x.shape)
+
+
+class SpikeInjector(_BaseInjector):
+    """Add cosmic-ray spikes to a handful of pixels.
+
+    ``n_pixels`` entries get an additive spike of size
+    ``amplitude · (1 + U[0,1])``; the rest of the vector stays valid, so
+    this probes *partial* contamination.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        amplitude: float,
+        rng: np.random.Generator,
+        *,
+        n_pixels: int = 3,
+    ) -> None:
+        super().__init__(rate, rng)
+        if amplitude <= 0:
+            raise ValueError(f"amplitude must be positive, got {amplitude}")
+        if n_pixels < 1:
+            raise ValueError(f"n_pixels must be >= 1, got {n_pixels}")
+        self.amplitude = float(amplitude)
+        self.n_pixels = int(n_pixels)
+
+    def corrupt(self, x: np.ndarray) -> np.ndarray:
+        out = x.copy()
+        k = min(self.n_pixels, x.size)
+        idx = self.rng.choice(x.size, size=k, replace=False)
+        out[idx] += self.amplitude * (1.0 + self.rng.random(k))
+        return out
+
+
+class MixtureContaminator(_BaseInjector):
+    """Point-mass contamination at a fixed location ``loc``.
+
+    Every corrupted observation is (a small jitter around) the same
+    off-manifold point — the configuration against which breakdown points
+    are defined, and the hardest case for redescending estimators because
+    the contamination is maximally coherent.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        loc: np.ndarray,
+        rng: np.random.Generator,
+        *,
+        jitter: float = 0.0,
+    ) -> None:
+        super().__init__(rate, rng)
+        self.loc = np.asarray(loc, dtype=np.float64)
+        if jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {jitter}")
+        self.jitter = float(jitter)
+
+    def corrupt(self, x: np.ndarray) -> np.ndarray:
+        if self.loc.shape != x.shape:
+            raise ValueError(
+                f"contamination location shape {self.loc.shape} does not "
+                f"match observation shape {x.shape}"
+            )
+        out = self.loc.copy()
+        if self.jitter:
+            out += self.jitter * self.rng.standard_normal(x.shape)
+        return out
+
+
+def contaminate_block(
+    x: np.ndarray,
+    rate: float,
+    amplitude: float,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized gross contamination of an ``(n, d)`` block.
+
+    Returns ``(contaminated_copy, boolean_mask_of_outlier_rows)``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError(f"expected (n, d) block, got shape {x.shape}")
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"rate must lie in [0, 1), got {rate}")
+    out = x.copy()
+    mask = rng.random(x.shape[0]) < rate
+    n_bad = int(np.count_nonzero(mask))
+    if n_bad:
+        out[mask] = amplitude * rng.standard_normal((n_bad, x.shape[1]))
+    return out, mask

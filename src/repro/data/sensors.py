@@ -1,0 +1,182 @@
+"""Cluster-health telemetry generator — the paper's monitoring use case.
+
+The conclusion proposes streaming PCA for "monitoring the modern cluster
+installations that include thousands of servers, each having multiple
+parameters monitored, including the computation components temperature,
+hard drive parameters, cooling fans RPMs and so on", where "a significant
+eigensystem deviation could indicate a hardware failure".
+
+This generator produces exactly that stream: per-timestep vectors of
+``n_servers × sensors-per-server`` readings driven by a handful of shared
+latent factors (cluster load, ambient temperature, a slow diurnal cycle),
+so the healthy stream is genuinely low-rank.  Injected faults (a fan
+seizing, a node overheating) break the correlation structure of one
+server's block and should surface as robust-PCA outliers / residual
+spikes — this drives the ``cluster_health_monitoring`` example and the
+anomaly-detection integration test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["SENSORS_PER_SERVER", "FaultEvent", "ClusterTelemetryModel"]
+
+#: (name, baseline, load sensitivity, ambient sensitivity, noise std)
+SENSORS_PER_SERVER: tuple[tuple[str, float, float, float, float], ...] = (
+    ("cpu_temp_C", 45.0, 25.0, 0.8, 0.6),
+    ("fan_rpm", 3000.0, 2500.0, 40.0, 60.0),
+    ("disk_temp_C", 35.0, 8.0, 0.7, 0.4),
+    ("power_W", 180.0, 140.0, 0.5, 3.0),
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """An injected hardware fault.
+
+    Attributes
+    ----------
+    step:
+        Timestep at which the fault begins (1-based).
+    server:
+        Index of the affected server.
+    kind:
+        ``"fan_failure"`` (fan rpm collapses, temperature climbs) or
+        ``"thermal_runaway"`` (temperatures climb across the board).
+    duration:
+        Number of timesteps the fault persists.
+    """
+
+    step: int
+    server: int
+    kind: str
+    duration: int
+
+
+@dataclass
+class ClusterTelemetryModel:
+    """Low-rank multi-server telemetry with injectable faults.
+
+    Parameters
+    ----------
+    n_servers:
+        Servers in the cluster; the stream dimensionality is
+        ``n_servers * 4`` (four sensors per server).
+    load_volatility:
+        Standard deviation of the AR(1) innovations of the shared load
+        factor (the dominant latent direction).
+    ambient_volatility:
+        Same for the ambient-temperature factor.
+    diurnal_period:
+        Period (timesteps) of the deterministic daily cycle.
+    fault_rate:
+        Per-step probability that a new fault starts somewhere.
+    seed:
+        Structural seed for per-server sensitivity jitter.
+    """
+
+    n_servers: int = 25
+    load_volatility: float = 0.05
+    ambient_volatility: float = 0.02
+    diurnal_period: int = 1440
+    fault_rate: float = 0.0
+    seed: int = 0
+
+    faults: list[FaultEvent] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        if self.n_servers < 1:
+            raise ValueError(f"n_servers must be >= 1, got {self.n_servers}")
+        rng = np.random.default_rng(self.seed)
+        n_sensor_types = len(SENSORS_PER_SERVER)
+        # Per-server multiplicative jitter on sensitivities: servers are
+        # similar but not identical (rack position, silicon lottery).
+        self._jitter = 1.0 + 0.1 * rng.standard_normal(
+            (self.n_servers, n_sensor_types)
+        )
+        self._step = 0
+        self._load = 0.5
+        self._ambient = 0.0
+        self._active_faults: list[FaultEvent] = []
+
+    @property
+    def dim(self) -> int:
+        """Stream dimensionality: ``n_servers * sensors_per_server``."""
+        return self.n_servers * len(SENSORS_PER_SERVER)
+
+    @property
+    def sensor_names(self) -> list[str]:
+        """Flat names, ``server{i}.{sensor}`` in vector order."""
+        return [
+            f"server{i}.{name}"
+            for i in range(self.n_servers)
+            for name, *_ in SENSORS_PER_SERVER
+        ]
+
+    def sample_next(self, rng: np.random.Generator) -> np.ndarray:
+        """Produce the next telemetry vector, shape ``(dim,)``."""
+        self._step += 1
+        # Latent factors: mean-reverting load in [0, 1], ambient drift,
+        # deterministic diurnal cycle.
+        self._load += 0.05 * (0.5 - self._load) + self.load_volatility * (
+            rng.standard_normal()
+        )
+        self._load = float(np.clip(self._load, 0.0, 1.0))
+        self._ambient += self.ambient_volatility * rng.standard_normal()
+        diurnal = 0.5 * np.sin(2 * np.pi * self._step / self.diurnal_period)
+        ambient_c = 22.0 + 3.0 * self._ambient + 2.0 * diurnal
+
+        base = np.array([b for _, b, _, _, _ in SENSORS_PER_SERVER])
+        load_k = np.array([k for _, _, k, _, _ in SENSORS_PER_SERVER])
+        amb_k = np.array([k for _, _, _, k, _ in SENSORS_PER_SERVER])
+        noise_s = np.array([s for _, _, _, _, s in SENSORS_PER_SERVER])
+
+        readings = (
+            base[None, :]
+            + self._load * load_k[None, :] * self._jitter
+            + (ambient_c - 22.0) * amb_k[None, :]
+            + noise_s[None, :] * rng.standard_normal(self._jitter.shape)
+        )
+
+        # Fault injection and evolution.
+        if self.fault_rate and rng.random() < self.fault_rate:
+            event = FaultEvent(
+                step=self._step,
+                server=int(rng.integers(self.n_servers)),
+                kind=str(rng.choice(["fan_failure", "thermal_runaway"])),
+                duration=int(rng.integers(20, 100)),
+            )
+            self.faults.append(event)
+            self._active_faults.append(event)
+        still_active = []
+        for ev in self._active_faults:
+            if self._step < ev.step + ev.duration:
+                still_active.append(ev)
+                age = self._step - ev.step
+                ramp = min(1.0, age / 10.0)
+                if ev.kind == "fan_failure":
+                    readings[ev.server, 1] *= 1.0 - 0.9 * ramp   # fan dies
+                    readings[ev.server, 0] += 25.0 * ramp        # cpu heats
+                    readings[ev.server, 2] += 8.0 * ramp
+                else:  # thermal_runaway
+                    readings[ev.server, 0] += 40.0 * ramp
+                    readings[ev.server, 2] += 15.0 * ramp
+                    readings[ev.server, 3] += 60.0 * ramp
+        self._active_faults = still_active
+        return readings.ravel()
+
+    def stream(self, n: int, rng: np.random.Generator) -> Iterator[np.ndarray]:
+        """Yield ``n`` consecutive telemetry vectors."""
+        for _ in range(n):
+            yield self.sample_next(rng)
+
+    def fault_steps(self) -> np.ndarray:
+        """Steps covered by any active fault so far (for scoring)."""
+        covered: set[int] = set()
+        for ev in self.faults:
+            covered.update(range(ev.step, ev.step + ev.duration))
+        return np.asarray(sorted(covered), dtype=np.int64)

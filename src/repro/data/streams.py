@@ -1,0 +1,113 @@
+"""Adapters between datasets and streams.
+
+Section II-B: "it is clearly disadvantageous to put the spectra on the
+stream in a systematic order; instead they should be randomized for best
+results" — :func:`shuffled` provides exactly that, and
+:class:`VectorStream` is the common currency handed to stream sources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["shuffled", "repeat_epochs", "VectorStream"]
+
+
+def shuffled(
+    x: np.ndarray, rng: np.random.Generator
+) -> Iterator[np.ndarray]:
+    """Yield the rows of ``x`` in a random order (a fresh permutation)."""
+    x = np.asarray(x)
+    if x.ndim != 2:
+        raise ValueError(f"expected (n, d) data, got shape {x.shape}")
+    for i in rng.permutation(x.shape[0]):
+        yield x[i]
+
+
+def repeat_epochs(
+    x: np.ndarray,
+    n_epochs: int,
+    rng: np.random.Generator,
+) -> Iterator[np.ndarray]:
+    """Stream the dataset ``n_epochs`` times, reshuffled each epoch.
+
+    Finite archives are commonly replayed to let a streaming solution
+    converge further; each pass uses a fresh permutation so the forgetting
+    factor never sees a systematic order.
+    """
+    if n_epochs < 1:
+        raise ValueError(f"n_epochs must be >= 1, got {n_epochs}")
+    for _ in range(n_epochs):
+        yield from shuffled(x, rng)
+
+
+@dataclass
+class VectorStream:
+    """A sized, dimension-annotated stream of vectors.
+
+    Thin wrapper pairing an iterator with the metadata that stream sources
+    and the simulator need up front (dimensionality, nominal length).
+
+    Attributes
+    ----------
+    dim:
+        Vector dimensionality.
+    length:
+        Number of vectors the stream will yield (``None`` = unknown /
+        unbounded).
+    """
+
+    dim: int
+    length: int | None
+    _iterator: Iterator[np.ndarray]
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return self._iterator
+
+    @classmethod
+    def from_array(cls, x: np.ndarray) -> "VectorStream":
+        """Stream the rows of an ``(n, d)`` array in order."""
+        x = np.asarray(x)
+        if x.ndim != 2:
+            raise ValueError(f"expected (n, d) data, got shape {x.shape}")
+        return cls(dim=x.shape[1], length=x.shape[0], _iterator=iter(x))
+
+    @classmethod
+    def from_iterable(
+        cls,
+        it: Iterable[np.ndarray],
+        dim: int,
+        length: int | None = None,
+    ) -> "VectorStream":
+        """Wrap any iterable of vectors."""
+        return cls(dim=dim, length=length, _iterator=iter(it))
+
+    @classmethod
+    def from_sampler(
+        cls,
+        sampler: Callable[[], np.ndarray],
+        dim: int,
+        length: int | None = None,
+    ) -> "VectorStream":
+        """Wrap a zero-argument sampler (unbounded unless ``length`` set)."""
+
+        def gen() -> Iterator[np.ndarray]:
+            n = 0
+            while length is None or n < length:
+                yield sampler()
+                n += 1
+
+        return cls(dim=dim, length=length, _iterator=gen())
+
+    def take(self, n: int) -> np.ndarray:
+        """Materialize the next ``n`` vectors as an ``(m, d)`` array
+        (``m < n`` if the stream ends early)."""
+        rows = []
+        for _, row in zip(range(n), self._iterator):
+            rows.append(np.asarray(row, dtype=np.float64))
+        if not rows:
+            return np.zeros((0, self.dim))
+        return np.vstack(rows)

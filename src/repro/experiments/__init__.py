@@ -1,0 +1,54 @@
+"""One module per paper figure plus ablations (see DESIGN.md §4)."""
+
+from .ablations import (
+    AlphaAblationResult,
+    GapAblationResult,
+    GateAblationResult,
+    OrderAblationResult,
+    SyncStrategyResult,
+    run_alpha_ablation,
+    run_gap_ablation,
+    run_gate_ablation,
+    run_order_ablation,
+    run_sync_strategies,
+)
+from .common import Table, format_table
+from .convergence import ConvergenceConfig, ConvergenceResult, run_convergence
+from .fig1 import Fig1Config, Fig1Result, run_fig1
+from .fig45 import Fig45Config, Fig45Result, run_fig45
+from .fig6 import Fig6Config, Fig6Result, run_fig6
+from .fig7 import Fig7Config, Fig7Result, run_fig7
+from .latency import LatencyConfig, LatencyResult, run_latency
+
+__all__ = [
+    "AlphaAblationResult",
+    "ConvergenceConfig",
+    "ConvergenceResult",
+    "Fig1Config",
+    "Fig1Result",
+    "Fig45Config",
+    "Fig45Result",
+    "Fig6Config",
+    "Fig6Result",
+    "Fig7Config",
+    "Fig7Result",
+    "GapAblationResult",
+    "LatencyConfig",
+    "LatencyResult",
+    "GateAblationResult",
+    "OrderAblationResult",
+    "SyncStrategyResult",
+    "Table",
+    "format_table",
+    "run_alpha_ablation",
+    "run_convergence",
+    "run_fig1",
+    "run_fig45",
+    "run_fig6",
+    "run_fig7",
+    "run_gap_ablation",
+    "run_gate_ablation",
+    "run_latency",
+    "run_order_ablation",
+    "run_sync_strategies",
+]

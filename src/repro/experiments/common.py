@@ -1,0 +1,53 @@
+"""Shared experiment scaffolding: result rows and plain-text tables.
+
+Every experiment module returns structured results that can be (a)
+asserted on by tests, (b) timed by the benchmark harness, and (c)
+rendered as the text tables recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+__all__ = ["Table", "format_table"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]]
+) -> str:
+    """Render an aligned plain-text table (monospace, right-aligned)."""
+    cells = [[str(h) for h in headers]] + [
+        [_fmt(v) for v in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for i, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        if v == 0 or 1e-3 <= abs(v) < 1e6:
+            return f"{v:.4g}"
+        return f"{v:.3e}"
+    return str(v)
+
+
+@dataclass
+class Table:
+    """A titled table of experiment output rows."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[Any]]
+
+    def render(self) -> str:
+        """Title + aligned table as text."""
+        return f"{self.title}\n{format_table(self.headers, self.rows)}"
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

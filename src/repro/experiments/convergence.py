@@ -1,0 +1,136 @@
+"""Experiment CONV — in-flight results: convergence before stream end.
+
+Section III-C: "We frequently see fast convergence way before getting to
+the last galaxy, which can speed up the scientific analysis.  The reason
+is primarily that inherently low-rank galaxy manifold."  And the
+introduction's core pitch: partial sums provide "a feed of in-flight
+results ... invaluable when processing petabytes".
+
+This experiment quantifies that: stream galaxy spectra once, snapshot
+the eigensystem along the way, and measure at what fraction of the
+stream the solution reaches (say) 95 % of its final accuracy — the
+number that tells an astronomer how early the in-flight eigenspectra
+become scientifically usable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.metrics import principal_angles
+from ..core.normalize import NormalizationError, unit_mean_flux
+from ..core.robust import RobustIncrementalPCA
+from ..data.spectra import GalaxySpectrumModel, WavelengthGrid
+from .common import Table
+
+__all__ = ["ConvergenceConfig", "ConvergenceResult", "run_convergence"]
+
+
+@dataclass(frozen=True)
+class ConvergenceConfig:
+    """Knobs for the in-flight convergence experiment."""
+
+    n_bins: int = 300
+    n_spectra: int = 5000
+    n_components: int = 3
+    alpha: float = 0.9995
+    snapshot_every: int = 250
+    seed: int = 23
+
+
+@dataclass
+class ConvergenceResult:
+    """Accuracy trajectory along the stream."""
+
+    config: ConvergenceConfig
+    fractions: list[float] = field(default_factory=list)
+    angles: list[float] = field(default_factory=list)
+    leading_angles: list[float] = field(default_factory=list)
+    final_angle: float = 0.0
+    final_leading_angle: float = 0.0
+
+    def table(self) -> Table:
+        return Table(
+            title=(
+                "CONV: in-flight accuracy vs fraction of the stream "
+                f"processed ({self.config.n_spectra} galaxy spectra)"
+            ),
+            headers=[
+                "stream fraction",
+                "leading angle (rad)",
+                "largest angle (rad)",
+            ],
+            rows=[
+                [round(f, 2), round(l, 4), round(a, 4)]
+                for f, l, a in zip(
+                    self.fractions, self.leading_angles, self.angles
+                )
+            ],
+        )
+
+    def fraction_to_reach(
+        self, angle_rad: float = 0.05, *, leading: bool = True
+    ) -> float:
+        """Earliest stream fraction with angle ≤ ``angle_rad`` —
+        "converged way before the last galaxy" when this is ≪ 1.
+
+        The threshold is *absolute*: scientific usability of an
+        eigenspectrum is a fixed accuracy bar, not a ratio to the
+        asymptote (which keeps creeping down forever).  ``leading=True``
+        scores the dominant eigenspectrum; the trailing directions are
+        eigengap-limited and converge much more slowly even offline.
+        """
+        series = self.leading_angles if leading else self.angles
+        for f, a in zip(self.fractions, series):
+            if a <= angle_rad:
+                return f
+        return 1.0
+
+
+def run_convergence(
+    config: ConvergenceConfig = ConvergenceConfig(),
+) -> ConvergenceResult:
+    """Stream once, recording the angle-to-truth trajectory."""
+    model = GalaxySpectrumModel(
+        grid=WavelengthGrid(n_bins=config.n_bins),
+        z_max=0.1,
+        dropout_rate=0.1,
+        outlier_rate=0.01,
+        seed=config.seed,
+    )
+    rng = np.random.default_rng(config.seed + 1)
+    sample = model.sample(config.n_spectra, rng)
+    order = np.random.default_rng(config.seed + 2).permutation(
+        config.n_spectra
+    )
+    _, truth, _ = model.ground_truth_basis(config.n_components)
+
+    est = RobustIncrementalPCA(
+        config.n_components,
+        extra_components=2,
+        alpha=config.alpha,
+        init_size=32,
+    )
+    result = ConvergenceResult(config=config)
+    n_processed = 0
+    for idx in order:
+        try:
+            x = unit_mean_flux(sample.flux[idx])
+        except NormalizationError:
+            continue
+        est.update(x)
+        n_processed += 1
+        if est.is_initialized and n_processed % config.snapshot_every == 0:
+            angles = principal_angles(
+                est.state.basis[:, : config.n_components], truth
+            )
+            result.fractions.append(n_processed / config.n_spectra)
+            result.leading_angles.append(float(angles[0]))
+            result.angles.append(float(angles.max()))
+    result.final_angle = result.angles[-1] if result.angles else float("nan")
+    result.final_leading_angle = (
+        result.leading_angles[-1] if result.leading_angles else float("nan")
+    )
+    return result

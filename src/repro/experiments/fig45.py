@@ -1,0 +1,157 @@
+"""Experiment FIG45 — eigenspectra convergence on galaxy spectra.
+
+Paper Figs. 4–5: the first four eigenspectra are "noisy to start with"
+(Fig. 4) and, after a significant number of observations, "improve
+significantly ... and develop physically meaningful features", with
+smoothness as the robustness signature (Fig. 5).
+
+Reproduced quantitatively: the streaming robust PCA runs over synthetic
+SDSS-like spectra (normalized, gappy, randomized order, a few junk
+spectra); snapshots of the leading eigenspectra are taken early and late;
+we report per-component roughness and principal angles to the clean
+ground-truth basis at both times.  "Reproduced" means: late roughness <
+early roughness and late angle < early angle, by wide margins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.metrics import principal_angles, roughness
+from ..core.normalize import NormalizationError, unit_mean_flux
+from ..core.robust import RobustIncrementalPCA
+from ..data.spectra import GalaxySpectrumModel, WavelengthGrid
+from .common import Table
+
+__all__ = ["Fig45Config", "Fig45Result", "run_fig45"]
+
+
+@dataclass(frozen=True)
+class Fig45Config:
+    """Workload knobs for the eigenspectra-convergence experiment."""
+
+    n_bins: int = 400
+    n_spectra: int = 4000
+    early_at: int = 200
+    n_components: int = 4
+    extra_components: int = 2
+    alpha: float = 0.9995
+    z_max: float = 0.2
+    noise_std: float = 0.06
+    dropout_rate: float = 0.15
+    outlier_rate: float = 0.01
+    seed: int = 11
+
+
+@dataclass
+class Fig45Result:
+    """Early/late eigenspectra and their quality metrics."""
+
+    config: Fig45Config
+    wavelengths: np.ndarray
+    early_basis: np.ndarray
+    late_basis: np.ndarray
+    truth_basis: np.ndarray
+    early_roughness: np.ndarray
+    late_roughness: np.ndarray
+    early_angles: np.ndarray
+    late_angles: np.ndarray
+    n_processed: int
+    n_gap_filled: int
+
+    def table(self) -> Table:
+        """Per-component early/late comparison (the Fig. 4 vs Fig. 5 story)."""
+        rows = []
+        for j in range(self.config.n_components):
+            rows.append(
+                [
+                    f"e{j + 1}",
+                    float(self.early_roughness[j]),
+                    float(self.late_roughness[j]),
+                    float(self.early_angles[j]) if j < self.early_angles.size else "-",
+                    float(self.late_angles[j]) if j < self.late_angles.size else "-",
+                ]
+            )
+        return Table(
+            title=(
+                f"FIG4/5: eigenspectra after {self.config.early_at} (early) vs "
+                f"{self.n_processed} (late) galaxy spectra"
+            ),
+            headers=[
+                "component",
+                "roughness early",
+                "roughness late",
+                "angle early (rad)",
+                "angle late (rad)",
+            ],
+            rows=rows,
+        )
+
+
+def run_fig45(config: Fig45Config = Fig45Config()) -> Fig45Result:
+    """Stream synthetic galaxy spectra and snapshot the eigenspectra."""
+    model = GalaxySpectrumModel(
+        grid=WavelengthGrid(n_bins=config.n_bins),
+        z_max=config.z_max,
+        noise_std=config.noise_std,
+        dropout_rate=config.dropout_rate,
+        outlier_rate=config.outlier_rate,
+        seed=config.seed,
+    )
+    rng = np.random.default_rng(config.seed + 1)
+    sample = model.sample(config.n_spectra, rng)
+    # Randomized order (paper: systematic stream order is disadvantageous).
+    order = np.random.default_rng(config.seed + 2).permutation(len(sample))
+
+    est = RobustIncrementalPCA(
+        config.n_components,
+        extra_components=config.extra_components,
+        alpha=config.alpha,
+        init_size=max(4 * config.n_components, 24),
+    )
+
+    early_basis: np.ndarray | None = None
+    n_processed = 0
+    n_gap_filled = 0
+    for idx in order:
+        flux = sample.flux[idx]
+        try:
+            flux = unit_mean_flux(flux)
+        except NormalizationError:
+            continue  # junk spectrum that cannot be normalized: drop
+        result = est.update(flux)
+        n_processed += 1
+        if result is not None:
+            n_gap_filled += int(result.n_filled > 0)
+        if early_basis is None and (
+            est.is_initialized and n_processed >= config.early_at
+        ):
+            early_basis = est.state.basis[:, : config.n_components].copy()
+    if early_basis is None:  # pragma: no cover - tiny configs only
+        early_basis = est.state.basis[:, : config.n_components].copy()
+    late_basis = est.state.basis[:, : config.n_components].copy()
+
+    _, truth_basis, _ = model.ground_truth_basis(config.n_components)
+
+    def angles(basis: np.ndarray) -> np.ndarray:
+        return principal_angles(basis, truth_basis)
+
+    return Fig45Result(
+        config=config,
+        wavelengths=model.grid.wavelengths,
+        early_basis=early_basis,
+        late_basis=late_basis,
+        truth_basis=truth_basis,
+        early_roughness=np.array(
+            [roughness(early_basis[:, j]) for j in range(early_basis.shape[1])]
+        ),
+        late_roughness=np.array(
+            [roughness(late_basis[:, j]) for j in range(late_basis.shape[1])]
+        ),
+        early_angles=angles(early_basis),
+        late_angles=angles(late_basis),
+        n_processed=n_processed,
+        n_gap_filled=n_gap_filled,
+    )

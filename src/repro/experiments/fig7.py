@@ -1,0 +1,96 @@
+"""Experiment FIG7 — per-thread throughput vs data dimensionality.
+
+Paper Fig. 7 (log-log): "tuples / second / thread on the dimensionality
+of the incoming data stream ... for a data stream being split to 1, 5,
+10 and 20 parallel synchronized PCA engines running on 10 computing
+nodes."
+
+Reproduced shapes:
+
+* per-thread rate falls roughly as ``1/d`` (the ``O(d·p²)`` update);
+* 5 and 10 threads sit on the ideal per-thread line (good scaling);
+* 20 threads fall below it at small ``d`` (interconnect saturation) and
+  rejoin it at large ``d`` (compute-bound);
+* 1 thread under default unoptimized placement underperforms at small
+  ``d`` (relay hop + connector latency starve the lone engine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster.app_model import SimConfig, SimReport, simulate_streaming_pca
+from ..cluster.costmodel import PCACostModel
+from ..cluster.placement import Placement
+from ..cluster.topology import PAPER_TESTBED, ClusterSpec
+from .common import Table
+
+__all__ = ["Fig7Config", "Fig7Result", "run_fig7"]
+
+DEFAULT_DIMS = (250, 500, 1000, 1500, 2000)
+DEFAULT_THREADS = (1, 5, 10, 20)
+
+
+@dataclass(frozen=True)
+class Fig7Config:
+    """Simulation knobs for the dimensionality-scaling experiment."""
+
+    spec: ClusterSpec = PAPER_TESTBED
+    dims: tuple[int, ...] = DEFAULT_DIMS
+    threads: tuple[int, ...] = DEFAULT_THREADS
+    n_components: int = 8
+    sync_window: int = 5000
+    warmup_s: float = 0.3
+    window_s: float = 1.0
+    cost: PCACostModel | None = None
+
+
+@dataclass
+class Fig7Result:
+    """Per-thread throughput grid ``reports[threads][dim]``."""
+
+    config: Fig7Config
+    reports: dict[int, dict[int, SimReport]] = field(default_factory=dict)
+
+    def per_thread(self, threads: int, dim: int) -> float:
+        """Tuples/s/thread at one grid point."""
+        return self.reports[threads][dim].per_thread
+
+    def table(self) -> Table:
+        """The Fig. 7 series (one row per dimensionality)."""
+        headers = ["dims"] + [f"{t} thr" for t in self.config.threads]
+        rows = []
+        for d in self.config.dims:
+            rows.append(
+                [d]
+                + [round(self.per_thread(t, d), 1) for t in self.config.threads]
+            )
+        return Table(
+            title="FIG7: tuples/s/thread vs dimensionality (distributed)",
+            headers=headers,
+            rows=rows,
+        )
+
+
+def run_fig7(config: Fig7Config = Fig7Config()) -> Fig7Result:
+    """Sweep the (threads × dims) grid under distributed placement."""
+    cost = config.cost or PCACostModel.paper_scale()
+    result = Fig7Result(config=config)
+    for threads in config.threads:
+        result.reports[threads] = {}
+        placement = Placement.default_unoptimized(
+            threads, config.spec.n_nodes
+        )
+        for dim in config.dims:
+            sim_cfg = SimConfig(
+                spec=config.spec,
+                placement=placement,
+                cost=cost,
+                dim=dim,
+                n_components=config.n_components,
+                sync_window=config.sync_window,
+                warmup_s=config.warmup_s,
+                window_s=config.window_s,
+            )
+            result.reports[threads][dim] = simulate_streaming_pca(sim_cfg)
+    return result

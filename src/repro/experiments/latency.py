@@ -1,0 +1,105 @@
+"""Experiment LAT — operator fusion vs per-tuple latency.
+
+Section III-D: fusing operators so they pass tuples "by pointer as a
+variable in memory instead of using a network ... gives significant
+decrease of latency and increase in throughput", and the paper's whole
+placement-optimization loop exists "to avoid unnecessary packet latency
+among the graph nodes".
+
+This experiment holds the offered load fixed (open-loop sources, well
+below saturation) and measures end-to-end per-tuple latency under three
+placements of the same 4-engine application: fully fused single-node,
+distributed (one network hop), and default-unoptimized with a relay
+connector (two hops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster.app_model import SimConfig, SimReport, simulate_streaming_pca
+from ..cluster.costmodel import PCACostModel
+from ..cluster.placement import Placement
+from ..cluster.topology import PAPER_TESTBED, ClusterSpec
+from .common import Table
+
+__all__ = ["LatencyConfig", "LatencyResult", "run_latency"]
+
+
+@dataclass(frozen=True)
+class LatencyConfig:
+    """Knobs for the fusion-latency experiment."""
+
+    spec: ClusterSpec = PAPER_TESTBED
+    dim: int = 250
+    n_components: int = 8
+    n_engines: int = 4
+    offered_rate_per_engine: float = 600.0  # ~50% of engine capacity
+    warmup_s: float = 0.3
+    window_s: float = 1.0
+    cost: PCACostModel | None = None
+
+
+@dataclass
+class LatencyResult:
+    """Per-placement latency measurements at equal offered load."""
+
+    config: LatencyConfig
+    placements: list[str] = field(default_factory=list)
+    reports: list[SimReport] = field(default_factory=list)
+
+    def table(self) -> Table:
+        rows = [
+            [
+                name,
+                round(r.throughput),
+                round(r.latency_p50_s * 1e3, 3),
+                round(r.latency_p95_s * 1e3, 3),
+            ]
+            for name, r in zip(self.placements, self.reports)
+        ]
+        return Table(
+            title=(
+                "LAT: per-tuple latency vs placement at fixed load "
+                f"({self.config.offered_rate_per_engine:.0f} obs/s/engine)"
+            ),
+            headers=["placement", "tuples/s", "p50 (ms)", "p95 (ms)"],
+            rows=rows,
+        )
+
+    def p50_of(self, name: str) -> float:
+        """Median latency (seconds) for one placement."""
+        return self.reports[self.placements.index(name)].latency_p50_s
+
+
+def run_latency(config: LatencyConfig = LatencyConfig()) -> LatencyResult:
+    """Measure latency under fused / distributed / relayed placements."""
+    cost = config.cost or PCACostModel.paper_scale()
+    n = config.n_engines
+    placements = [
+        ("fused", Placement.single_node(n)),
+        ("distributed", Placement.distributed_even(n, config.spec.n_nodes)),
+        (
+            "relay",
+            Placement(
+                splitter_node=0,
+                engine_nodes=tuple(1 + i for i in range(n)),
+                relay_node=n + 1,
+            ),
+        ),
+    ]
+    result = LatencyResult(config=config)
+    for name, placement in placements:
+        sim_cfg = SimConfig(
+            spec=config.spec,
+            placement=placement,
+            cost=cost,
+            dim=config.dim,
+            n_components=config.n_components,
+            offered_rate_per_engine=config.offered_rate_per_engine,
+            warmup_s=config.warmup_s,
+            window_s=config.window_s,
+        )
+        result.placements.append(name)
+        result.reports.append(simulate_streaming_pca(sim_cfg))
+    return result

@@ -1,0 +1,12 @@
+"""Persistence: CSV vector IO and eigensystem checkpoints."""
+
+from .checkpoint import CheckpointStore, load_eigensystem, save_eigensystem
+from .csvio import read_vectors_csv, write_vectors_csv
+
+__all__ = [
+    "CheckpointStore",
+    "load_eigensystem",
+    "read_vectors_csv",
+    "save_eigensystem",
+    "write_vectors_csv",
+]

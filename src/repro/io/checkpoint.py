@@ -1,0 +1,138 @@
+"""Eigensystem checkpointing.
+
+Section III-C: "the intermediate calculation results are periodically
+saved to the disk for future reference."  Checkpoints are ``.npz``
+archives (compact, lossless float64) named by the observation count, so a
+directory of them *is* the convergence history of a run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import numpy as np
+
+from ..core.eigensystem import Eigensystem
+
+__all__ = ["save_eigensystem", "load_eigensystem", "CheckpointStore"]
+
+_CKPT_RE = re.compile(r"^eigensystem-(\d+)\.npz$")
+
+
+def save_eigensystem(path: str | pathlib.Path, state: Eigensystem) -> None:
+    """Write one eigensystem to an ``.npz`` file."""
+    path = pathlib.Path(path)
+    np.savez(
+        path,
+        mean=state.mean,
+        basis=state.basis,
+        eigenvalues=state.eigenvalues,
+        scalars=np.array(
+            [
+                state.scale,
+                state.sum_count,
+                state.sum_weight,
+                state.sum_weighted_r2,
+                float(state.n_seen),
+                float(state.n_since_sync),
+            ]
+        ),
+    )
+
+
+def load_eigensystem(path: str | pathlib.Path) -> Eigensystem:
+    """Read an eigensystem written by :func:`save_eigensystem`."""
+    with np.load(pathlib.Path(path)) as data:
+        scal = data["scalars"]
+        return Eigensystem(
+            mean=data["mean"],
+            basis=data["basis"],
+            eigenvalues=data["eigenvalues"],
+            scale=float(scal[0]),
+            sum_count=float(scal[1]),
+            sum_weight=float(scal[2]),
+            sum_weighted_r2=float(scal[3]),
+            n_seen=int(scal[4]),
+            n_since_sync=int(scal[5]),
+        )
+
+
+class CheckpointStore:
+    """A directory of periodic eigensystem snapshots.
+
+    Parameters
+    ----------
+    directory:
+        Created if missing.
+    every:
+        Snapshot period in observations; :meth:`maybe_save` is a cheap
+        no-op between periods, so it can be called per update.
+    keep:
+        Retain at most this many snapshots (oldest pruned); ``None`` keeps
+        everything — useful when the snapshots themselves are the
+        experiment (Figs. 4–5 convergence history).
+    """
+
+    def __init__(
+        self,
+        directory: str | pathlib.Path,
+        *,
+        every: int = 1000,
+        keep: int | None = None,
+    ) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        if keep is not None and keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.every = int(every)
+        self.keep = keep
+        self._last_saved_at = -1
+
+    def _path_for(self, n_seen: int) -> pathlib.Path:
+        return self.directory / f"eigensystem-{n_seen:012d}.npz"
+
+    def maybe_save(self, state: Eigensystem) -> bool:
+        """Snapshot if a full period elapsed since the last one."""
+        if state.n_seen // self.every <= self._last_saved_at // self.every:
+            if self._last_saved_at >= 0:
+                return False
+        self.save(state)
+        return True
+
+    def save(self, state: Eigensystem) -> pathlib.Path:
+        """Snapshot unconditionally."""
+        path = self._path_for(state.n_seen)
+        save_eigensystem(path, state)
+        self._last_saved_at = state.n_seen
+        self._prune()
+        return path
+
+    def _prune(self) -> None:
+        if self.keep is None:
+            return
+        snaps = self.list()
+        for n_seen, path in snaps[: max(len(snaps) - self.keep, 0)]:
+            path.unlink()
+
+    def list(self) -> list[tuple[int, pathlib.Path]]:
+        """All snapshots as ``(n_seen, path)``, ascending."""
+        out = []
+        for path in self.directory.iterdir():
+            m = _CKPT_RE.match(path.name)
+            if m:
+                out.append((int(m.group(1)), path))
+        return sorted(out)
+
+    def load_latest(self) -> Eigensystem | None:
+        """The most recent snapshot, or ``None`` if the store is empty."""
+        snaps = self.list()
+        if not snaps:
+            return None
+        return load_eigensystem(snaps[-1][1])
+
+    def load_history(self) -> list[tuple[int, Eigensystem]]:
+        """Every snapshot — the convergence history."""
+        return [(n, load_eigensystem(p)) for n, p in self.list()]

@@ -1,0 +1,68 @@
+"""CSV reading/writing of observation vectors.
+
+The paper's file sources feed "local regular text or binary file with
+CSV formatted tuples".  We keep CSV (binary adds nothing offline): one
+observation vector per row, missing entries as empty cells or ``nan``.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["read_vectors_csv", "write_vectors_csv"]
+
+
+def read_vectors_csv(path: str | pathlib.Path) -> Iterator[np.ndarray]:
+    """Yield one float64 vector per CSV row; blanks/'nan' become NaN.
+
+    Raises ``ValueError`` on ragged rows (every observation must have the
+    same dimensionality) or unparsable cells.
+    """
+    path = pathlib.Path(path)
+    dim: int | None = None
+    with path.open(newline="") as fh:
+        for lineno, row in enumerate(csv.reader(fh), start=1):
+            if not row:
+                continue
+            try:
+                vec = np.array(
+                    [
+                        float("nan") if cell.strip() in ("", "nan", "NaN")
+                        else float(cell)
+                        for cell in row
+                    ],
+                    dtype=np.float64,
+                )
+            except ValueError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: unparsable cell ({exc})"
+                ) from None
+            if dim is None:
+                dim = vec.size
+            elif vec.size != dim:
+                raise ValueError(
+                    f"{path}:{lineno}: row has {vec.size} values, "
+                    f"expected {dim}"
+                )
+            yield vec
+
+
+def write_vectors_csv(
+    path: str | pathlib.Path, vectors: Iterable[np.ndarray]
+) -> int:
+    """Write vectors as CSV rows (NaN → empty cell); returns row count."""
+    path = pathlib.Path(path)
+    n = 0
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        for vec in vectors:
+            vec = np.asarray(vec, dtype=np.float64)
+            writer.writerow(
+                ["" if not np.isfinite(v) else repr(float(v)) for v in vec]
+            )
+            n += 1
+    return n

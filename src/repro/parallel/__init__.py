@@ -1,0 +1,45 @@
+"""The parallel streaming-PCA application (paper Sections II-C, III)."""
+
+from .app import ParallelPCAApp, build_parallel_pca_graph
+from .mapreduce import MapReducePCAResult, mapreduce_pca
+from .partition import (
+    partition_contiguous,
+    partition_random,
+    partition_round_robin,
+)
+from .pca_operator import StreamingPCAOperator
+from .process_runner import ProcessParallelStreamingPCA, ProcessRunResult
+from .runner import ParallelRunResult, ParallelStreamingPCA
+from .sync import (
+    BroadcastStrategy,
+    GroupStrategy,
+    PeerToPeerStrategy,
+    RingStrategy,
+    SyncController,
+    SyncStats,
+    SyncStrategy,
+    make_strategy,
+)
+
+__all__ = [
+    "BroadcastStrategy",
+    "GroupStrategy",
+    "MapReducePCAResult",
+    "ParallelPCAApp",
+    "ParallelRunResult",
+    "ParallelStreamingPCA",
+    "PeerToPeerStrategy",
+    "ProcessParallelStreamingPCA",
+    "ProcessRunResult",
+    "RingStrategy",
+    "StreamingPCAOperator",
+    "SyncController",
+    "SyncStats",
+    "SyncStrategy",
+    "build_parallel_pca_graph",
+    "make_strategy",
+    "mapreduce_pca",
+    "partition_contiguous",
+    "partition_random",
+    "partition_round_robin",
+]

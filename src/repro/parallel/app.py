@@ -1,0 +1,163 @@
+"""Assembling the full parallel streaming-PCA application graph (Fig. 2).
+
+The topology::
+
+                     ┌──────────────┐  data   ┌───────────────┐
+    VectorSource ──► │ Split (rand) │ ──────► │ StreamingPCA 0│ ─┐ diag
+                     └──────────────┘   ...   │ StreamingPCA 1│ ─┼────► sink
+                            ▲  control  ...   │      ...      │ ─┘
+                            │  (none)         └──────┬────────┘
+                                                     │ ctl (ready/state)
+                                              ┌──────▼────────┐
+                                              │ SyncController │  (ring /
+                                              └──────┬────────┘  broadcast /
+                                                     │ ctl (share/merge)
+                                              back to every engine
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.robust import RobustIncrementalPCA
+from ..data.streams import VectorStream
+from ..streams.graph import Graph
+from ..streams.sinks import CollectingSink
+from ..streams.sources import VectorSource
+from ..streams.split import Split
+from .pca_operator import StreamingPCAOperator
+from .sync import SyncController, SyncStrategy
+
+__all__ = ["ParallelPCAApp", "build_parallel_pca_graph"]
+
+
+@dataclass
+class ParallelPCAApp:
+    """Handles to the assembled application graph.
+
+    Attributes
+    ----------
+    graph:
+        The wired dataflow graph, ready for an engine.
+    source, split, controller:
+        The singleton operators.
+    engines:
+        The ``n`` streaming-PCA operators, index-aligned with the
+        controller's ports.
+    diag_sink:
+        Collects per-observation diagnostics tuples (``None`` when
+        diagnostics are disabled).
+    """
+
+    graph: Graph
+    source: VectorSource
+    split: Split
+    controller: SyncController
+    engines: list[StreamingPCAOperator] = field(default_factory=list)
+    diag_sink: CollectingSink | None = None
+
+
+def build_parallel_pca_graph(
+    stream: VectorStream,
+    n_engines: int,
+    estimator_factory,
+    *,
+    strategy: SyncStrategy | str = "ring",
+    split_strategy: str = "random",
+    split_seed: int = 0,
+    sync_gate_factor: float = 1.5,
+    min_sync_interval: int = 0,
+    collect_diagnostics: bool = True,
+    snapshot_every: int = 0,
+) -> ParallelPCAApp:
+    """Build the Fig. 2 graph.
+
+    Parameters
+    ----------
+    stream:
+        The input observation stream.
+    n_engines:
+        Number of parallel PCA engines.
+    estimator_factory:
+        ``(engine_id) -> RobustIncrementalPCA`` (or API-compatible
+        estimator); one instance per engine.
+    strategy:
+        Sync topology (name or :class:`SyncStrategy`).
+    split_strategy / split_seed:
+        Load-balancer behaviour (``random`` is the paper's default).
+    sync_gate_factor:
+        The 1.5·N data-driven gate multiplier.
+    min_sync_interval:
+        Logical throttle at the controller (see
+        :class:`~repro.parallel.sync.SyncController`).
+    collect_diagnostics:
+        Attach a sink collecting per-observation diagnostics.
+    snapshot_every:
+        Periodic eigensystem snapshots on the diagnostics stream.
+    """
+    if n_engines < 1:
+        raise ValueError(f"n_engines must be >= 1, got {n_engines}")
+
+    graph = Graph("parallel-streaming-pca")
+    source = graph.add(VectorSource("source", stream))
+    split = graph.add(
+        Split("split", n_engines, strategy=split_strategy, seed=split_seed)
+    )
+    controller = graph.add(
+        SyncController(
+            "sync-controller",
+            n_engines,
+            strategy=strategy,
+            min_interval=min_sync_interval,
+        )
+    )
+    graph.connect(source, split)
+
+    engines: list[StreamingPCAOperator] = []
+    diag_sink = (
+        CollectingSink("diagnostics", n_inputs=n_engines)
+        if collect_diagnostics
+        else None
+    )
+    if diag_sink is not None:
+        graph.add(diag_sink)
+
+    for i in range(n_engines):
+        estimator = estimator_factory(i)
+        if not isinstance(estimator, RobustIncrementalPCA):
+            # Duck-typed estimators are allowed; they must expose the
+            # RobustIncrementalPCA surface used by the operator.
+            required = (
+                "update", "public_state", "replace_state",
+                "ready_to_sync", "is_initialized", "state", "n_seen",
+            )
+            missing = [a for a in required if not hasattr(estimator, a)]
+            if missing:
+                raise TypeError(
+                    f"estimator_factory({i}) returned an object missing "
+                    f"the estimator API: {missing}"
+                )
+        op = StreamingPCAOperator(
+            f"pca-{i}",
+            engine_id=i,
+            estimator=estimator,
+            sync_gate_factor=sync_gate_factor,
+            snapshot_every=snapshot_every,
+            emit_diagnostics=collect_diagnostics,
+        )
+        graph.add(op)
+        engines.append(op)
+        graph.connect(split, op, out_port=i, in_port=0)       # data
+        graph.connect(op, controller, out_port=0, in_port=i)  # ctl up
+        graph.connect(controller, op, out_port=i, in_port=1)  # ctl down
+        if diag_sink is not None:
+            graph.connect(op, diag_sink, out_port=1, in_port=i)
+
+    return ParallelPCAApp(
+        graph=graph,
+        source=source,
+        split=split,
+        controller=controller,
+        engines=engines,
+        diag_sink=diag_sink,
+    )

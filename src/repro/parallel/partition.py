@@ -1,0 +1,45 @@
+"""Stream partitioning helpers used outside the engine.
+
+For offline analyses (and for tests of the merge algebra) it is handy to
+partition a dataset exactly the way the split operator would, without
+running a graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["partition_random", "partition_round_robin", "partition_contiguous"]
+
+
+def _check(x: np.ndarray, k: int) -> np.ndarray:
+    x = np.asarray(x)
+    if x.ndim != 2:
+        raise ValueError(f"expected (n, d) data, got shape {x.shape}")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return x
+
+
+def partition_random(
+    x: np.ndarray, k: int, rng: np.random.Generator
+) -> list[np.ndarray]:
+    """Assign each row to one of ``k`` partitions uniformly at random —
+    the paper's load-balancer semantics."""
+    x = _check(x, k)
+    assign = rng.integers(k, size=x.shape[0])
+    return [x[assign == i] for i in range(k)]
+
+
+def partition_round_robin(x: np.ndarray, k: int) -> list[np.ndarray]:
+    """Deterministic interleaving: row ``i`` goes to partition ``i % k``."""
+    x = _check(x, k)
+    return [x[i::k] for i in range(k)]
+
+
+def partition_contiguous(x: np.ndarray, k: int) -> list[np.ndarray]:
+    """Contiguous blocks — the *systematically ordered* split the paper
+    warns against (§II-B); kept for ablations that demonstrate why."""
+    x = _check(x, k)
+    bounds = np.linspace(0, x.shape[0], k + 1).astype(int)
+    return [x[bounds[i] : bounds[i + 1]] for i in range(k)]

@@ -1,0 +1,258 @@
+"""Process-parallel streaming PCA — engines in separate OS processes.
+
+The threaded runtime shares one interpreter; for CPU-bound Python
+operators that caps real parallelism.  This runner executes the same
+application semantics — random split, independent robust engines, the
+1.5·N data-driven gate, ring state exchange, final merge — with each PCA
+engine in its own **worker process**, communicating over bounded
+``multiprocessing`` queues exactly like the paper's engines communicate
+over network connectors:
+
+* main process = source + load balancer + sync controller;
+* worker ``i`` = one :class:`~repro.core.robust.RobustIncrementalPCA`;
+* eigensystems cross process boundaries serialized via
+  :meth:`~repro.core.eigensystem.Eigensystem.to_dict` (the "tuple over
+  the network connector" of Section III-A).
+
+Protocol messages to workers: ``("data", x)``, ``("merge", state_dict)``,
+``("share",)``, ``("stop",)``.  Messages from workers:
+``("ready", id)``, ``("state", id, state_dict)``,
+``("final", id, state_dict, report)``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..core.eigensystem import Eigensystem
+from ..core.merge import merge_eigensystems
+from ..core.robust import RobustIncrementalPCA
+from ..data.streams import VectorStream
+from .sync import SyncStrategy, make_strategy
+
+__all__ = ["ProcessRunResult", "ProcessParallelStreamingPCA"]
+
+
+def _worker(
+    engine_id: int,
+    inbox: "mp.Queue",
+    outbox: "mp.Queue",
+    n_components: int,
+    estimator_kwargs: dict[str, Any],
+    sync_gate_factor: float,
+) -> None:
+    """Engine-process main loop (top-level so it forks/spawns cleanly)."""
+    est = RobustIncrementalPCA(n_components, **estimator_kwargs)
+    announced = False
+    n_local = 0
+    while True:
+        msg = inbox.get()
+        kind = msg[0]
+        if kind == "data":
+            n_local += 1
+            est.update(msg[1])
+            if not announced and est.ready_to_sync(sync_gate_factor):
+                announced = True
+                outbox.put(("ready", engine_id))
+        elif kind == "share":
+            if est.is_initialized:
+                outbox.put(
+                    ("state", engine_id, est.public_state().to_dict())
+                )
+        elif kind == "merge":
+            if est.is_initialized:
+                incoming = Eigensystem.from_dict(msg[1])
+                merged = merge_eigensystems(
+                    [est.state, incoming], est.state.n_components
+                )
+                est.replace_state(merged)
+                announced = False
+        elif kind == "stop":
+            report = {
+                "engine": engine_id,
+                "n_local": n_local,
+                "n_outliers": est.n_outliers,
+            }
+            state_dict = (
+                est.public_state().to_dict() if est.is_initialized else None
+            )
+            outbox.put(("final", engine_id, state_dict, report))
+            return
+        else:  # pragma: no cover - protocol guard
+            raise ValueError(f"unknown worker message {kind!r}")
+
+
+@dataclass
+class ProcessRunResult:
+    """Outcome of a process-parallel run."""
+
+    global_state: Eigensystem
+    engine_states: dict[int, Eigensystem]
+    engine_reports: list[dict[str, Any]] = field(default_factory=list)
+    n_merge_commands: int = 0
+    n_states_routed: int = 0
+
+    @property
+    def eigenvalues(self) -> np.ndarray:
+        """Merged global eigenvalues."""
+        return self.global_state.eigenvalues
+
+
+class ProcessParallelStreamingPCA:
+    """Run the parallel application across worker processes.
+
+    Parameters mirror :class:`~repro.parallel.runner.ParallelStreamingPCA`
+    where they apply; the runtime is always real OS processes.
+
+    Notes
+    -----
+    The controller polls its feedback queue between data sends, so sync
+    round-trips interleave with the stream just as in the graph runtimes;
+    exact interleaving depends on OS scheduling, hence results are
+    reproducible only statistically (like the paper's real deployment).
+    """
+
+    def __init__(
+        self,
+        n_components: int,
+        n_engines: int = 4,
+        *,
+        alpha: float = 0.999,
+        delta: float = 0.5,
+        estimator_kwargs: dict[str, Any] | None = None,
+        strategy: SyncStrategy | str = "ring",
+        sync_gate_factor: float = 1.5,
+        split_seed: int = 0,
+        queue_size: int = 256,
+        mp_context: str = "fork",
+    ) -> None:
+        if n_components < 1:
+            raise ValueError(f"n_components must be >= 1, got {n_components}")
+        if n_engines < 1:
+            raise ValueError(f"n_engines must be >= 1, got {n_engines}")
+        if queue_size < 1:
+            raise ValueError(f"queue_size must be >= 1, got {queue_size}")
+        self.n_components = n_components
+        self.n_engines = n_engines
+        self.estimator_kwargs = {
+            "alpha": alpha,
+            "delta": delta,
+            **(estimator_kwargs or {}),
+        }
+        self.strategy = (
+            strategy
+            if isinstance(strategy, SyncStrategy)
+            else make_strategy(strategy)
+        )
+        self.sync_gate_factor = float(sync_gate_factor)
+        self.split_seed = int(split_seed)
+        self.queue_size = int(queue_size)
+        self.mp_context = mp_context
+
+    def run(self, stream: VectorStream) -> ProcessRunResult:
+        """Stream every observation through the worker fleet and merge."""
+        ctx = mp.get_context(self.mp_context)
+        inboxes = [
+            ctx.Queue(maxsize=self.queue_size) for _ in range(self.n_engines)
+        ]
+        feedback: "mp.Queue" = ctx.Queue()
+        workers = [
+            ctx.Process(
+                target=_worker,
+                args=(
+                    i,
+                    inboxes[i],
+                    feedback,
+                    self.n_components,
+                    self.estimator_kwargs,
+                    self.sync_gate_factor,
+                ),
+                daemon=True,
+            )
+            for i in range(self.n_engines)
+        ]
+        for w in workers:
+            w.start()
+
+        rng = np.random.default_rng(self.split_seed)
+        n_merges = 0
+        n_routed = 0
+
+        def drain_feedback() -> bool:
+            """Handle pending controller traffic; True if something came."""
+            import queue as _queue
+
+            nonlocal n_merges, n_routed
+            handled = False
+            while True:
+                try:
+                    msg = feedback.get_nowait()
+                except _queue.Empty:
+                    return handled
+                handled = True
+                if msg[0] == "ready":
+                    inboxes[msg[1]].put(("share",))
+                elif msg[0] == "state":
+                    n_routed += 1
+                    for target in self.strategy.targets(
+                        msg[1], self.n_engines
+                    ):
+                        n_merges += 1
+                        inboxes[target].put(("merge", msg[2]))
+                elif msg[0] == "final":
+                    # Shouldn't occur mid-stream; stash for completeness.
+                    _finals.append(msg)
+
+        _finals: list[tuple] = []
+        try:
+            for x in stream:
+                target = int(rng.integers(self.n_engines))
+                inboxes[target].put(
+                    ("data", np.asarray(x, dtype=np.float64))
+                )
+                drain_feedback()
+
+            for inbox in inboxes:
+                inbox.put(("stop",))
+
+            states: dict[int, Eigensystem] = {}
+            reports: list[dict[str, Any]] = []
+            pending = self.n_engines - len(_finals)
+            for msg in _finals:
+                if msg[2] is not None:
+                    states[msg[1]] = Eigensystem.from_dict(msg[2])
+                reports.append(msg[3])
+            while pending > 0:
+                msg = feedback.get(timeout=60.0)
+                if msg[0] == "final":
+                    pending -= 1
+                    if msg[2] is not None:
+                        states[msg[1]] = Eigensystem.from_dict(msg[2])
+                    reports.append(msg[3])
+                elif msg[0] == "ready":
+                    pass  # too late to grant
+                elif msg[0] == "state":
+                    pass  # drop: targets are shutting down
+        finally:
+            for w in workers:
+                w.join(timeout=10.0)
+                if w.is_alive():  # pragma: no cover - defensive
+                    w.terminate()
+
+        if not states:
+            raise RuntimeError(
+                "no engine produced a final state (stream too short "
+                "for any warm-up to complete?)"
+            )
+        ordered = [states[k] for k in sorted(states)]
+        return ProcessRunResult(
+            global_state=merge_eigensystems(ordered, self.n_components),
+            engine_states=states,
+            engine_reports=sorted(reports, key=lambda r: r["engine"]),
+            n_merge_commands=n_merges,
+            n_states_routed=n_routed,
+        )

@@ -1,0 +1,211 @@
+"""High-level façade: run the whole parallel streaming-PCA application.
+
+One call builds the Fig. 2 graph, executes it on either runtime, merges
+the engines' final eigensystems into the global solution, and returns a
+structured result with all the telemetry the experiments need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..core.eigensystem import Eigensystem
+from ..core.robust import RobustIncrementalPCA
+from ..data.streams import VectorStream
+from ..streams.engine import RunStats, SynchronousEngine, ThreadedEngine
+from ..streams.fusion import FusionPlan
+from .app import ParallelPCAApp, build_parallel_pca_graph
+from .sync import SyncStats, SyncStrategy
+
+__all__ = ["ParallelRunResult", "ParallelStreamingPCA"]
+
+
+@dataclass
+class ParallelRunResult:
+    """Everything a parallel run produced.
+
+    Attributes
+    ----------
+    global_state:
+        Merge of all engines' final eigensystems — "the resulting
+        eigensystem can be obtained from any node", and this is the
+        any-node answer made explicit.
+    engine_states:
+        Each engine's own final eigensystem (pre-merge), by engine id.
+    run_stats:
+        Engine-level tuple counters and wall time.
+    sync_stats:
+        Controller counters (grants, routed states, merges, throttles).
+    diagnostics:
+        Per-observation diagnostic payloads (empty when disabled).
+    engine_reports:
+        Per-engine counter dicts from the operators.
+    """
+
+    global_state: Eigensystem
+    engine_states: dict[int, Eigensystem]
+    run_stats: RunStats
+    sync_stats: SyncStats
+    diagnostics: list[dict[str, Any]] = field(default_factory=list)
+    engine_reports: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def eigenvalues(self) -> np.ndarray:
+        """Global eigenvalues (descending)."""
+        return self.global_state.eigenvalues
+
+    @property
+    def components(self) -> np.ndarray:
+        """Global eigenvectors as rows ``(p, d)``."""
+        return self.global_state.basis.T
+
+    @property
+    def mean(self) -> np.ndarray:
+        """Global location estimate."""
+        return self.global_state.mean
+
+    def outlier_seqs(self) -> np.ndarray:
+        """Stream sequence numbers flagged as outliers (sorted)."""
+        seqs = [
+            d["seq"] for d in self.diagnostics if d.get("is_outlier")
+        ]
+        return np.asarray(sorted(seqs), dtype=np.int64)
+
+
+class ParallelStreamingPCA:
+    """Run robust streaming PCA over a partitioned stream with sync.
+
+    Parameters
+    ----------
+    n_components:
+        Eigenpairs to estimate.
+    n_engines:
+        Parallel PCA engines (the paper's "threads").
+    alpha / delta / estimator_kwargs:
+        Forwarded to each engine's :class:`RobustIncrementalPCA`.
+    strategy:
+        Sync topology: ``"ring"`` (default), ``"broadcast"``, ``"group"``,
+        ``"p2p"`` or a :class:`SyncStrategy`.
+    runtime:
+        ``"synchronous"`` (deterministic) or ``"threaded"``.
+    fusion:
+        For the threaded runtime: ``"per-operator"`` (default, every
+        operator its own thread — the distributed analog) or ``"fused"``
+        (all PCA work on one thread — the single-node analog).
+    sync_gate_factor / min_sync_interval / split_strategy / split_seed /
+    collect_diagnostics / snapshot_every:
+        See :func:`repro.parallel.app.build_parallel_pca_graph`.
+
+    Example
+    -------
+    ::
+
+        runner = ParallelStreamingPCA(n_components=5, n_engines=4,
+                                      alpha=0.999)
+        result = runner.run(VectorStream.from_array(X))
+        result.eigenvalues, result.components
+    """
+
+    def __init__(
+        self,
+        n_components: int,
+        n_engines: int = 4,
+        *,
+        alpha: float = 0.999,
+        delta: float = 0.5,
+        estimator_kwargs: dict[str, Any] | None = None,
+        strategy: SyncStrategy | str = "ring",
+        runtime: str = "synchronous",
+        fusion: str = "per-operator",
+        sync_gate_factor: float = 1.5,
+        min_sync_interval: int = 0,
+        split_strategy: str = "random",
+        split_seed: int = 0,
+        collect_diagnostics: bool = True,
+        snapshot_every: int = 0,
+        timeout_s: float = 300.0,
+    ) -> None:
+        if runtime not in ("synchronous", "threaded"):
+            raise ValueError(
+                f"runtime must be 'synchronous' or 'threaded', got {runtime!r}"
+            )
+        if fusion not in ("per-operator", "fused", "chains"):
+            raise ValueError(
+                f"fusion must be 'per-operator', 'fused' or 'chains', "
+                f"got {fusion!r}"
+            )
+        self.n_components = n_components
+        self.n_engines = n_engines
+        self.alpha = alpha
+        self.delta = delta
+        self.estimator_kwargs = dict(estimator_kwargs or {})
+        self.strategy = strategy
+        self.runtime = runtime
+        self.fusion = fusion
+        self.sync_gate_factor = sync_gate_factor
+        self.min_sync_interval = min_sync_interval
+        self.split_strategy = split_strategy
+        self.split_seed = split_seed
+        self.collect_diagnostics = collect_diagnostics
+        self.snapshot_every = snapshot_every
+        self.timeout_s = timeout_s
+
+    def _make_estimator(self, engine_id: int) -> RobustIncrementalPCA:
+        return RobustIncrementalPCA(
+            self.n_components,
+            alpha=self.alpha,
+            delta=self.delta,
+            **self.estimator_kwargs,
+        )
+
+    def build(self, stream: VectorStream) -> ParallelPCAApp:
+        """Assemble (but do not run) the application graph."""
+        return build_parallel_pca_graph(
+            stream,
+            self.n_engines,
+            self._make_estimator,
+            strategy=self.strategy,
+            split_strategy=self.split_strategy,
+            split_seed=self.split_seed,
+            sync_gate_factor=self.sync_gate_factor,
+            min_sync_interval=self.min_sync_interval,
+            collect_diagnostics=self.collect_diagnostics,
+            snapshot_every=self.snapshot_every,
+        )
+
+    def run(self, stream: VectorStream) -> ParallelRunResult:
+        """Build and execute the application; return the merged result."""
+        app = self.build(stream)
+        if self.runtime == "synchronous":
+            stats = SynchronousEngine(app.graph).run()
+        else:
+            if self.fusion == "fused":
+                plan = FusionPlan.fused(app.graph)
+            elif self.fusion == "chains":
+                plan = FusionPlan.fuse_chains(app.graph)
+            else:
+                plan = FusionPlan.per_operator(app.graph)
+            stats = ThreadedEngine(app.graph, fusion=plan).run(
+                timeout_s=self.timeout_s
+            )
+
+        controller = app.controller
+        global_state = controller.global_state(self.n_components)
+        diagnostics = []
+        if app.diag_sink is not None:
+            diagnostics = [
+                dict(t.payload)
+                for t in app.diag_sink.tuples
+                if "weight" in t.payload
+            ]
+        return ParallelRunResult(
+            global_state=global_state,
+            engine_states=dict(controller.final_states),
+            run_stats=stats,
+            sync_stats=controller.stats,
+            diagnostics=diagnostics,
+            engine_reports=[op.diagnostics() for op in app.engines],
+        )

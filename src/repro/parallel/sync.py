@@ -1,0 +1,263 @@
+"""Synchronization controller and topologies (Sections II-C, III-B).
+
+"The transfer of eigensystems from separate PCA instances is coordinated
+by the synchronisation controller to follow different synchronization
+strategies, e.g., peer-to-peer or broadcast."  The controller is itself a
+graph operator: engines report ``ready`` (their 1.5·N data-driven gate
+opened) and ship ``state`` messages through it; the controller routes each
+state to target engines per the configured topology:
+
+* :class:`RingStrategy` — the paper's basic circular pattern (Fig. 3):
+  engine ``i``'s state goes to engine ``(i+1) mod n``, "achieving
+  reasonable global solutions while minimizing the network traffic".
+* :class:`BroadcastStrategy` — everyone receives everyone's state:
+  fastest consistency, ``n-1``× the traffic.
+* :class:`GroupStrategy` — ring within fixed-size groups (the
+  "group-based" scheme).
+* :class:`PeerToPeerStrategy` — each state goes to one uniformly random
+  other engine.
+
+The controller also enforces a *logical throttle* (the SPL ``Throttle``
+of Section III-B): a minimum number of routed messages between granted
+syncs per engine, and it tracks the final states engines emit at close so
+the application can produce a single global answer.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..core.eigensystem import Eigensystem
+from ..core.merge import eigensystems_consistent, merge_eigensystems
+from ..streams.operators import Operator
+from ..streams.tuples import StreamTuple
+
+__all__ = [
+    "SyncStrategy",
+    "RingStrategy",
+    "BroadcastStrategy",
+    "GroupStrategy",
+    "PeerToPeerStrategy",
+    "SyncController",
+    "SyncStats",
+    "make_strategy",
+]
+
+
+class SyncStrategy(abc.ABC):
+    """Chooses the receivers of a shared eigensystem."""
+
+    @abc.abstractmethod
+    def targets(self, sender: int, n_engines: int) -> list[int]:
+        """Engines that must merge ``sender``'s state (never ``sender``)."""
+
+
+class RingStrategy(SyncStrategy):
+    """Circular pattern: ``receiver = (sender + 1) mod n`` (Fig. 3)."""
+
+    def targets(self, sender: int, n_engines: int) -> list[int]:
+        if n_engines < 2:
+            return []
+        return [(sender + 1) % n_engines]
+
+
+class BroadcastStrategy(SyncStrategy):
+    """Send the state to every other engine."""
+
+    def targets(self, sender: int, n_engines: int) -> list[int]:
+        return [i for i in range(n_engines) if i != sender]
+
+
+class GroupStrategy(SyncStrategy):
+    """Ring within contiguous groups of ``group_size`` engines."""
+
+    def __init__(self, group_size: int) -> None:
+        if group_size < 2:
+            raise ValueError(f"group_size must be >= 2, got {group_size}")
+        self.group_size = group_size
+
+    def targets(self, sender: int, n_engines: int) -> list[int]:
+        if n_engines < 2:
+            return []
+        group = sender // self.group_size
+        lo = group * self.group_size
+        hi = min(lo + self.group_size, n_engines)
+        size = hi - lo
+        if size < 2:
+            return [(sender + 1) % n_engines]  # tail group of 1: fall back
+        return [lo + ((sender - lo) + 1) % size]
+
+
+class PeerToPeerStrategy(SyncStrategy):
+    """One uniformly random other engine per share."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def targets(self, sender: int, n_engines: int) -> list[int]:
+        if n_engines < 2:
+            return []
+        other = int(self._rng.integers(n_engines - 1))
+        return [other if other < sender else other + 1]
+
+
+_STRATEGY_NAMES = ("ring", "broadcast", "group", "p2p")
+
+
+def make_strategy(name: str, **kwargs) -> SyncStrategy:
+    """Build a strategy by name (``ring``/``broadcast``/``group``/``p2p``)."""
+    if name == "ring":
+        return RingStrategy()
+    if name == "broadcast":
+        return BroadcastStrategy()
+    if name == "group":
+        return GroupStrategy(kwargs.get("group_size", 2))
+    if name == "p2p":
+        return PeerToPeerStrategy(kwargs.get("seed", 0))
+    raise ValueError(
+        f"unknown sync strategy {name!r}; choose from {_STRATEGY_NAMES}"
+    )
+
+
+@dataclass
+class SyncStats:
+    """Counters the controller accumulates over a run."""
+
+    n_ready: int = 0
+    n_states_routed: int = 0
+    n_merge_commands: int = 0
+    n_throttled: int = 0
+    per_engine_syncs: dict[int, int] = field(default_factory=dict)
+
+
+class SyncController(Operator):
+    """The synchronization manager component (Fig. 2, right).
+
+    Ports: input ``i`` receives control messages from engine ``i``;
+    output ``i`` sends control commands to engine ``i``.
+
+    Parameters
+    ----------
+    n_engines:
+        Number of PCA engines under coordination.
+    strategy:
+        A :class:`SyncStrategy` or a name for :func:`make_strategy`.
+    min_interval:
+        Logical throttle: after granting engine ``i`` a share, ignore its
+        next ``ready`` messages until the controller has seen this many
+        further messages overall.  0 disables throttling.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        n_engines: int,
+        *,
+        strategy: SyncStrategy | str = "ring",
+        min_interval: int = 0,
+    ) -> None:
+        if n_engines < 1:
+            raise ValueError(f"n_engines must be >= 1, got {n_engines}")
+        if min_interval < 0:
+            raise ValueError("min_interval must be >= 0")
+        super().__init__(name, n_inputs=n_engines, n_outputs=n_engines)
+        self.n_engines = n_engines
+        self.strategy = (
+            strategy if isinstance(strategy, SyncStrategy)
+            else make_strategy(strategy)
+        )
+        self.min_interval = int(min_interval)
+        self.stats = SyncStats()
+        self.final_states: dict[int, Eigensystem] = {}
+        #: Most recent state seen from each engine (share or final).
+        self.last_states: dict[int, Eigensystem] = {}
+        self._messages_seen = 0
+        self._last_grant_at: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def process(self, tup: StreamTuple, port: int) -> None:
+        if not tup.is_control:
+            raise ValueError(
+                f"{self.name}: unexpected non-control tuple on port {port}"
+            )
+        self._messages_seen += 1
+        msg_type = tup.get("type")
+        sender = int(tup.get("engine", port))
+        if msg_type == "ready":
+            self._handle_ready(sender)
+        elif msg_type == "state":
+            self.last_states[sender] = tup["state"]
+            self._handle_state(sender, tup["state"])
+        elif msg_type == "final":
+            self.final_states[sender] = tup["state"]
+            self.last_states[sender] = tup["state"]
+        else:
+            raise ValueError(
+                f"{self.name}: unknown control message type {msg_type!r}"
+            )
+
+    def _handle_ready(self, sender: int) -> None:
+        self.stats.n_ready += 1
+        last = self._last_grant_at.get(sender)
+        if (
+            self.min_interval
+            and last is not None
+            and self._messages_seen - last < self.min_interval
+        ):
+            self.stats.n_throttled += 1
+            return
+        self._last_grant_at[sender] = self._messages_seen
+        self.submit(StreamTuple.control(type="share"), port=sender)
+
+    def _handle_state(self, sender: int, state: Eigensystem) -> None:
+        self.stats.n_states_routed += 1
+        for target in self.strategy.targets(sender, self.n_engines):
+            self.stats.n_merge_commands += 1
+            self.stats.per_engine_syncs[target] = (
+                self.stats.per_engine_syncs.get(target, 0) + 1
+            )
+            self.submit(
+                StreamTuple.control(type="merge", state=state, sender=sender),
+                port=target,
+            )
+
+    # ------------------------------------------------------------------
+
+    def check_consistency(
+        self, *, angle_tol: float = 0.5, scale_rtol: float = 1.0
+    ) -> bool:
+        """Whether the engines' latest known states agree (§III-B).
+
+        The paper's motivation for synchronization: "some instances can
+        have the eigensystem values different to the rest of the
+        instances ... caused by improper application initialization ...
+        an outlier ... some unusual pattern of incoming data".  This is
+        the controller-side detector for that condition, over the most
+        recent state each engine has shared.  Vacuously True until at
+        least two engines have reported.
+        """
+        if len(self.last_states) < 2:
+            return True
+        return eigensystems_consistent(
+            list(self.last_states.values()),
+            angle_tol=angle_tol,
+            scale_rtol=scale_rtol,
+        )
+
+    def global_state(self, n_components: int) -> Eigensystem:
+        """Merge all final states into the single global answer.
+
+        Available after the run completes (engines ship ``final`` states
+        as they close).
+        """
+        if not self.final_states:
+            raise RuntimeError(
+                "no final states collected; did the run complete?"
+            )
+        ordered = [self.final_states[k] for k in sorted(self.final_states)]
+        return merge_eigensystems(ordered, n_components)

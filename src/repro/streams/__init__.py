@@ -1,0 +1,68 @@
+"""A from-scratch stream-processing engine (the InfoSphere substitute).
+
+Typed tuples, operators with ports and lifecycle, a dataflow graph that
+allows the cyclic control topologies of the paper's sync pattern, operator
+fusion into processing elements, and two runtimes: a deterministic
+synchronous engine and a threaded engine with bounded queues and
+backpressure.
+"""
+
+from .engine import RunStats, SynchronousEngine, ThreadedEngine
+from .fusion import FusionPlan, ProcessingElement, optimize_fusion
+from .graph import Edge, Graph, GraphError
+from .network_sources import (
+    HTTPVectorSource,
+    TailingFileSource,
+    TCPVectorSource,
+    serve_vectors,
+)
+from .operators import FilterOperator, Functor, Operator, Sink, Source, Union
+from .sinks import CallbackSink, CheckpointSink, CollectingSink, CSVSink, RateProbe
+from .sources import (
+    OBSERVATION_SCHEMA,
+    CallbackSource,
+    CSVFileSource,
+    DirectorySource,
+    VectorSource,
+)
+from .split import Split
+from .throttle import Throttle
+from .tuples import FieldType, SchemaError, StreamSchema, StreamTuple, TupleKind
+
+__all__ = [
+    "CSVFileSource",
+    "CSVSink",
+    "CallbackSink",
+    "CallbackSource",
+    "CheckpointSink",
+    "CollectingSink",
+    "DirectorySource",
+    "Edge",
+    "FieldType",
+    "FilterOperator",
+    "Functor",
+    "FusionPlan",
+    "Graph",
+    "HTTPVectorSource",
+    "GraphError",
+    "OBSERVATION_SCHEMA",
+    "Operator",
+    "optimize_fusion",
+    "ProcessingElement",
+    "RateProbe",
+    "RunStats",
+    "SchemaError",
+    "Sink",
+    "Source",
+    "Split",
+    "TCPVectorSource",
+    "TailingFileSource",
+    "StreamSchema",
+    "StreamTuple",
+    "SynchronousEngine",
+    "ThreadedEngine",
+    "Throttle",
+    "TupleKind",
+    "Union",
+    "serve_vectors",
+]

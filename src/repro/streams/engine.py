@@ -1,0 +1,352 @@
+"""Runtimes that execute a dataflow graph.
+
+Two interchangeable engines run the same operators:
+
+* :class:`SynchronousEngine` — single-threaded, deterministic: sources
+  are interleaved round-robin and every emission is drained to quiescence
+  before the next source tuple.  This is the engine of choice for tests
+  and for algorithmic experiments where wall-clock time is irrelevant.
+* :class:`ThreadedEngine` — one thread per processing element (see
+  :mod:`repro.streams.fusion`), bounded inter-PE queues with
+  backpressure, intra-PE edges as direct calls.  This realizes the
+  paper's execution model: fused operators exchange tuples "in local
+  memory", unfused ones pay a queue hop, sources run free and the split
+  operator can observe downstream queue depths for load balancing.
+
+Both engines return a :class:`RunStats` with per-operator tuple counters
+(the profiling statistics the paper uses for placement tuning).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from .fusion import FusionPlan, ProcessingElement
+from .graph import Graph
+from .operators import Operator, Source
+from .split import Split
+from .tuples import StreamTuple
+
+__all__ = ["RunStats", "SynchronousEngine", "ThreadedEngine"]
+
+
+@dataclass
+class RunStats:
+    """Execution summary of one graph run.
+
+    Attributes
+    ----------
+    wall_time_s:
+        Total run duration.
+    tuples_in / tuples_out:
+        Per-operator counters (name → count), including punctuation for
+        ``tuples_out``.
+    source_tuples:
+        Data tuples produced per source.
+    """
+
+    wall_time_s: float = 0.0
+    tuples_in: dict[str, int] = field(default_factory=dict)
+    tuples_out: dict[str, int] = field(default_factory=dict)
+    source_tuples: dict[str, int] = field(default_factory=dict)
+    #: Per-operator exclusive processing seconds (profiled runs only).
+    processing_time_s: dict[str, float] = field(default_factory=dict)
+
+    def throughput(self) -> float:
+        """Aggregate source tuples per second of wall time."""
+        total = sum(self.source_tuples.values())
+        if self.wall_time_s <= 0:
+            return 0.0
+        return total / self.wall_time_s
+
+    @classmethod
+    def collect(cls, graph: Graph, wall_time_s: float) -> "RunStats":
+        stats = cls(wall_time_s=wall_time_s)
+        for op in graph:
+            stats.tuples_in[op.name] = op.tuples_in
+            stats.tuples_out[op.name] = op.tuples_out
+            if op._profiled:
+                stats.processing_time_s[op.name] = op.processing_time_s
+            if isinstance(op, Source):
+                # Output counter includes the trailing punctuation(s).
+                stats.source_tuples[op.name] = max(
+                    op.tuples_out - op.n_outputs, 0
+                )
+        return stats
+
+
+class SynchronousEngine:
+    """Deterministic single-threaded runtime.
+
+    Sources are polled round-robin; each produced tuple is fully drained
+    (all downstream processing, including any control-loop traffic it
+    triggers) before the next tuple enters.  Cycles are safe: the work
+    list is a FIFO, so a sync round-trip simply enqueues more work until
+    the loop quiesces.
+    """
+
+    def __init__(self, graph: Graph, *, profile: bool = False) -> None:
+        graph.validate()
+        self.graph = graph
+        if profile:
+            from .profiling import enable_profiling
+
+            enable_profiling(graph.operators)
+        self._work: deque[tuple[Operator, int, StreamTuple]] = deque()
+
+    def _wire(self) -> None:
+        for op in self.graph:
+            successors = {
+                port: self.graph.successors(op, port)
+                for port in range(op.n_outputs)
+            }
+
+            def emit(
+                tup: StreamTuple,
+                port: int,
+                _succ: dict[int, list[tuple[Operator, int]]] = successors,
+            ) -> None:
+                for dst, in_port in _succ.get(port, ()):
+                    self._work.append((dst, in_port, tup))
+
+            op.bind(emit)
+
+    def _drain(self) -> None:
+        while self._work:
+            dst, port, tup = self._work.popleft()
+            dst._dispatch(tup, port)
+
+    def run(self) -> RunStats:
+        """Execute to completion and return statistics."""
+        self._wire()
+        start = time.perf_counter()
+        for op in self.graph:
+            op.open()
+        generators = [(src, src.generate()) for src in self.graph.sources]
+        active = list(generators)
+        while active:
+            still = []
+            for src, gen in active:
+                try:
+                    tup = next(gen)
+                except StopIteration:
+                    src._complete()
+                    self._drain()
+                    continue
+                src.submit(tup, 0)
+                self._drain()
+                still.append((src, gen))
+            active = still
+        self._drain()
+        return RunStats.collect(self.graph, time.perf_counter() - start)
+
+
+class _EngineStopped(Exception):
+    """Internal: raised inside runner threads when the engine aborts."""
+
+
+class _PERunner(threading.Thread):
+    """Thread executing one processing element's inbox loop."""
+
+    def __init__(
+        self,
+        pe: ProcessingElement,
+        inbox: "queue.Queue[tuple[Operator, int, StreamTuple]]",
+        errors: list[BaseException],
+        stop: threading.Event,
+    ) -> None:
+        super().__init__(name=f"pe-{pe.pe_id}", daemon=True)
+        self.pe = pe
+        self.inbox = inbox
+        self.errors = errors
+        self.stop = stop
+
+    def run(self) -> None:
+        try:
+            ops = self.pe.operators
+            while not self.stop.is_set() and not all(
+                op.is_closed for op in ops
+            ):
+                try:
+                    dst, port, tup = self.inbox.get(timeout=0.02)
+                except queue.Empty:
+                    continue
+                dst._dispatch(tup, port)
+        except _EngineStopped:
+            pass
+        except BaseException as exc:
+            self.errors.append(exc)
+            self.stop.set()
+
+
+class _SourceRunner(threading.Thread):
+    """Thread driving one source to exhaustion."""
+
+    def __init__(
+        self,
+        src: Source,
+        errors: list[BaseException],
+        stop: threading.Event,
+    ) -> None:
+        super().__init__(name=f"src-{src.name}", daemon=True)
+        self.src = src
+        self.errors = errors
+        self.stop = stop
+
+    def run(self) -> None:
+        try:
+            for tup in self.src.generate():
+                if self.stop.is_set():
+                    return
+                self.src.submit(tup, 0)
+            self.src._complete()
+        except _EngineStopped:
+            pass
+        except BaseException as exc:
+            self.errors.append(exc)
+            self.stop.set()
+
+
+class ThreadedEngine:
+    """Multi-threaded runtime with operator fusion and backpressure.
+
+    Parameters
+    ----------
+    graph:
+        The application graph.
+    fusion:
+        PE assignment; default :meth:`FusionPlan.per_operator`.
+    queue_size:
+        Bound of each inter-PE queue (backpressure); control loops stay
+        well below it by construction.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        fusion: FusionPlan | None = None,
+        queue_size: int = 4096,
+        profile: bool = False,
+    ) -> None:
+        graph.validate()
+        self.graph = graph
+        if profile:
+            from .profiling import enable_profiling
+
+            enable_profiling(graph.operators)
+        self.fusion = fusion or FusionPlan.per_operator(graph)
+        self.fusion.validate(graph)
+        if queue_size < 1:
+            raise ValueError(f"queue_size must be >= 1, got {queue_size}")
+        self.queue_size = queue_size
+        self._inboxes: dict[int, queue.Queue] = {}
+        self._pe_of: dict[int, ProcessingElement] = {}
+        self._stop = threading.Event()
+
+    def _put(self, pe_id: int, item) -> None:
+        """Blocking put that aborts promptly when the engine stops."""
+        inbox = self._inboxes[pe_id]
+        while True:
+            try:
+                inbox.put(item, timeout=0.05)
+                return
+            except queue.Full:
+                if self._stop.is_set():
+                    raise _EngineStopped from None
+
+    def _wire(self) -> None:
+        for pe in self.fusion.pes:
+            inbox: queue.Queue = queue.Queue(maxsize=self.queue_size)
+            self._inboxes[pe.pe_id] = inbox
+            for op in pe.operators:
+                self._pe_of[id(op)] = pe
+
+        for op in self.graph:
+            my_pe = self._pe_of[id(op)]
+            successors = {
+                port: self.graph.successors(op, port)
+                for port in range(op.n_outputs)
+            }
+
+            def emit(
+                tup: StreamTuple,
+                port: int,
+                _succ: dict[int, list[tuple[Operator, int]]] = successors,
+                _my_pe: ProcessingElement = my_pe,
+            ) -> None:
+                for dst, in_port in _succ.get(port, ()):
+                    dst_pe = self._pe_of[id(dst)]
+                    if dst_pe is _my_pe:
+                        # Fused edge: zero-copy, same-thread call.
+                        dst._dispatch(tup, in_port)
+                    else:
+                        self._put(dst_pe.pe_id, (dst, in_port, tup))
+
+            op.bind(emit)
+
+            if isinstance(op, Split):
+                op.set_load_probe(self._make_probe(op))
+
+    def _make_probe(self, split: Split):
+        def probe(port: int) -> int:
+            succ = self.graph.successors(split, port)
+            if not succ:
+                return 0
+            dst = succ[0][0]
+            dst_pe = self._pe_of[id(dst)]
+            if dst_pe is self._pe_of[id(split)]:
+                return 0
+            return self._inboxes[dst_pe.pe_id].qsize()
+
+        return probe
+
+    def run(self, *, timeout_s: float = 300.0) -> RunStats:
+        """Execute to completion; raises on PE errors or timeout.
+
+        Fail-fast: the first operator exception stops every thread and is
+        re-raised immediately instead of waiting for the timeout.
+        """
+        self._wire()
+        errors: list[BaseException] = []
+        start = time.perf_counter()
+        for op in self.graph:
+            op.open()
+
+        pe_threads = []
+        for pe in self.fusion.pes:
+            if all(isinstance(op, Source) for op in pe.operators):
+                continue  # pure-source PEs are driven by source runners
+            t = _PERunner(pe, self._inboxes[pe.pe_id], errors, self._stop)
+            pe_threads.append(t)
+        src_threads = [
+            _SourceRunner(src, errors, self._stop)
+            for src in self.graph.sources
+        ]
+        threads = src_threads + pe_threads
+        for t in threads:
+            t.start()
+
+        deadline = start + timeout_s
+        try:
+            while True:
+                alive = [t for t in threads if t.is_alive()]
+                if errors:
+                    raise errors[0]
+                if not alive:
+                    break
+                if time.perf_counter() > deadline:
+                    raise RuntimeError(
+                        f"graph {self.graph.name!r} did not finish within "
+                        f"{timeout_s}s (thread {alive[0].name} still running)"
+                    )
+                alive[0].join(timeout=0.05)
+        finally:
+            self._stop.set()
+            for t in threads:
+                t.join(timeout=1.0)
+        return RunStats.collect(self.graph, time.perf_counter() - start)

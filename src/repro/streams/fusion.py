@@ -1,0 +1,260 @@
+"""Operator fusion: partitioning the graph into processing elements.
+
+InfoSphere "fuses" operators into a single process so they "exchange data
+in local memory where possible" instead of paying network/queue costs
+(Section III-A); the paper's performance tuning is largely about choosing
+this partition.  A :class:`FusionPlan` assigns every operator to exactly
+one processing element (PE).  Under the threaded runtime, intra-PE edges
+are direct function calls (zero copy, same thread) and inter-PE edges are
+bounded queues — the same cost asymmetry the paper measures in Fig. 6.
+
+Sources always get their own PE: a source drives itself and cannot share
+a thread with operators that must stay responsive to their inboxes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .graph import Graph, GraphError
+from .operators import Operator, Source
+
+__all__ = ["ProcessingElement", "FusionPlan", "optimize_fusion"]
+
+
+@dataclass(frozen=True)
+class ProcessingElement:
+    """A group of operators executed by one thread."""
+
+    pe_id: int
+    operators: tuple[Operator, ...]
+
+    def __contains__(self, op: Operator) -> bool:
+        return any(o is op for o in self.operators)
+
+
+@dataclass
+class FusionPlan:
+    """A complete assignment of operators to processing elements."""
+
+    pes: list[ProcessingElement] = field(default_factory=list)
+
+    def pe_of(self, op: Operator) -> ProcessingElement:
+        """The PE containing ``op``."""
+        for pe in self.pes:
+            if op in pe:
+                return pe
+        raise KeyError(f"operator {op.name!r} is not in the plan")
+
+    def validate(self, graph: Graph) -> None:
+        """Every graph operator in exactly one PE; sources isolated."""
+        seen: set[int] = set()
+        for pe in self.pes:
+            for op in pe.operators:
+                if id(op) in seen:
+                    raise GraphError(
+                        f"operator {op.name!r} appears in multiple PEs"
+                    )
+                seen.add(id(op))
+        missing = [op.name for op in graph if id(op) not in seen]
+        if missing:
+            raise GraphError(f"operators missing from fusion plan: {missing}")
+        extra = len(seen) - len(graph)
+        if extra:
+            raise GraphError(f"fusion plan contains {extra} unknown operators")
+        for pe in self.pes:
+            if len(pe.operators) > 1 and any(
+                isinstance(op, Source) for op in pe.operators
+            ):
+                raise GraphError(
+                    "sources must be alone in their PE "
+                    f"(PE {pe.pe_id} mixes a source with other operators)"
+                )
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def per_operator(cls, graph: Graph) -> "FusionPlan":
+        """One PE per operator — maximum parallelism, maximum queueing."""
+        return cls(
+            pes=[
+                ProcessingElement(i, (op,))
+                for i, op in enumerate(graph.operators)
+            ]
+        )
+
+    @classmethod
+    def fused(cls, graph: Graph) -> "FusionPlan":
+        """Everything (except sources) in one PE — the "single node with
+        default fusion" configuration of Fig. 6's single-placement runs."""
+        sources = [op for op in graph.operators if isinstance(op, Source)]
+        rest = tuple(
+            op for op in graph.operators if not isinstance(op, Source)
+        )
+        pes = [ProcessingElement(i, (s,)) for i, s in enumerate(sources)]
+        if rest:
+            pes.append(ProcessingElement(len(pes), rest))
+        return cls(pes=pes)
+
+    @classmethod
+    def from_groups(
+        cls, graph: Graph, groups: list[list[Operator]]
+    ) -> "FusionPlan":
+        """Explicit grouping; ungrouped operators get singleton PEs."""
+        plan = cls()
+        grouped: set[int] = set()
+        next_id = 0
+        for group in groups:
+            plan.pes.append(ProcessingElement(next_id, tuple(group)))
+            next_id += 1
+            grouped.update(id(op) for op in group)
+        for op in graph.operators:
+            if id(op) not in grouped:
+                plan.pes.append(ProcessingElement(next_id, (op,)))
+                next_id += 1
+        plan.validate(graph)
+        return plan
+
+    @classmethod
+    def fuse_chains(cls, graph: Graph) -> "FusionPlan":
+        """Fuse maximal linear chains (the profiler-driven optimization of
+        Section III-D in its simplest form).
+
+        Two adjacent operators are fused when the edge between them is the
+        *only* edge on both its output and input ports and neither side is
+        a source — i.e. pure pipeline segments collapse into one PE while
+        fan-out/fan-in points (split, controller) stay on PE boundaries.
+        """
+        parent: dict[int, Operator] = {}
+
+        def find(op: Operator) -> Operator:
+            while id(op) in parent:
+                op = parent[id(op)]
+            return op
+
+        for e in graph.edges:
+            if isinstance(e.src, Source) or isinstance(e.dst, Source):
+                continue
+            src_fan_out = len(graph.out_edges(e.src))
+            dst_fan_in = len(graph.in_edges(e.dst))
+            if (
+                src_fan_out == 1
+                and dst_fan_in == 1
+                and e.src.n_outputs == 1
+                and e.dst.n_inputs == 1
+            ):
+                a, b = find(e.src), find(e.dst)
+                if a is not b:
+                    parent[id(b)] = a
+
+        clusters: dict[int, list[Operator]] = {}
+        for op in graph.operators:
+            root = find(op)
+            clusters.setdefault(id(root), []).append(op)
+        plan = cls(
+            pes=[
+                ProcessingElement(i, tuple(ops))
+                for i, ops in enumerate(clusters.values())
+            ]
+        )
+        plan.validate(graph)
+        return plan
+
+
+def optimize_fusion(
+    graph: Graph,
+    stats,
+    *,
+    target_pes: int | None = None,
+    balance_slack: float = 1.25,
+) -> FusionPlan:
+    """Profile-driven fusion — the paper's optimization loop (§III-D).
+
+    "The optimisation component analyses the logs of profiler and fuses
+    the operators together for optimized data throughput."  Given a
+    profiled :class:`~repro.streams.engine.RunStats` (run an engine with
+    ``profile=True``), greedily fuse the hottest edges — the channels
+    carrying the most tuples, where queue hops cost the most — while
+    keeping every processing element's total compute below
+    ``balance_slack × (total_time / target_pes)`` so one PE cannot become
+    the bottleneck.
+
+    Parameters
+    ----------
+    graph:
+        The application graph (same operator names as the profiled run).
+    stats:
+        ``RunStats`` with ``processing_time_s`` populated.
+    target_pes:
+        Desired parallelism; defaults to the number of non-source
+        operators (i.e. only clearly-free fusions are taken).
+    balance_slack:
+        How far above the perfectly balanced per-PE load a fused PE may
+        go.  Larger values fuse more aggressively (less queueing, less
+        parallelism).
+
+    Returns
+    -------
+    FusionPlan
+        A valid plan; sources always isolated.
+    """
+    if not stats.processing_time_s:
+        raise ValueError(
+            "stats carry no processing_time_s — run the engine with "
+            "profile=True first"
+        )
+    times = {
+        op.name: stats.processing_time_s.get(op.name, 0.0)
+        for op in graph.operators
+    }
+    non_sources = [
+        op for op in graph.operators if not isinstance(op, Source)
+    ]
+    if target_pes is None:
+        target_pes = max(len(non_sources), 1)
+    total_time = sum(times[op.name] for op in non_sources)
+    budget = balance_slack * total_time / max(target_pes, 1)
+
+    # Union-find over non-source operators.
+    parent: dict[int, Operator] = {}
+
+    def find(op: Operator) -> Operator:
+        while id(op) in parent:
+            op = parent[id(op)]
+        return op
+
+    load: dict[int, float] = {id(op): times[op.name] for op in non_sources}
+
+    # Hottest edges first: traffic measured at the destination port
+    # (tuples delivered over that channel during the profiled run).
+    def edge_traffic(e) -> int:
+        return stats.tuples_out.get(e.src.name, 0)
+
+    for e in sorted(graph.edges, key=edge_traffic, reverse=True):
+        if isinstance(e.src, Source) or isinstance(e.dst, Source):
+            continue
+        a, b = find(e.src), find(e.dst)
+        if a is b:
+            continue
+        merged_load = load[id(a)] + load[id(b)]
+        if merged_load > budget:
+            continue
+        parent[id(b)] = a
+        load[id(a)] = merged_load
+
+    clusters: dict[int, list[Operator]] = {}
+    for op in graph.operators:
+        if isinstance(op, Source):
+            clusters[id(op)] = [op]
+        else:
+            clusters.setdefault(id(find(op)), []).append(op)
+    plan = FusionPlan(
+        pes=[
+            ProcessingElement(i, tuple(ops))
+            for i, ops in enumerate(clusters.values())
+        ]
+    )
+    plan.validate(graph)
+    return plan

@@ -1,0 +1,256 @@
+"""Live stream sources: TCP sockets and growing ("piped") files.
+
+Section III-A.1 lists InfoSphere's out-of-the-box inputs beyond files:
+"Side service can feed the data using piped stream file, and InfoSphere
+will lock on the stream end until a new data is streamed through.
+Network TCP sockets and http URLs are also supported out of the box as a
+source of data."  The two live variants we rebuild:
+
+* :class:`TCPVectorSource` — connects to ``host:port`` and reads
+  newline-delimited CSV vectors until the peer closes the connection.
+  (:func:`serve_vectors` is the matching test/demo-side feeder.)
+* :class:`TailingFileSource` — follows a file that another process keeps
+  appending to, blocking at EOF ("lock on the stream end") until new
+  lines arrive or a terminator line / idle timeout ends the stream.
+
+Both emit the standard observation tuples (``x``, ``seq``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import socket
+import threading
+import time
+from typing import Iterator
+
+import numpy as np
+
+from .operators import Source
+from .sources import OBSERVATION_SCHEMA
+from .tuples import StreamTuple
+
+__all__ = [
+    "HTTPVectorSource",
+    "TCPVectorSource",
+    "TailingFileSource",
+    "serve_vectors",
+]
+
+#: Conventional end-of-stream line for text protocols.
+END_OF_STREAM = "__END__"
+
+
+def _parse_csv_line(line: str, lineno: int, origin: str) -> np.ndarray | None:
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        return np.array(
+            [
+                float("nan") if cell.strip() in ("", "nan", "NaN")
+                else float(cell)
+                for cell in line.split(",")
+            ],
+            dtype=np.float64,
+        )
+    except ValueError as exc:
+        raise ValueError(f"{origin}:{lineno}: unparsable line ({exc})") from None
+
+
+class TCPVectorSource(Source):
+    """Read newline-delimited CSV vectors from a TCP connection.
+
+    The stream ends when the peer closes the socket or sends the
+    ``__END__`` terminator line.
+
+    Parameters
+    ----------
+    host / port:
+        Peer to connect to.
+    connect_timeout_s:
+        Time allowed for the TCP connect.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        host: str,
+        port: int,
+        *,
+        connect_timeout_s: float = 10.0,
+    ) -> None:
+        super().__init__(name)
+        self.host = host
+        self.port = int(port)
+        self.connect_timeout_s = float(connect_timeout_s)
+
+    def generate(self) -> Iterator[StreamTuple]:
+        with socket.create_connection(
+            (self.host, self.port), timeout=self.connect_timeout_s
+        ) as conn:
+            conn.settimeout(None)
+            reader = conn.makefile("r", encoding="utf-8")
+            seq = 0
+            for lineno, line in enumerate(reader, start=1):
+                if line.strip() == END_OF_STREAM:
+                    return
+                vec = _parse_csv_line(
+                    line, lineno, f"tcp://{self.host}:{self.port}"
+                )
+                if vec is None:
+                    continue
+                yield StreamTuple.data(OBSERVATION_SCHEMA, x=vec, seq=seq)
+                seq += 1
+
+
+def serve_vectors(
+    vectors,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    delay_s: float = 0.0,
+) -> tuple[int, threading.Thread]:
+    """Serve vectors over TCP for one client (the demo/test feeder).
+
+    Binds, listens for a single connection in a daemon thread, writes one
+    CSV line per vector (``delay_s`` apart), then the ``__END__``
+    terminator.  Returns ``(bound_port, thread)``.
+    """
+    server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    server.bind((host, port))
+    server.listen(1)
+    bound_port = server.getsockname()[1]
+
+    def run() -> None:
+        try:
+            conn, _ = server.accept()
+            with conn, conn.makefile("w", encoding="utf-8") as writer:
+                for vec in vectors:
+                    vec = np.asarray(vec, dtype=np.float64)
+                    writer.write(
+                        ",".join(
+                            "" if not np.isfinite(v) else repr(float(v))
+                            for v in vec
+                        )
+                        + "\n"
+                    )
+                    writer.flush()
+                    if delay_s:
+                        time.sleep(delay_s)
+                writer.write(END_OF_STREAM + "\n")
+                writer.flush()
+        finally:
+            server.close()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    return bound_port, thread
+
+
+class TailingFileSource(Source):
+    """Follow a growing CSV file — the "piped stream file" input.
+
+    Reads vectors line by line; at EOF it *waits* for more data ("lock on
+    the stream end until a new data is streamed through").  The stream
+    ends on a ``__END__`` line, or after ``idle_timeout_s`` with no new
+    data (``None`` waits forever).
+
+    Parameters
+    ----------
+    path:
+        The file being appended to (must exist before the run starts).
+    poll_interval_s:
+        How often to re-check for new lines at EOF.
+    idle_timeout_s:
+        Give up after this much quiet time (safety for tests/pipelines
+        whose writer died); ``None`` disables.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        path: str | pathlib.Path,
+        *,
+        poll_interval_s: float = 0.05,
+        idle_timeout_s: float | None = 10.0,
+    ) -> None:
+        super().__init__(name)
+        self.path = pathlib.Path(path)
+        if not self.path.exists():
+            raise FileNotFoundError(self.path)
+        if poll_interval_s <= 0:
+            raise ValueError("poll_interval_s must be positive")
+        if idle_timeout_s is not None and idle_timeout_s <= 0:
+            raise ValueError("idle_timeout_s must be positive or None")
+        self.poll_interval_s = float(poll_interval_s)
+        self.idle_timeout_s = idle_timeout_s
+
+    def generate(self) -> Iterator[StreamTuple]:
+        seq = 0
+        lineno = 0
+        last_data = time.monotonic()
+        with self.path.open("r", encoding="utf-8") as fh:
+            buffer = ""
+            while True:
+                chunk = fh.readline()
+                if not chunk:
+                    if (
+                        self.idle_timeout_s is not None
+                        and time.monotonic() - last_data > self.idle_timeout_s
+                    ):
+                        return
+                    time.sleep(self.poll_interval_s)
+                    continue
+                buffer += chunk
+                if not buffer.endswith("\n"):
+                    # Partial line: the writer is mid-append; wait for the
+                    # rest.
+                    continue
+                line, buffer = buffer, ""
+                last_data = time.monotonic()
+                lineno += 1
+                if line.strip() == END_OF_STREAM:
+                    return
+                vec = _parse_csv_line(line, lineno, str(self.path))
+                if vec is None:
+                    continue
+                yield StreamTuple.data(OBSERVATION_SCHEMA, x=vec, seq=seq)
+                seq += 1
+
+
+class HTTPVectorSource(Source):
+    """Fetch a CSV vector stream from an HTTP URL (§III-A.1).
+
+    "Network TCP sockets and http URLs are also supported out of the box
+    as a source of data."  The body is newline-delimited CSV, one
+    observation per line; the stream ends at the end of the response (or
+    an ``__END__`` line for chunked feeds).
+    """
+
+    def __init__(
+        self, name: str, url: str, *, timeout_s: float = 30.0
+    ) -> None:
+        super().__init__(name)
+        if not url.startswith(("http://", "https://")):
+            raise ValueError(f"not an http(s) URL: {url!r}")
+        self.url = url
+        self.timeout_s = float(timeout_s)
+
+    def generate(self) -> Iterator[StreamTuple]:
+        import urllib.request
+
+        seq = 0
+        with urllib.request.urlopen(
+            self.url, timeout=self.timeout_s
+        ) as response:
+            for lineno, raw in enumerate(response, start=1):
+                line = raw.decode("utf-8")
+                if line.strip() == END_OF_STREAM:
+                    return
+                vec = _parse_csv_line(line, lineno, self.url)
+                if vec is None:
+                    continue
+                yield StreamTuple.data(OBSERVATION_SCHEMA, x=vec, seq=seq)
+                seq += 1

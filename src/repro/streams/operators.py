@@ -1,0 +1,245 @@
+"""Operator model of the stream engine.
+
+Operators are the vertices of the dataflow graph (Fig. 2): each has a
+fixed number of input and output ports, a lifecycle
+(``open → process* → close``), and emits tuples downstream via
+:meth:`Operator.submit`.  The runtime (synchronous or threaded; see
+:mod:`repro.streams.engine`) wires ``submit`` to the actual delivery
+mechanism, so operator code is identical under both runtimes — the same
+property InfoSphere exploits when *fusing* operators into one process.
+
+Per-operator tuple counters are maintained automatically; they are the
+"rich statistics of components performance" the paper's profiling
+workflow relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator
+
+from .tuples import StreamTuple
+
+__all__ = [
+    "Operator",
+    "Source",
+    "Sink",
+    "Functor",
+    "FilterOperator",
+    "Union",
+]
+
+
+class Operator:
+    """Base class for all stream operators.
+
+    Subclasses override :meth:`process` (per data/control tuple),
+    optionally :meth:`open`, :meth:`close`, and
+    :meth:`on_punctuation`.  Downstream emission goes through
+    :meth:`submit`; the runtime injects the delivery function at wiring
+    time.
+
+    Attributes
+    ----------
+    n_inputs / n_outputs:
+        Port counts; fixed per operator instance.
+    punctuation_ports:
+        Input ports whose punctuation is *required* before the operator
+        completes.  Defaults to all input ports; operators with auxiliary
+        control ports (e.g. the PCA engine's sync port) exclude them so a
+        silent controller doesn't stall shutdown.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        n_inputs: int = 1,
+        n_outputs: int = 1,
+        punctuation_ports: Iterable[int] | None = None,
+    ) -> None:
+        if n_inputs < 0 or n_outputs < 0:
+            raise ValueError("port counts must be non-negative")
+        self.name = name
+        self.n_inputs = n_inputs
+        self.n_outputs = n_outputs
+        if punctuation_ports is None:
+            self.punctuation_ports = set(range(n_inputs))
+        else:
+            self.punctuation_ports = set(punctuation_ports)
+            bad = self.punctuation_ports - set(range(n_inputs))
+            if bad:
+                raise ValueError(f"punctuation_ports out of range: {bad}")
+        self.tuples_in = 0
+        self.tuples_out = 0
+        #: Exclusive processing time (seconds); populated when the
+        #: runtime enables profiling (see repro.streams.profiling).
+        self.processing_time_s = 0.0
+        self._profiled = False
+        self._emit: Callable[[StreamTuple, int], None] | None = None
+        self._punctuated: set[int] = set()
+        self._closed = False
+
+    # -- runtime wiring -------------------------------------------------
+
+    def bind(self, emit: Callable[[StreamTuple, int], None]) -> None:
+        """Install the runtime's delivery function (engine-internal)."""
+        self._emit = emit
+
+    def submit(self, tup: StreamTuple, port: int = 0) -> None:
+        """Emit ``tup`` on output ``port``."""
+        if self._emit is None:
+            raise RuntimeError(
+                f"operator {self.name!r} is not wired into a running graph"
+            )
+        if not 0 <= port < self.n_outputs:
+            raise ValueError(
+                f"operator {self.name!r} has no output port {port}"
+            )
+        self.tuples_out += 1
+        self._emit(tup, port)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def open(self) -> None:
+        """Called once before any tuple is processed."""
+
+    def process(self, tup: StreamTuple, port: int) -> None:
+        """Handle one data or control tuple arriving on input ``port``."""
+        raise NotImplementedError
+
+    def on_punctuation(self, port: int) -> None:
+        """Hook invoked when an input port reaches end-of-stream."""
+
+    def close(self) -> None:
+        """Called once after all required input ports have punctuated."""
+
+    # -- engine-facing dispatch (not for subclasses) ----------------------
+
+    def _dispatch(self, tup: StreamTuple, port: int) -> None:
+        if self._profiled:
+            from .profiling import profiled_dispatch
+
+            profiled_dispatch(self, self._dispatch_inner, tup, port)
+        else:
+            self._dispatch_inner(tup, port)
+
+    def _dispatch_inner(self, tup: StreamTuple, port: int) -> None:
+        if tup.is_punctuation:
+            if port not in self._punctuated:
+                self._punctuated.add(port)
+                self.on_punctuation(port)
+                if self.punctuation_ports <= self._punctuated and not self._closed:
+                    self._complete()
+            return
+        self.tuples_in += 1
+        self.process(tup, port)
+
+    def _complete(self) -> None:
+        """Close and propagate punctuation downstream (exactly once)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.close()
+        if self._emit is not None:
+            for port in range(self.n_outputs):
+                self.tuples_out += 1
+                self._emit(StreamTuple.punctuation(), port)
+
+    @property
+    def is_closed(self) -> bool:
+        """Whether the operator has completed."""
+        return self._closed
+
+
+class Source(Operator):
+    """Operator with no inputs that produces its own tuples.
+
+    Subclasses implement :meth:`generate`; the runtime pulls from it.
+    Alternatively pass ``items`` (any iterable of tuples).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        items: Iterable[StreamTuple] | None = None,
+        *,
+        n_outputs: int = 1,
+    ) -> None:
+        super().__init__(name, n_inputs=0, n_outputs=n_outputs)
+        self._items = items
+
+    def generate(self) -> Iterator[StreamTuple]:
+        """Yield the source's tuples (punctuation appended by the engine)."""
+        if self._items is None:
+            raise NotImplementedError(
+                f"Source {self.name!r}: pass items= or override generate()"
+            )
+        yield from self._items
+
+    def process(self, tup: StreamTuple, port: int) -> None:  # pragma: no cover
+        raise RuntimeError("sources receive no input")
+
+
+class Sink(Operator):
+    """Operator with no outputs; override :meth:`consume`."""
+
+    def __init__(self, name: str, *, n_inputs: int = 1) -> None:
+        super().__init__(name, n_inputs=n_inputs, n_outputs=0)
+
+    def consume(self, tup: StreamTuple, port: int) -> None:
+        raise NotImplementedError
+
+    def process(self, tup: StreamTuple, port: int) -> None:
+        self.consume(tup, port)
+
+
+class Functor(Operator):
+    """Per-tuple transformation, the SPL ``Functor`` analog.
+
+    ``fn(tuple) -> StreamTuple | list[StreamTuple] | None``; ``None``
+    drops the tuple.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[[StreamTuple], Any],
+    ) -> None:
+        super().__init__(name, n_inputs=1, n_outputs=1)
+        self._fn = fn
+
+    def process(self, tup: StreamTuple, port: int) -> None:
+        out = self._fn(tup)
+        if out is None:
+            return
+        if isinstance(out, StreamTuple):
+            self.submit(out)
+        else:
+            for t in out:
+                self.submit(t)
+
+
+class FilterOperator(Operator):
+    """Forward only tuples for which ``predicate`` is true."""
+
+    def __init__(
+        self, name: str, predicate: Callable[[StreamTuple], bool]
+    ) -> None:
+        super().__init__(name, n_inputs=1, n_outputs=1)
+        self._predicate = predicate
+
+    def process(self, tup: StreamTuple, port: int) -> None:
+        if self._predicate(tup):
+            self.submit(tup)
+
+
+class Union(Operator):
+    """Merge any number of input streams into one output stream."""
+
+    def __init__(self, name: str, n_inputs: int) -> None:
+        if n_inputs < 1:
+            raise ValueError("Union needs at least one input")
+        super().__init__(name, n_inputs=n_inputs, n_outputs=1)
+
+    def process(self, tup: StreamTuple, port: int) -> None:
+        self.submit(tup)

@@ -1,0 +1,130 @@
+"""Stream sinks: collectors, CSV writers, checkpoint writers, probes.
+
+The output side of the application graph — result collection for tests
+and examples, periodic eigensystem persistence (Section III-C), and the
+throughput probe used by the performance experiments ("the observations
+processing rate was measured as the number of output tuples at the
+operator splitting the stream", Section III-D).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+from ..io.checkpoint import CheckpointStore
+from ..io.csvio import write_vectors_csv
+from .operators import Sink
+from .tuples import StreamTuple
+
+__all__ = ["CollectingSink", "CallbackSink", "CSVSink", "CheckpointSink", "RateProbe"]
+
+
+class CollectingSink(Sink):
+    """Keep every received data tuple in memory (tests, small runs)."""
+
+    def __init__(self, name: str, *, n_inputs: int = 1) -> None:
+        super().__init__(name, n_inputs=n_inputs)
+        self.tuples: list[StreamTuple] = []
+
+    def consume(self, tup: StreamTuple, port: int) -> None:
+        self.tuples.append(tup)
+
+    def payloads(self, key: str) -> list[Any]:
+        """Extract one payload field across all collected tuples."""
+        return [t[key] for t in self.tuples if key in t.payload]
+
+
+class CallbackSink(Sink):
+    """Invoke ``fn(tuple, port)`` per data tuple."""
+
+    def __init__(
+        self, name: str, fn: Callable[[StreamTuple, int], None],
+        *, n_inputs: int = 1,
+    ) -> None:
+        super().__init__(name, n_inputs=n_inputs)
+        self._fn = fn
+
+    def consume(self, tup: StreamTuple, port: int) -> None:
+        self._fn(tup, port)
+
+
+class CSVSink(Sink):
+    """Buffer the ``x`` vectors of incoming tuples; write CSV on close."""
+
+    def __init__(self, name: str, path: str) -> None:
+        super().__init__(name)
+        self.path = path
+        self._rows: list = []
+
+    def consume(self, tup: StreamTuple, port: int) -> None:
+        self._rows.append(tup["x"])
+
+    def close(self) -> None:
+        write_vectors_csv(self.path, self._rows)
+
+
+class CheckpointSink(Sink):
+    """Persist eigensystem tuples (field ``state``) to a checkpoint store."""
+
+    def __init__(self, name: str, store: CheckpointStore) -> None:
+        super().__init__(name)
+        self.store = store
+
+    def consume(self, tup: StreamTuple, port: int) -> None:
+        state = tup.get("state")
+        if state is not None:
+            self.store.maybe_save(state)
+
+
+class RateProbe(Sink):
+    """Measure arrival rate over a sliding window of wall time.
+
+    ``rate()`` reports tuples/second over the last ``window_s`` seconds —
+    the paper's "averaged in 30 seconds" methodology, with a shorter
+    default suited to test runs.
+    """
+
+    def __init__(
+        self, name: str, *, window_s: float = 5.0, clock=time.monotonic
+    ) -> None:
+        if window_s <= 0:
+            raise ValueError(f"window_s must be positive, got {window_s}")
+        super().__init__(name)
+        self.window_s = window_s
+        self._clock = clock
+        self._stamps: list[float] = []
+        self.first_arrival: float | None = None
+        self.last_arrival: float | None = None
+        self.n_arrivals = 0
+
+    def consume(self, tup: StreamTuple, port: int) -> None:
+        now = self._clock()
+        self.n_arrivals += 1
+        if self.first_arrival is None:
+            self.first_arrival = now
+        self.last_arrival = now
+        self._stamps.append(now)
+        # Trim outside the window lazily to stay O(1) amortized.
+        cutoff = now - self.window_s
+        if self._stamps and self._stamps[0] < cutoff:
+            self._stamps = [s for s in self._stamps if s >= cutoff]
+
+    def rate(self) -> float:
+        """Tuples/second over the trailing window."""
+        if len(self._stamps) < 2:
+            return 0.0
+        span = self._stamps[-1] - self._stamps[0]
+        if span <= 0:
+            return 0.0
+        return (len(self._stamps) - 1) / span
+
+    def overall_rate(self) -> float:
+        """Tuples/second over the whole run."""
+        if (
+            self.first_arrival is None
+            or self.last_arrival is None
+            or self.last_arrival <= self.first_arrival
+        ):
+            return 0.0
+        return (self.n_arrivals - 1) / (self.last_arrival - self.first_arrival)

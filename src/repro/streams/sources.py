@@ -1,0 +1,135 @@
+"""Stream sources (Section III-A.1).
+
+"InfoSphere application is flexible in using the different sources of
+data": generated test data, CSV files, folders of files, piped streams,
+sockets.  We mirror the useful subset for an offline reproduction:
+
+* :class:`VectorSource` — observations from any in-memory stream
+  (:class:`~repro.data.streams.VectorStream`), the workhorse.
+* :class:`CSVFileSource` — a CSV file (or list of files) of flux vectors.
+* :class:`DirectorySource` — every ``*.csv`` in a folder, sorted.
+* :class:`CallbackSource` — pull tuples from a user callable (the
+  "side service" / custom-operator escape hatch).
+
+All sources emit data tuples with fields ``x`` (the vector) and ``seq``
+(the arrival index), the schema the PCA application expects.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Callable, Iterator
+
+import numpy as np
+
+from ..data.streams import VectorStream
+from ..io.csvio import read_vectors_csv
+from .operators import Source
+from .tuples import FieldType, StreamSchema, StreamTuple
+
+__all__ = [
+    "OBSERVATION_SCHEMA",
+    "VectorSource",
+    "CSVFileSource",
+    "DirectorySource",
+    "CallbackSource",
+]
+
+#: The observation stream schema: a flux/feature vector plus arrival index.
+OBSERVATION_SCHEMA = StreamSchema(
+    {"x": FieldType.VECTOR, "seq": FieldType.INT}
+)
+
+
+def _observation(x: np.ndarray, seq: int) -> StreamTuple:
+    return StreamTuple.data(
+        OBSERVATION_SCHEMA, x=np.asarray(x, dtype=np.float64), seq=seq
+    )
+
+
+class VectorSource(Source):
+    """Emit observation tuples from a :class:`VectorStream`."""
+
+    def __init__(self, name: str, stream: VectorStream) -> None:
+        super().__init__(name)
+        self._stream = stream
+
+    @property
+    def dim(self) -> int:
+        """Vector dimensionality of the stream."""
+        return self._stream.dim
+
+    def generate(self) -> Iterator[StreamTuple]:
+        for seq, x in enumerate(self._stream):
+            yield _observation(x, seq)
+
+
+class CSVFileSource(Source):
+    """Emit observation tuples from one or more CSV files.
+
+    Each row of each file is one observation vector; empty cells and the
+    sentinel ``nan`` become gaps (NaN).
+    """
+
+    def __init__(
+        self, name: str, paths: str | pathlib.Path | list
+    ) -> None:
+        super().__init__(name)
+        if isinstance(paths, (str, pathlib.Path)):
+            paths = [paths]
+        self.paths = [pathlib.Path(p) for p in paths]
+        for p in self.paths:
+            if not p.exists():
+                raise FileNotFoundError(p)
+
+    def generate(self) -> Iterator[StreamTuple]:
+        seq = 0
+        for path in self.paths:
+            for x in read_vectors_csv(path):
+                yield _observation(x, seq)
+                seq += 1
+
+
+class DirectorySource(CSVFileSource):
+    """Emit observations from every ``*.csv`` in a directory (sorted) —
+    the "folder of such files can feed the data" mode."""
+
+    def __init__(self, name: str, directory: str | pathlib.Path) -> None:
+        directory = pathlib.Path(directory)
+        if not directory.is_dir():
+            raise NotADirectoryError(directory)
+        files = sorted(directory.glob("*.csv"))
+        if not files:
+            raise FileNotFoundError(f"no *.csv files in {directory}")
+        super().__init__(name, files)
+
+
+class CallbackSource(Source):
+    """Pull vectors from ``next_vector()`` until it returns ``None``.
+
+    The adapter for live feeds (piped streams, sockets, database cursors):
+    anything that can be phrased as a blocking "give me the next vector"
+    callable.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        next_vector: Callable[[], np.ndarray | None],
+        *,
+        max_tuples: int | None = None,
+    ) -> None:
+        super().__init__(name)
+        self._next = next_vector
+        if max_tuples is not None and max_tuples < 0:
+            raise ValueError("max_tuples must be >= 0")
+        self._max = max_tuples
+
+    def generate(self) -> Iterator[StreamTuple]:
+        seq = 0
+        while self._max is None or seq < self._max:
+            x = self._next()
+            if x is None:
+                return
+            yield _observation(np.asarray(x, dtype=np.float64), seq)
+            seq += 1

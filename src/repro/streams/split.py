@@ -1,0 +1,95 @@
+"""The threaded split / load-balancer operator (Section III-A.2).
+
+The paper splits the input stream with InfoSphere's multithreaded split:
+"each new data tuple is being sent to a random running PCA engine which is
+free to process it", so "faster nodes will get more data than slower
+ones".  Three strategies reproduce that spectrum:
+
+* ``random`` — the paper's default: uniformly random target.
+* ``round_robin`` — deterministic, equal counts (useful in tests).
+* ``least_loaded`` — pick the output whose downstream queue is shortest;
+  under the threaded runtime this is what actually realizes
+  "free engines get more data" when engines run at different speeds (the
+  runtime injects a queue-depth probe at wiring time).
+
+Control tuples and punctuation are broadcast to *all* targets.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .operators import Operator
+from .tuples import StreamTuple
+
+__all__ = ["Split"]
+
+_STRATEGIES = ("random", "round_robin", "least_loaded")
+
+
+class Split(Operator):
+    """Distribute one input stream over ``n_targets`` output streams.
+
+    Parameters
+    ----------
+    n_targets:
+        Number of downstream PCA engines.
+    strategy:
+        ``"random"`` (paper default), ``"round_robin"``, or
+        ``"least_loaded"``.
+    seed:
+        Seed for the random strategy (deterministic experiments).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        n_targets: int,
+        *,
+        strategy: str = "random",
+        seed: int = 0,
+    ) -> None:
+        if n_targets < 1:
+            raise ValueError(f"n_targets must be >= 1, got {n_targets}")
+        if strategy not in _STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; choose from {_STRATEGIES}"
+            )
+        super().__init__(name, n_inputs=1, n_outputs=n_targets)
+        self.strategy = strategy
+        self._rng = np.random.default_rng(seed)
+        self._next_rr = 0
+        self._load_probe: Callable[[int], int] | None = None
+        self.sent_per_target = np.zeros(n_targets, dtype=np.int64)
+
+    def set_load_probe(self, probe: Callable[[int], int]) -> None:
+        """Install a queue-depth probe (threaded runtime only).
+
+        ``probe(port) -> pending tuple count`` for the channel behind
+        output ``port``; used by the ``least_loaded`` strategy.
+        """
+        self._load_probe = probe
+
+    def _choose(self) -> int:
+        if self.strategy == "round_robin":
+            port = self._next_rr
+            self._next_rr = (self._next_rr + 1) % self.n_outputs
+            return port
+        if self.strategy == "least_loaded" and self._load_probe is not None:
+            loads = [self._load_probe(p) for p in range(self.n_outputs)]
+            lo = min(loads)
+            candidates = [p for p, v in enumerate(loads) if v == lo]
+            return int(self._rng.choice(candidates))
+        return int(self._rng.integers(self.n_outputs))
+
+    def process(self, tup: StreamTuple, port: int) -> None:
+        if tup.is_control:
+            # Control messages (e.g. a broadcast shutdown) reach everyone.
+            for p in range(self.n_outputs):
+                self.submit(tup, p)
+            return
+        target = self._choose()
+        self.sent_per_target[target] += 1
+        self.submit(tup, target)

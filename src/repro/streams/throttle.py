@@ -1,0 +1,94 @@
+"""The SPL ``Throttle`` operator (Section III-B).
+
+"Another important synchronization component is standard SPL Throttle
+operator. One controls the rate of synchronization tuples from the
+control component to the listening PCA engines."  We provide the same
+knob in two clocks:
+
+* **wall-clock** (``rate_hz``): at most ``rate_hz`` tuples per second pass
+  through; excess tuples are *dropped* (mode ``"drop"``, right for sync
+  signals where only freshness matters) or *delayed* by sleeping (mode
+  ``"block"``, right for pacing a data stream under the threaded runtime).
+* **logical** (``logical_period``): at most one tuple per ``period``
+  arrivals, for the deterministic synchronous runtime where wall time is
+  meaningless.
+
+Either clock may be disabled by leaving its parameter ``None``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .operators import Operator
+from .tuples import StreamTuple
+
+__all__ = ["Throttle"]
+
+
+class Throttle(Operator):
+    """Rate-limit a stream by wall-clock rate and/or logical period.
+
+    Parameters
+    ----------
+    rate_hz:
+        Maximum forwarded tuples per second (wall clock); ``None`` = no
+        wall-clock limit.
+    logical_period:
+        Forward at most one tuple per this many arrivals; ``None`` = no
+        logical limit.
+    mode:
+        ``"drop"`` discards over-rate tuples; ``"block"`` sleeps until
+        the rate allows (wall-clock limit only).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        rate_hz: float | None = None,
+        logical_period: int | None = None,
+        mode: str = "drop",
+        clock=time.monotonic,
+    ) -> None:
+        if rate_hz is not None and rate_hz <= 0:
+            raise ValueError(f"rate_hz must be positive, got {rate_hz}")
+        if logical_period is not None and logical_period < 1:
+            raise ValueError(
+                f"logical_period must be >= 1, got {logical_period}"
+            )
+        if mode not in ("drop", "block"):
+            raise ValueError(f"mode must be 'drop' or 'block', got {mode!r}")
+        super().__init__(name, n_inputs=1, n_outputs=1)
+        self.rate_hz = rate_hz
+        self.logical_period = logical_period
+        self.mode = mode
+        self._clock = clock
+        self._min_interval = 1.0 / rate_hz if rate_hz else 0.0
+        self._last_emit_time = -float("inf")
+        self._arrivals_since_emit = 0
+        self.n_dropped = 0
+
+    def process(self, tup: StreamTuple, port: int) -> None:
+        self._arrivals_since_emit += 1
+        if (
+            self.logical_period is not None
+            and self._arrivals_since_emit < self.logical_period
+        ):
+            self.n_dropped += 1
+            return
+        if self.rate_hz is not None:
+            now = self._clock()
+            wait = self._last_emit_time + self._min_interval - now
+            if wait > 0:
+                if self.mode == "drop":
+                    self.n_dropped += 1
+                    # A dropped tuple does not reset the logical counter:
+                    # the next arrival may still be due logically.
+                    self._arrivals_since_emit -= 1
+                    return
+                time.sleep(wait)
+                now = self._clock()
+            self._last_emit_time = now
+        self._arrivals_since_emit = 0
+        self.submit(tup)

@@ -1,0 +1,178 @@
+"""Typed stream tuples — the data currency of the engine.
+
+InfoSphere Streams applications exchange "tuples, having the data
+structure specified by the application" (Section III).  We model the same
+idea: a :class:`StreamSchema` declares named, typed fields; a
+:class:`StreamTuple` is a validated record flowing along a stream, tagged
+as data / control / punctuation.  Control tuples implement the
+synchronization messages of Section III-B; punctuation marks end-of-stream
+(used for orderly shutdown and final-state flushes).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+__all__ = ["FieldType", "StreamSchema", "TupleKind", "StreamTuple", "SchemaError"]
+
+_seq_counter = itertools.count()
+
+
+class SchemaError(TypeError):
+    """A tuple payload does not match its declared schema."""
+
+
+class FieldType(enum.Enum):
+    """Field types supported by stream schemas."""
+
+    FLOAT = "float"
+    INT = "int"
+    STRING = "str"
+    VECTOR = "vector"  # 1-D float64 numpy array
+    OBJECT = "object"  # opaque payload (e.g. a serialized eigensystem)
+
+    def check(self, value: Any) -> bool:
+        """Whether ``value`` is acceptable for this field type."""
+        if self is FieldType.FLOAT:
+            return isinstance(value, (float, int)) and not isinstance(value, bool)
+        if self is FieldType.INT:
+            return isinstance(value, (int, np.integer)) and not isinstance(
+                value, bool
+            )
+        if self is FieldType.STRING:
+            return isinstance(value, str)
+        if self is FieldType.VECTOR:
+            return isinstance(value, np.ndarray) and value.ndim == 1
+        return True  # OBJECT
+
+
+@dataclass(frozen=True)
+class StreamSchema:
+    """Ordered, named, typed fields of a stream.
+
+    Example::
+
+        OBS = StreamSchema({"x": FieldType.VECTOR, "seq": FieldType.INT})
+    """
+
+    fields: Mapping[str, FieldType]
+
+    def __post_init__(self) -> None:
+        if not self.fields:
+            raise ValueError("schema must declare at least one field")
+        for name, ftype in self.fields.items():
+            if not isinstance(name, str) or not name:
+                raise ValueError(f"invalid field name {name!r}")
+            if not isinstance(ftype, FieldType):
+                raise ValueError(f"field {name!r} has non-FieldType {ftype!r}")
+
+    def validate(self, payload: Mapping[str, Any]) -> None:
+        """Raise :class:`SchemaError` unless ``payload`` matches exactly."""
+        missing = set(self.fields) - set(payload)
+        extra = set(payload) - set(self.fields)
+        if missing or extra:
+            raise SchemaError(
+                f"payload fields mismatch: missing={sorted(missing)}, "
+                f"extra={sorted(extra)}"
+            )
+        for name, ftype in self.fields.items():
+            if not ftype.check(payload[name]):
+                raise SchemaError(
+                    f"field {name!r} expects {ftype.value}, got "
+                    f"{type(payload[name]).__name__}"
+                )
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.fields
+
+
+class TupleKind(enum.Enum):
+    """What a tuple means to the runtime."""
+
+    DATA = "data"
+    CONTROL = "control"
+    PUNCTUATION = "punctuation"
+
+
+@dataclass(frozen=True)
+class StreamTuple:
+    """One record on a stream.
+
+    Attributes
+    ----------
+    payload:
+        Field name → value; validated against ``schema`` when one is given.
+    kind:
+        Data / control / punctuation.
+    seq:
+        Globally-unique monotone sequence id (assigned automatically).
+    """
+
+    payload: Mapping[str, Any] = field(default_factory=dict)
+    kind: TupleKind = TupleKind.DATA
+    schema: StreamSchema | None = None
+    seq: int = field(default_factory=lambda: next(_seq_counter))
+
+    def __post_init__(self) -> None:
+        if self.schema is not None and self.kind is TupleKind.DATA:
+            self.schema.validate(self.payload)
+
+    @classmethod
+    def data(
+        cls, schema: StreamSchema | None = None, **payload: Any
+    ) -> "StreamTuple":
+        """A data tuple (validated against ``schema`` when provided)."""
+        return cls(payload=payload, kind=TupleKind.DATA, schema=schema)
+
+    @classmethod
+    def control(cls, **payload: Any) -> "StreamTuple":
+        """A control tuple (sync messages; schema-free by design)."""
+        return cls(payload=payload, kind=TupleKind.CONTROL)
+
+    @classmethod
+    def punctuation(cls) -> "StreamTuple":
+        """An end-of-stream marker."""
+        return cls(kind=TupleKind.PUNCTUATION)
+
+    @property
+    def is_data(self) -> bool:
+        return self.kind is TupleKind.DATA
+
+    @property
+    def is_control(self) -> bool:
+        return self.kind is TupleKind.CONTROL
+
+    @property
+    def is_punctuation(self) -> bool:
+        return self.kind is TupleKind.PUNCTUATION
+
+    def __getitem__(self, key: str) -> Any:
+        return self.payload[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Dict-style access with default."""
+        return self.payload.get(key, default)
+
+    def nbytes(self) -> int:
+        """Approximate wire size — used by the cluster cost model.
+
+        Vectors dominate; scalars are costed at 8 bytes, strings at their
+        UTF-8 length, opaque objects at 64 bytes unless they expose
+        ``nbytes``.
+        """
+        total = 16  # header
+        for value in self.payload.values():
+            if isinstance(value, np.ndarray):
+                total += value.nbytes
+            elif isinstance(value, str):
+                total += len(value.encode())
+            elif hasattr(value, "nbytes"):
+                total += int(value.nbytes)  # type: ignore[arg-type]
+            else:
+                total += 8 if isinstance(value, (int, float)) else 64
+        return total

@@ -1,0 +1,80 @@
+"""Tests for robust basis comparison (§II-B last paragraph)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BatchPCA,
+    BatchRobustPCA,
+    compare_bases,
+    robust_eigenvalues_along,
+)
+from repro.data import contaminate_block
+
+
+class TestRobustEigenvaluesAlong:
+    def test_matches_variance_on_clean_gaussian(self, rng):
+        x = rng.standard_normal((5000, 6)) * np.array([3.0, 2.0, 1.0, 1, 1, 1])
+        lam = robust_eigenvalues_along(x, np.eye(6)[:, :3])
+        assert np.allclose(lam, [9.0, 4.0, 1.0], rtol=0.1)
+
+    def test_ignores_outliers_along_direction(self, rng):
+        x = rng.standard_normal((3000, 5))
+        x[::50, 0] = 200.0  # gross outliers on axis 0
+        lam = robust_eigenvalues_along(x, np.eye(5)[:, :1])
+        classical = float(np.var(x[:, 0]))
+        assert lam[0] == pytest.approx(1.0, rel=0.15)
+        assert classical > 100  # what a naive estimate would report
+
+    def test_normalizes_directions(self, rng):
+        x = rng.standard_normal((2000, 4))
+        lam1 = robust_eigenvalues_along(x, np.eye(4)[:, :1])
+        lam5 = robust_eigenvalues_along(x, 5.0 * np.eye(4)[:, :1])
+        assert lam1[0] == pytest.approx(lam5[0])
+
+    def test_validation(self, rng):
+        x = rng.standard_normal((100, 4))
+        with pytest.raises(ValueError, match="basis shape"):
+            robust_eigenvalues_along(x, np.eye(5))
+        with pytest.raises(ValueError, match="nonzero"):
+            robust_eigenvalues_along(x, np.zeros((4, 1)))
+        with pytest.raises(ValueError, match="\\(n, d\\)"):
+            robust_eigenvalues_along(np.zeros(4), np.eye(4))
+
+
+class TestCompareBases:
+    def test_robust_basis_wins_under_contamination(
+        self, small_model, small_data, rng
+    ):
+        x, _ = contaminate_block(small_data, 0.08, 25.0, rng)
+        classic = BatchPCA(3).fit(x)
+        robust = BatchRobustPCA(3).fit(x)
+        comparison = compare_bases(
+            x,
+            {"classic": classic.components_.T,
+             "robust": robust.components_.T},
+        )
+        assert comparison.best.name == "robust"
+        # The classic basis wasted directions on outliers: its captured
+        # robust variance is well below the robust basis's.
+        assert (
+            comparison.score_of("classic").total_robust_variance
+            < 0.8 * comparison.score_of("robust").total_robust_variance
+        )
+
+    def test_identical_bases_tie(self, small_data):
+        basis = BatchPCA(3).fit(small_data).components_.T
+        comparison = compare_bases(small_data, {"a": basis, "b": basis})
+        assert comparison.score_of("a").total_robust_variance == (
+            pytest.approx(comparison.score_of("b").total_robust_variance)
+        )
+
+    def test_empty_candidates(self, small_data):
+        with pytest.raises(ValueError, match="at least one"):
+            compare_bases(small_data, {})
+
+    def test_unknown_name(self, small_data):
+        basis = BatchPCA(2).fit(small_data).components_.T
+        comparison = compare_bases(small_data, {"a": basis})
+        with pytest.raises(KeyError):
+            comparison.score_of("zz")

@@ -1,0 +1,142 @@
+"""Tests for the offline batch baselines (BatchPCA, BatchRobustPCA)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BatchPCA,
+    BatchRobustPCA,
+    largest_principal_angle,
+    make_rho,
+    mscale_fixed_point,
+)
+from repro.data import contaminate_block
+
+
+class TestBatchPCA:
+    def test_matches_numpy_svd(self, rng):
+        x = rng.standard_normal((200, 15))
+        pca = BatchPCA(5).fit(x)
+        y = x - x.mean(axis=0)
+        _, s, vt = np.linalg.svd(y, full_matrices=False)
+        assert np.allclose(pca.eigenvalues_, (s[:5] ** 2) / 200)
+        # Row spans agree.
+        # arccos near 1.0 limits angle precision to ~sqrt(eps)
+        assert largest_principal_angle(pca.components_.T, vt[:5].T) < 1e-6
+
+    def test_recovers_planted_subspace(self, small_model, small_data):
+        pca = BatchPCA(3).fit(small_data)
+        assert largest_principal_angle(
+            pca.components_.T, small_model.basis
+        ) < 0.06
+
+    def test_caps_components_at_rank(self, rng):
+        x = rng.standard_normal((5, 20))
+        pca = BatchPCA(10).fit(x)
+        assert pca.components_.shape[0] <= 5
+
+    def test_scale_is_mean_residual(self, rng):
+        x = rng.standard_normal((500, 10))
+        pca = BatchPCA(3).fit(x)
+        y = x - pca.mean_
+        recon = (y @ pca.components_.T) @ pca.components_
+        expected = float(np.mean(np.sum((y - recon) ** 2, axis=1)))
+        assert pca.scale_ == pytest.approx(expected)
+
+    def test_rejects_nan(self, rng):
+        x = rng.standard_normal((50, 5))
+        x[3, 2] = np.nan
+        with pytest.raises(ValueError, match="complete data"):
+            BatchPCA(2).fit(x)
+
+    def test_to_eigensystem(self, small_data):
+        st_ = BatchPCA(3).fit(small_data).to_eigensystem()
+        st_.validate()
+        assert st_.n_components == 3
+
+
+class TestMScaleFixedPoint:
+    def test_solves_the_equation(self, rng):
+        rho = make_rho("bisquare", c2=4.0)
+        r2 = rng.chisquare(5, size=5000)
+        sigma2 = mscale_fixed_point(r2, rho, 0.5)
+        lhs = float(np.mean(rho.rho(r2 / sigma2)))
+        assert lhs == pytest.approx(0.5, abs=1e-6)
+
+    def test_scale_equivariance(self, rng):
+        rho = make_rho("bisquare", c2=4.0)
+        r2 = rng.chisquare(5, size=2000)
+        s1 = mscale_fixed_point(r2, rho, 0.5)
+        s2 = mscale_fixed_point(9.0 * r2, rho, 0.5)
+        assert s2 == pytest.approx(9.0 * s1, rel=1e-8)
+
+    def test_all_zero_residuals(self):
+        rho = make_rho("bisquare")
+        assert mscale_fixed_point(np.zeros(10), rho, 0.5) == 0.0
+
+    def test_validation(self):
+        rho = make_rho("bisquare")
+        with pytest.raises(ValueError, match="non-empty"):
+            mscale_fixed_point(np.zeros(0), rho, 0.5)
+        with pytest.raises(ValueError, match="non-negative"):
+            mscale_fixed_point(np.array([-1.0]), rho, 0.5)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        delta=st.floats(0.2, 0.8),
+        scale=st.floats(0.01, 100.0),
+    )
+    def test_hypothesis_fixed_point_property(self, seed, delta, scale):
+        rho = make_rho("bisquare", c2=3.0)
+        r2 = scale * np.random.default_rng(seed).chisquare(4, size=500)
+        sigma2 = mscale_fixed_point(r2, rho, delta)
+        if sigma2 > 0:
+            lhs = float(np.mean(rho.rho(r2 / sigma2)))
+            assert lhs == pytest.approx(delta, abs=1e-5)
+
+
+class TestBatchRobustPCA:
+    def test_matches_classic_on_clean_data(self, small_model, small_data):
+        robust = BatchRobustPCA(3).fit(small_data)
+        classic = BatchPCA(3).fit(small_data)
+        assert largest_principal_angle(
+            robust.components_.T, classic.components_.T
+        ) < 0.1
+        assert np.allclose(
+            robust.eigenvalues_, classic.eigenvalues_, rtol=0.2
+        )
+
+    def test_survives_contamination(self, small_model, small_data, rng):
+        x, mask = contaminate_block(small_data, 0.1, 25.0, rng)
+        robust = BatchRobustPCA(3).fit(x)
+        classic = BatchPCA(3).fit(x)
+        ang_r = largest_principal_angle(robust.components_.T, small_model.basis)
+        ang_c = largest_principal_angle(classic.components_.T, small_model.basis)
+        assert ang_r < 0.1
+        assert ang_c > 0.5
+
+    def test_weights_downweight_outliers(self, small_data, rng):
+        x, mask = contaminate_block(small_data, 0.1, 25.0, rng)
+        robust = BatchRobustPCA(3).fit(x)
+        assert robust.weights_[mask].mean() < 0.05 * robust.weights_[~mask].mean()
+
+    def test_converges(self, small_data):
+        robust = BatchRobustPCA(3).fit(small_data)
+        assert robust.converged_
+        assert robust.n_iter_ < robust.max_iter
+
+    def test_mean_is_robust(self, small_model, small_data, rng):
+        x = small_data.copy()
+        # Scattered gross junk (coherent point-mass contamination is
+        # legitimately structure; see test_robust.py for that case).
+        x[:200] = 25.0 * rng.standard_normal((200, 40))
+        robust = BatchRobustPCA(3).fit(x)
+        assert np.linalg.norm(robust.mean_ - small_model.mean) < 1.0
+
+    def test_to_eigensystem(self, small_data):
+        st_ = BatchRobustPCA(2).fit(small_data).to_eigensystem()
+        st_.validate()
+        assert st_.scale > 0

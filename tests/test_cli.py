@@ -1,0 +1,37 @@
+"""Tests for the ``python -m repro`` CLI (cheap experiments only)."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_help_lists_experiments(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["fig99"])
+        assert exc.value.code == 2
+
+    def test_runs_fig6(self, capsys):
+        # fig6 is the cheapest full experiment (~5 s of simulation).
+        assert main(["fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "FIG6" in out
+        assert "[fig6:" in out
+
+
+def test_output_file_written(tmp_path, capsys):
+    from repro.__main__ import main
+
+    out_file = tmp_path / "report.md"
+    assert main(["lat", "-o", str(out_file)]) == 0
+    text = out_file.read_text()
+    assert "## lat" in text
+    assert "LAT:" in text

@@ -1,0 +1,266 @@
+"""Tests for the discrete-event kernel (events, resources, stores)."""
+
+import pytest
+
+from repro.cluster.events import Simulator
+from repro.cluster.resources import Resource, Store
+
+
+class TestSimulatorKernel:
+    def test_timeout_ordering(self):
+        sim = Simulator()
+        log = []
+
+        def proc(delay, tag):
+            yield sim.timeout(delay)
+            log.append((sim.now, tag))
+
+        sim.process(proc(2.0, "b"))
+        sim.process(proc(1.0, "a"))
+        sim.process(proc(3.0, "c"))
+        sim.run()
+        assert log == [(1.0, "a"), (2.0, "b"), (3.0, "c")]
+
+    def test_fifo_tie_break(self):
+        sim = Simulator()
+        log = []
+
+        def proc(tag):
+            yield sim.timeout(1.0)
+            log.append(tag)
+
+        for tag in "abc":
+            sim.process(proc(tag))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_run_until_stops_clock(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            yield sim.timeout(10.0)
+            log.append("late")
+
+        sim.process(proc())
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+        assert log == []
+        sim.run(until=11.0)
+        assert log == ["late"]
+
+    def test_process_return_value(self):
+        sim = Simulator()
+        results = []
+
+        def child():
+            yield sim.timeout(1.0)
+            return 42
+
+        def parent():
+            value = yield sim.process(child())
+            results.append(value)
+
+        sim.process(parent())
+        sim.run()
+        assert results == [42]
+
+    def test_all_of(self):
+        sim = Simulator()
+        done = []
+
+        def waiter():
+            yield sim.all_of([sim.timeout(1.0), sim.timeout(3.0)])
+            done.append(sim.now)
+
+        sim.process(waiter())
+        sim.run()
+        assert done == [3.0]
+
+    def test_all_of_empty(self):
+        sim = Simulator()
+        done = []
+
+        def waiter():
+            yield sim.all_of([])
+            done.append(sim.now)
+
+        sim.process(waiter())
+        sim.run()
+        assert done == [0.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.timeout(-1.0)
+
+    def test_double_trigger_rejected(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.trigger()
+        with pytest.raises(RuntimeError):
+            ev.trigger()
+
+    def test_yielding_non_event_is_error(self):
+        sim = Simulator()
+
+        def bad():
+            yield 42
+
+        sim.process(bad())
+        with pytest.raises(TypeError, match="expected SimEvent"):
+            sim.run()
+
+    def test_event_counter(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(1.0)
+            yield sim.timeout(1.0)
+
+        sim.process(proc())
+        sim.run()
+        assert sim.n_events_processed > 0
+
+
+class TestResource:
+    def test_serializes_beyond_capacity(self):
+        sim = Simulator()
+        log = []
+
+        def worker(res, tag):
+            yield res.request()
+            yield sim.timeout(1.0)
+            res.release()
+            log.append((sim.now, tag))
+
+        res = Resource(sim, 2)
+        for tag in "abcd":
+            sim.process(worker(res, tag))
+        sim.run()
+        # 2 servers: a,b finish at t=1; c,d at t=2 (FIFO).
+        assert log == [(1.0, "a"), (1.0, "b"), (2.0, "c"), (2.0, "d")]
+
+    def test_queue_length(self):
+        sim = Simulator()
+        res = Resource(sim, 1)
+
+        def holder():
+            yield res.request()
+            yield sim.timeout(5.0)
+            res.release()
+
+        def waiter():
+            yield sim.timeout(0.1)
+            yield res.request()
+            res.release()
+
+        sim.process(holder())
+        sim.process(waiter())
+        sim.run(until=1.0)
+        assert res.queue_length == 1
+        sim.run()
+        assert res.queue_length == 0
+
+    def test_utilization(self):
+        sim = Simulator()
+        res = Resource(sim, 1)
+
+        def worker():
+            yield res.request()
+            yield sim.timeout(4.0)
+            res.release()
+
+        sim.process(worker())
+        sim.run(until=10.0)
+        assert res.utilization(10.0) == pytest.approx(0.4)
+
+    def test_release_without_acquire(self):
+        sim = Simulator()
+        res = Resource(sim, 1)
+        with pytest.raises(RuntimeError, match="release without"):
+            res.release()
+
+    def test_capacity_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Resource(sim, 0)
+
+
+class TestStore:
+    def test_put_get_fifo(self):
+        sim = Simulator()
+        store = Store(sim, capacity=10)
+        got = []
+
+        def producer():
+            for i in range(3):
+                yield store.put(i)
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert got == [0, 1, 2]
+
+    def test_bounded_put_blocks(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        times = []
+
+        def producer():
+            for i in range(3):
+                yield store.put(i)
+                times.append(sim.now)
+
+        def slow_consumer():
+            for _ in range(3):
+                yield sim.timeout(1.0)
+                yield store.get()
+
+        sim.process(producer())
+        sim.process(slow_consumer())
+        sim.run()
+        # First put immediate; subsequent puts wait for consumption.
+        assert times[0] == 0.0
+        assert times[1] >= 1.0
+        assert times[2] >= 2.0
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((sim.now, item))
+
+        def producer():
+            yield sim.timeout(2.0)
+            yield store.put("x")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert got == [(2.0, "x")]
+
+    def test_len(self):
+        sim = Simulator()
+        store = Store(sim)
+
+        def producer():
+            yield store.put(1)
+            yield store.put(2)
+
+        sim.process(producer())
+        sim.run()
+        assert len(store) == 2
+
+    def test_capacity_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Store(sim, capacity=0)

@@ -1,0 +1,90 @@
+"""Tests for the Gaussian planted-subspace workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.gaussian import (
+    DriftingSubspaceModel,
+    PlantedSubspaceModel,
+    random_orthonormal,
+)
+
+
+class TestRandomOrthonormal:
+    def test_orthonormal_columns(self, rng):
+        q = random_orthonormal(20, 5, rng)
+        assert q.shape == (20, 5)
+        assert np.allclose(q.T @ q, np.eye(5), atol=1e-12)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            random_orthonormal(5, 6, rng)
+        with pytest.raises(ValueError):
+            random_orthonormal(5, 0, rng)
+
+
+class TestPlantedSubspaceModel:
+    def test_deterministic_structure(self):
+        m1 = PlantedSubspaceModel(dim=30, seed=5)
+        m2 = PlantedSubspaceModel(dim=30, seed=5)
+        assert np.array_equal(m1.basis, m2.basis)
+        assert np.array_equal(m1.mean, m2.mean)
+        m3 = PlantedSubspaceModel(dim=30, seed=6)
+        assert not np.allclose(m1.basis, m3.basis)
+
+    def test_sample_shape_and_determinism(self, small_model):
+        a = small_model.sample(100, np.random.default_rng(1))
+        b = small_model.sample(100, np.random.default_rng(1))
+        assert a.shape == (100, 40)
+        assert np.array_equal(a, b)
+
+    def test_sample_covariance_matches_model(self, small_model):
+        rng = np.random.default_rng(2)
+        x = small_model.sample(40_000, rng)
+        y = x - x.mean(axis=0)
+        # Variance along planted directions = signal + noise.
+        proj_var = np.var(y @ small_model.basis, axis=0)
+        assert np.allclose(proj_var, small_model.eigenvalues, rtol=0.05)
+        # Total variance.
+        assert float(np.mean(np.sum(y * y, axis=1))) == pytest.approx(
+            small_model.total_variance, rel=0.05
+        )
+
+    def test_stream_matches_sample_semantics(self, small_model):
+        got = list(small_model.stream(10, np.random.default_rng(3), block=4))
+        assert len(got) == 10
+        assert all(v.shape == (40,) for v in got)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="smaller than planted rank"):
+            PlantedSubspaceModel(dim=2, signal_variances=(3.0, 2.0, 1.0))
+        with pytest.raises(ValueError, match="descending"):
+            PlantedSubspaceModel(dim=10, signal_variances=(1.0, 2.0))
+        with pytest.raises(ValueError, match="positive"):
+            PlantedSubspaceModel(dim=10, signal_variances=(1.0, -1.0))
+        with pytest.raises(ValueError, match="n must be"):
+            PlantedSubspaceModel(dim=10).sample(-1, np.random.default_rng())
+
+
+class TestDriftingSubspaceModel:
+    def test_basis_rotates(self):
+        model = DriftingSubspaceModel(dim=20, rotation_rate=1e-3, seed=1)
+        b0 = model.basis_at(0)
+        b1000 = model.basis_at(1000)
+        # Orthonormality preserved through rotation.
+        assert np.allclose(b0.T @ b0, np.eye(model.rank), atol=1e-12)
+        assert np.allclose(b1000.T @ b1000, np.eye(model.rank), atol=1e-12)
+        # First direction moved by ~1 radian.
+        cos = abs(float(b0[:, 0] @ b1000[:, 0]))
+        assert cos == pytest.approx(np.cos(1.0), abs=1e-6)
+
+    def test_stream_advances_state(self):
+        model = DriftingSubspaceModel(dim=20, seed=1)
+        rng = np.random.default_rng(0)
+        out = list(model.stream(50, rng))
+        assert len(out) == 50
+        assert model._step == 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="exceed planted rank"):
+            DriftingSubspaceModel(dim=3, signal_variances=(2.0, 1.0, 0.5))

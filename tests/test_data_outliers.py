@@ -1,0 +1,110 @@
+"""Tests for the contamination models."""
+
+import numpy as np
+import pytest
+
+from repro.data.outliers import (
+    GrossOutlierInjector,
+    MixtureContaminator,
+    SpikeInjector,
+    contaminate_block,
+)
+
+
+class TestGrossOutlierInjector:
+    def test_rate_and_logging(self, rng):
+        inj = GrossOutlierInjector(0.2, 10.0, rng)
+        n_corrupted = 0
+        for i in range(5000):
+            _, bad = inj(np.zeros(8))
+            n_corrupted += bad
+        assert n_corrupted == len(inj.injected_steps)
+        assert 0.17 < n_corrupted / 5000 < 0.23
+
+    def test_steps_are_one_based_positions(self, rng):
+        inj = GrossOutlierInjector(1.0 - 1e-12, 10.0, rng)
+        inj(np.zeros(4))
+        assert list(inj.steps) == [1]
+
+    def test_corruption_magnitude(self, rng):
+        inj = GrossOutlierInjector(0.999999, 10.0, rng)
+        out, bad = inj(np.zeros(100))
+        assert bad
+        assert np.std(out) == pytest.approx(10.0, rel=0.3)
+
+    def test_wrap_stream(self, rng):
+        inj = GrossOutlierInjector(0.5, 10.0, rng)
+        out = list(inj.wrap(np.zeros((100, 4))))
+        assert len(out) == 100
+        assert len(inj.injected_steps) > 10
+
+    def test_zero_rate_never_corrupts(self, rng):
+        inj = GrossOutlierInjector(0.0, 10.0, rng)
+        for _ in range(100):
+            _, bad = inj(np.ones(3))
+            assert not bad
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="rate"):
+            GrossOutlierInjector(1.0, 10.0, rng)
+        with pytest.raises(ValueError, match="amplitude"):
+            GrossOutlierInjector(0.1, 0.0, rng)
+
+
+class TestSpikeInjector:
+    def test_only_few_pixels_touched(self, rng):
+        inj = SpikeInjector(0.999999, 50.0, rng, n_pixels=3)
+        x = np.zeros(100)
+        out, bad = inj(x)
+        assert bad
+        assert np.count_nonzero(out) == 3
+        assert np.all(out[out != 0] >= 50.0)
+        # Input not modified in place.
+        assert np.all(x == 0)
+
+    def test_pixels_capped_at_dim(self, rng):
+        inj = SpikeInjector(0.999999, 5.0, rng, n_pixels=10)
+        out, _ = inj(np.zeros(4))
+        assert np.count_nonzero(out) == 4
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="n_pixels"):
+            SpikeInjector(0.1, 5.0, rng, n_pixels=0)
+
+
+class TestMixtureContaminator:
+    def test_replaces_with_location(self, rng):
+        loc = np.arange(5.0)
+        inj = MixtureContaminator(0.999999, loc, rng)
+        out, bad = inj(np.zeros(5))
+        assert bad
+        assert np.array_equal(out, loc)
+
+    def test_jitter(self, rng):
+        loc = np.zeros(50)
+        inj = MixtureContaminator(0.999999, loc, rng, jitter=2.0)
+        out, _ = inj(np.zeros(50))
+        assert np.std(out) == pytest.approx(2.0, rel=0.4)
+
+    def test_shape_mismatch(self, rng):
+        inj = MixtureContaminator(0.999999, np.zeros(3), rng)
+        with pytest.raises(ValueError, match="shape"):
+            inj(np.zeros(4))
+
+
+class TestContaminateBlock:
+    def test_mask_and_rate(self, rng):
+        x = np.zeros((2000, 6))
+        out, mask = contaminate_block(x, 0.1, 5.0, rng)
+        assert out.shape == x.shape
+        assert 0.07 < mask.mean() < 0.13
+        assert np.all(out[~mask] == 0)
+        assert np.all(out[mask] != 0)
+        # Original untouched.
+        assert np.all(x == 0)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="block"):
+            contaminate_block(np.zeros(5), 0.1, 5.0, rng)
+        with pytest.raises(ValueError, match="rate"):
+            contaminate_block(np.zeros((5, 2)), 1.5, 5.0, rng)

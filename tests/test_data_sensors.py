@@ -1,0 +1,73 @@
+"""Tests for the cluster-health telemetry generator."""
+
+import numpy as np
+import pytest
+
+from repro.core import BatchPCA
+from repro.data.sensors import SENSORS_PER_SERVER, ClusterTelemetryModel
+
+
+class TestClusterTelemetryModel:
+    def test_dimensions_and_names(self):
+        model = ClusterTelemetryModel(n_servers=5)
+        assert model.dim == 5 * len(SENSORS_PER_SERVER)
+        names = model.sensor_names
+        assert len(names) == model.dim
+        assert names[0] == "server0.cpu_temp_C"
+        assert names[-1] == f"server4.{SENSORS_PER_SERVER[-1][0]}"
+
+    def test_stream_shapes(self, rng):
+        model = ClusterTelemetryModel(n_servers=3)
+        out = list(model.stream(20, rng))
+        assert len(out) == 20
+        assert all(v.shape == (model.dim,) for v in out)
+
+    def test_healthy_stream_is_low_rank(self, rng):
+        """A handful of latent factors explain most of the variance."""
+        model = ClusterTelemetryModel(n_servers=10, fault_rate=0.0, seed=2)
+        x = np.vstack(list(model.stream(3000, rng)))
+        pca = BatchPCA(3).fit(x)
+        y = x - pca.mean_
+        total = float(np.mean(np.sum(y * y, axis=1)))
+        explained = float(pca.eigenvalues_.sum())
+        assert explained / total > 0.8
+
+    def test_fault_injection_logged_and_visible(self, rng):
+        model = ClusterTelemetryModel(n_servers=4, fault_rate=0.01, seed=3)
+        x = np.vstack(list(model.stream(2000, rng)))
+        assert len(model.faults) > 0
+        steps = model.fault_steps()
+        assert steps.size > 0
+        ev = model.faults[0]
+        # During a fan failure, the affected server's fan rpm collapses
+        # relative to the healthy baseline.
+        if ev.kind == "fan_failure":
+            fan_idx = ev.server * len(SENSORS_PER_SERVER) + 1
+            during = x[ev.step + 10 : ev.step + ev.duration - 1, fan_idx]
+            healthy = np.delete(x[:, fan_idx], np.arange(
+                ev.step - 1, min(ev.step + ev.duration, 2000)))
+            if during.size:
+                assert during.mean() < 0.6 * healthy.mean()
+
+    def test_fault_free_when_rate_zero(self, rng):
+        model = ClusterTelemetryModel(n_servers=3, fault_rate=0.0)
+        list(model.stream(500, rng))
+        assert model.faults == []
+        assert model.fault_steps().size == 0
+
+    def test_diurnal_cycle_present(self, rng):
+        model = ClusterTelemetryModel(
+            n_servers=2, diurnal_period=100, load_volatility=0.0,
+            ambient_volatility=0.0, seed=4,
+        )
+        x = np.vstack(list(model.stream(400, rng)))
+        cpu_temp = x[:, 0]
+        # Correlate with the known sinusoid.
+        t = np.arange(1, 401)
+        ref = np.sin(2 * np.pi * t / 100)
+        corr = np.corrcoef(cpu_temp, ref)[0, 1]
+        assert corr > 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_servers"):
+            ClusterTelemetryModel(n_servers=0)

@@ -1,0 +1,141 @@
+"""Tests for the synthetic galaxy spectrum generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.spectra import (
+    EMISSION_LINES,
+    GalaxySpectrumModel,
+    WavelengthGrid,
+    archetype_spectra,
+)
+
+
+class TestWavelengthGrid:
+    def test_log_spacing(self):
+        grid = WavelengthGrid(n_bins=100)
+        lam = grid.wavelengths
+        ratios = lam[1:] / lam[:-1]
+        assert np.allclose(ratios, ratios[0])
+        assert lam[0] == pytest.approx(grid.lam_min)
+        assert lam[-1] == pytest.approx(grid.lam_max)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WavelengthGrid(lam_min=5000, lam_max=4000)
+        with pytest.raises(ValueError):
+            WavelengthGrid(n_bins=2)
+
+
+class TestArchetypes:
+    def test_shapes_and_normalization(self):
+        lam = np.geomspace(3000, 10000, 800)
+        spectra, names = archetype_spectra(lam)
+        assert spectra.shape == (4, 800)
+        assert len(names) == 4
+        assert np.allclose(spectra.mean(axis=1), 1.0)
+        assert np.all(spectra > 0)
+
+    def test_starforming_has_emission_lines(self):
+        lam = np.geomspace(3000, 10000, 3000)
+        spectra, names = archetype_spectra(lam)
+        sf = spectra[names.index("starforming")]
+        passive = spectra[names.index("passive")]
+        # H-alpha peak stands out in the star-forming archetype...
+        ha_bin = np.argmin(np.abs(lam - 6563.0))
+        local = slice(max(ha_bin - 60, 0), ha_bin + 60)
+        assert sf[ha_bin] > 1.5 * np.median(sf[local])
+        # ...but not in the passive one.
+        assert passive[ha_bin] < 1.2 * np.median(passive[local])
+
+    def test_passive_is_red(self):
+        lam = np.geomspace(3000, 10000, 800)
+        spectra, names = archetype_spectra(lam)
+        passive = spectra[names.index("passive")]
+        blue = passive[lam < 4000].mean()
+        red = passive[lam > 7000].mean()
+        assert red > 2 * blue  # 4000 Å break + red slope
+
+
+class TestGalaxySpectrumModel:
+    def test_sample_shapes(self, rng):
+        model = GalaxySpectrumModel(grid=WavelengthGrid(n_bins=200))
+        s = model.sample(50, rng)
+        assert s.flux.shape == (50, 200)
+        assert s.redshift.shape == (50,)
+        assert s.brightness.shape == (50,)
+        assert s.mixture.shape == (50, 4)
+        assert len(s) == 50
+        assert np.allclose(s.mixture.sum(axis=1), 1.0)
+
+    def test_determinism(self):
+        model = GalaxySpectrumModel(seed=3)
+        a = model.sample(20, np.random.default_rng(7)).flux
+        b = model.sample(20, np.random.default_rng(7)).flux
+        assert np.array_equal(a, b, equal_nan=True)
+
+    def test_redshift_creates_systematic_gaps(self):
+        rng = np.random.default_rng(0)
+        lo = GalaxySpectrumModel(z_max=0.0, dropout_rate=0.0, seed=1)
+        hi = GalaxySpectrumModel(z_max=0.4, dropout_rate=0.0, seed=1)
+        gaps_lo = np.mean(~np.isfinite(lo.sample(100, rng).flux))
+        s_hi = hi.sample(200, rng)
+        gaps_hi = np.mean(~np.isfinite(s_hi.flux))
+        assert gaps_lo == 0.0
+        assert gaps_hi > 0.02
+        # Gap extent grows with redshift (the §II-D systematic mode)...
+        per_gal = np.mean(~np.isfinite(s_hi.flux), axis=1)
+        galaxies = ~s_hi.is_outlier
+        corr = np.corrcoef(s_hi.redshift[galaxies], per_gal[galaxies])[0, 1]
+        assert corr > 0.8
+        # ...and sits at the blue end of the observed window.
+        lam = hi.grid.wavelengths
+        gap_bins = np.mean(~np.isfinite(s_hi.flux[galaxies]), axis=0)
+        assert gap_bins[: 10].mean() > gap_bins[-10:].mean()
+
+    def test_dropout_gaps(self, rng):
+        model = GalaxySpectrumModel(
+            dropout_rate=1.0, dropout_width=0.1, z_max=0.0, seed=1
+        )
+        s = model.sample(50, rng)
+        gap_rows = np.any(~np.isfinite(s.flux), axis=1)
+        assert gap_rows.all()
+        # Gaps are contiguous snippets of ~10% width.
+        row = s.flux[0]
+        missing = np.where(~np.isfinite(row))[0]
+        assert missing.size == pytest.approx(0.1 * row.size, abs=2)
+        assert missing[-1] - missing[0] == missing.size - 1
+
+    def test_brightness_variation_forces_normalization(self, rng):
+        model = GalaxySpectrumModel(brightness_sigma=1.0, dropout_rate=0.0,
+                                    noise_std=0.0, seed=1)
+        s = model.sample(200, rng)
+        means = np.nanmean(s.flux, axis=1)
+        assert means.std() / means.mean() > 0.5
+
+    def test_outlier_injection(self, rng):
+        model = GalaxySpectrumModel(outlier_rate=0.3, seed=1)
+        s = model.sample(300, rng)
+        assert 0.2 < s.is_outlier.mean() < 0.4
+
+    def test_clean_sample_is_complete(self, rng):
+        model = GalaxySpectrumModel(seed=1)
+        x = model.clean_sample(30, rng)
+        assert np.all(np.isfinite(x))
+        assert x.shape == (30, model.n_bins)
+
+    def test_ground_truth_basis(self):
+        model = GalaxySpectrumModel(grid=WavelengthGrid(n_bins=150), seed=1)
+        mean, basis, lam = model.ground_truth_basis(3, n_mc=500)
+        assert mean.shape == (150,)
+        assert basis.shape == (150, 3)
+        assert np.allclose(basis.T @ basis, np.eye(3), atol=1e-10)
+        assert np.all(np.diff(lam) <= 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="z_max"):
+            GalaxySpectrumModel(z_max=3.0)
+        with pytest.raises(ValueError, match="outlier_rate"):
+            GalaxySpectrumModel(outlier_rate=1.0)
+        with pytest.raises(ValueError, match="noise_std"):
+            GalaxySpectrumModel(noise_std=-0.1)

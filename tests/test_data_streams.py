@@ -1,0 +1,70 @@
+"""Tests for the dataset → stream adapters."""
+
+import numpy as np
+import pytest
+
+from repro.data.streams import VectorStream, repeat_epochs, shuffled
+
+
+class TestShuffled:
+    def test_is_a_permutation(self, rng):
+        x = np.arange(50, dtype=float).reshape(25, 2)
+        out = np.vstack(list(shuffled(x, rng)))
+        assert out.shape == x.shape
+        assert np.array_equal(np.sort(out[:, 0]), x[:, 0])
+        assert not np.array_equal(out, x)  # shuffled with this seed
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            list(shuffled(np.zeros(5), rng))
+
+
+class TestRepeatEpochs:
+    def test_counts_and_reshuffling(self, rng):
+        x = np.arange(20, dtype=float).reshape(10, 2)
+        out = np.vstack(list(repeat_epochs(x, 3, rng)))
+        assert out.shape == (30, 2)
+        e1, e2 = out[:10], out[10:20]
+        assert not np.array_equal(e1, e2)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            list(repeat_epochs(np.zeros((3, 2)), 0, rng))
+
+
+class TestVectorStream:
+    def test_from_array(self):
+        x = np.arange(12, dtype=float).reshape(4, 3)
+        vs = VectorStream.from_array(x)
+        assert vs.dim == 3
+        assert vs.length == 4
+        assert np.array_equal(np.vstack(list(vs)), x)
+
+    def test_take(self):
+        x = np.arange(12, dtype=float).reshape(4, 3)
+        vs = VectorStream.from_array(x)
+        first = vs.take(2)
+        assert np.array_equal(first, x[:2])
+        rest = vs.take(10)  # only 2 remain
+        assert np.array_equal(rest, x[2:])
+        assert vs.take(5).shape == (0, 3)
+
+    def test_from_sampler_bounded(self):
+        count = iter(range(100))
+        vs = VectorStream.from_sampler(
+            lambda: np.full(2, float(next(count))), dim=2, length=5
+        )
+        out = vs.take(100)
+        assert out.shape == (5, 2)
+        assert np.array_equal(out[:, 0], np.arange(5.0))
+
+    def test_from_iterable(self):
+        vs = VectorStream.from_iterable(
+            (np.ones(3) * i for i in range(4)), dim=3
+        )
+        assert vs.length is None
+        assert vs.take(4).shape == (4, 3)
+
+    def test_from_array_validation(self):
+        with pytest.raises(ValueError):
+            VectorStream.from_array(np.zeros(5))

@@ -1,0 +1,97 @@
+"""Tests for the subspace drift detector (monitoring use case)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Eigensystem,
+    RobustIncrementalPCA,
+    SubspaceDriftDetector,
+)
+from repro.data import DriftingSubspaceModel, PlantedSubspaceModel
+
+
+def _snap(est):
+    return est.public_state()
+
+
+class TestSubspaceDriftDetector:
+    def test_stationary_stream_never_alarms(self, small_model, rng):
+        est = RobustIncrementalPCA(3, alpha=0.995)
+        detector = SubspaceDriftDetector(warmup_snapshots=2)
+        for i, x in enumerate(small_model.stream(5000, rng), start=1):
+            est.update(x)
+            if i % 500 == 0:
+                detector.observe(_snap(est))
+        assert detector.alarms == []
+        assert len(detector.reports) >= 8
+
+    def test_regime_change_alarms(self, rng):
+        d = 30
+        a = rng.standard_normal((3000, d)) * np.array([6.0, 4.0] + [0.3] * (d - 2))
+        b = rng.standard_normal((3000, d)) * np.array(
+            [0.3, 0.3, 6.0, 4.0] + [0.3] * (d - 4)
+        )
+        est = RobustIncrementalPCA(2, alpha=0.99)
+        detector = SubspaceDriftDetector(warmup_snapshots=2)
+        alarm_steps = []
+        for i, x in enumerate(np.vstack([a, b]), start=1):
+            est.update(x)
+            if i % 500 == 0:
+                report = detector.observe(_snap(est))
+                if report and report.alarmed:
+                    alarm_steps.append(i)
+        assert alarm_steps, "regime change went unnoticed"
+        # Alarms arrive shortly after the switch at 3000, not before.
+        assert min(alarm_steps) in (3500, 4000)
+        assert detector.alarms[0].worst_axis() in (
+            "angle", "eigenvalue_shift", "scale_shift",
+        )
+
+    def test_scale_jump_alarms(self, rng):
+        basis, _ = np.linalg.qr(rng.standard_normal((10, 2)))
+        base = Eigensystem(
+            mean=np.zeros(10), basis=basis,
+            eigenvalues=np.array([4.0, 2.0]), scale=1.0, n_seen=100,
+        )
+        detector = SubspaceDriftDetector(warmup_snapshots=0)
+        detector.observe(base)
+        noisy = base.copy()
+        noisy.scale = 5.0
+        report = detector.observe(noisy)
+        assert report.alarmed
+        assert report.worst_axis() == "scale_shift"
+
+    def test_first_snapshot_returns_none(self, rng):
+        detector = SubspaceDriftDetector()
+        assert detector.observe(Eigensystem.empty(5)) is None
+
+    def test_warmup_suppresses_alarms(self, rng):
+        basis1, _ = np.linalg.qr(rng.standard_normal((10, 2)))
+        basis2, _ = np.linalg.qr(rng.standard_normal((10, 2)))
+        s1 = Eigensystem(mean=np.zeros(10), basis=basis1,
+                         eigenvalues=np.array([2.0, 1.0]), scale=1.0)
+        s2 = Eigensystem(mean=np.zeros(10), basis=basis2,
+                         eigenvalues=np.array([2.0, 1.0]), scale=1.0)
+        detector = SubspaceDriftDetector(warmup_snapshots=5)
+        detector.observe(s1)
+        report = detector.observe(s2)  # huge rotation, but in warm-up
+        assert not report.alarmed
+
+    def test_snapshot_copied_not_aliased(self, rng):
+        basis, _ = np.linalg.qr(rng.standard_normal((6, 2)))
+        st = Eigensystem(mean=np.zeros(6), basis=basis,
+                         eigenvalues=np.array([2.0, 1.0]), scale=1.0)
+        detector = SubspaceDriftDetector(warmup_snapshots=0)
+        detector.observe(st)
+        st.scale = 100.0  # caller keeps mutating
+        report = detector.observe(st)
+        assert report.scale_shift == pytest.approx(99.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SubspaceDriftDetector(angle_threshold=0.0)
+        with pytest.raises(ValueError):
+            SubspaceDriftDetector(eigenvalue_rtol=0.0)
+        with pytest.raises(ValueError):
+            SubspaceDriftDetector(warmup_snapshots=-1)

@@ -1,0 +1,145 @@
+"""Edge cases and cross-family coverage that don't fit elsewhere."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Simulator
+from repro.core import (
+    Eigensystem,
+    RobustIncrementalPCA,
+    largest_principal_angle,
+)
+from repro.data import GrossOutlierInjector, PlantedSubspaceModel, VectorStream
+from repro.streams import (
+    CollectingSink,
+    Graph,
+    Split,
+    SynchronousEngine,
+    VectorSource,
+)
+
+
+class TestRhoFamiliesEndToEnd:
+    @pytest.mark.parametrize("family", ["bisquare", "cauchy", "skipped"])
+    def test_every_family_survives_contamination(self, family, small_model):
+        rng = np.random.default_rng(123)
+        inj = GrossOutlierInjector(0.04, 25.0, np.random.default_rng(7))
+        est = RobustIncrementalPCA(3, alpha=0.998, rho=family)
+        for x in inj.wrap(small_model.stream(4000, rng)):
+            est.update(x)
+        angle = largest_principal_angle(
+            est.state.basis[:, :3], small_model.basis
+        )
+        assert angle < 0.25, f"{family} failed: {angle}"
+
+
+class TestDegenerateShapes:
+    def test_single_component_everything(self, rng):
+        x = rng.standard_normal((500, 3)) * np.array([5.0, 0.5, 0.5])
+        est = RobustIncrementalPCA(1, alpha=0.99, init_size=10)
+        est.partial_fit(x)
+        assert est.components_.shape == (1, 3)
+        assert abs(est.components_[0, 0]) > 0.95
+
+    def test_from_batch_more_components_than_rank(self, rng):
+        x = rng.standard_normal((4, 10))
+        st = Eigensystem.from_batch(x, 8)
+        assert st.n_components <= 4
+        st.validate()
+
+    def test_dim_two_stream(self, rng):
+        est = RobustIncrementalPCA(1, alpha=0.99, init_size=5)
+        est.partial_fit(rng.standard_normal((200, 2)))
+        assert est.state.dim == 2
+
+    def test_split_single_target_is_passthrough(self, rng):
+        x = rng.standard_normal((20, 2))
+        g = Graph("one")
+        src = g.add(VectorSource("src", VectorStream.from_array(x)))
+        split = g.add(Split("split", 1))
+        sink = g.add(CollectingSink("sink"))
+        g.connect(src, split)
+        g.connect(split, sink, out_port=0)
+        SynchronousEngine(g).run()
+        assert len(sink.tuples) == 20
+
+    def test_unconnected_output_port_drops_tuples(self, rng):
+        """Tuples emitted on a port nobody listens to simply vanish
+        (legal: result ports are optional)."""
+        x = rng.standard_normal((10, 2))
+        g = Graph("drop")
+        src = g.add(VectorSource("src", VectorStream.from_array(x)))
+        split = g.add(Split("split", 2, strategy="round_robin"))
+        sink = g.add(CollectingSink("sink"))
+        g.connect(src, split)
+        g.connect(split, sink, out_port=0)  # port 1 unconnected
+        SynchronousEngine(g).run()
+        assert len(sink.tuples) == 5
+
+
+class TestKernelProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        delays=st.lists(
+            st.floats(0.0, 100.0, allow_nan=False), min_size=1, max_size=20
+        )
+    )
+    def test_events_fire_in_time_order(self, delays):
+        sim = Simulator()
+        fired: list[float] = []
+
+        def proc(d):
+            yield sim.timeout(d)
+            fired.append(sim.now)
+
+        for d in delays:
+            sim.process(proc(d))
+        sim.run()
+        assert fired == sorted(fired)
+        assert fired == sorted(delays)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n_workers=st.integers(1, 8),
+        capacity=st.integers(1, 4),
+        service=st.floats(0.1, 2.0),
+    )
+    def test_resource_conservation(self, n_workers, capacity, service):
+        """Total busy time equals n_workers × service regardless of
+        contention; completion time matches the FIFO schedule."""
+        from repro.cluster import Resource
+
+        sim = Simulator()
+        res = Resource(sim, capacity)
+        done: list[float] = []
+
+        def worker():
+            yield res.request()
+            yield sim.timeout(service)
+            res.release()
+            done.append(sim.now)
+
+        for _ in range(n_workers):
+            sim.process(worker())
+        sim.run()
+        assert len(done) == n_workers
+        waves = -(-n_workers // capacity)  # ceil division
+        assert max(done) == pytest.approx(waves * service)
+
+
+class TestEstimatorMisuse:
+    def test_transform_before_init_raises(self, rng):
+        est = RobustIncrementalPCA(2, init_size=10)
+        est.update(rng.standard_normal(5))
+        with pytest.raises(RuntimeError, match="not initialized"):
+            est.transform(rng.standard_normal((3, 5)))
+
+    def test_weight_of_matches_update_decision(self, small_model, rng):
+        est = RobustIncrementalPCA(3, alpha=0.999)
+        est.partial_fit(small_model.sample(1000, rng))
+        clean = small_model.sample(1, rng)[0]
+        junk = 40.0 * rng.standard_normal(40)
+        assert est.weight_of(clean) > 0
+        assert est.weight_of(junk) == 0.0

@@ -1,0 +1,162 @@
+"""Tests for the Eigensystem state container."""
+
+import numpy as np
+import pytest
+
+from repro.core.eigensystem import Eigensystem
+
+
+def _simple_state(rng, d=10, k=3) -> Eigensystem:
+    basis, _ = np.linalg.qr(rng.standard_normal((d, k)))
+    return Eigensystem(
+        mean=rng.standard_normal(d),
+        basis=basis,
+        eigenvalues=np.array(sorted(rng.random(k) + 0.1, reverse=True)),
+        scale=1.5,
+        sum_count=10.0,
+        sum_weight=9.0,
+        sum_weighted_r2=12.0,
+        n_seen=10,
+        n_since_sync=4,
+    )
+
+
+class TestConstruction:
+    def test_empty(self):
+        st = Eigensystem.empty(7)
+        assert st.dim == 7
+        assert st.n_components == 0
+        assert st.n_seen == 0
+
+    def test_from_batch_matches_svd(self, rng):
+        x = rng.standard_normal((100, 12))
+        st = Eigensystem.from_batch(x, 4)
+        assert st.n_components == 4
+        assert np.allclose(st.mean, x.mean(axis=0))
+        # Eigenvalues = squared singular values of centered data / n.
+        y = x - x.mean(axis=0)
+        s = np.linalg.svd(y, compute_uv=False)
+        assert np.allclose(st.eigenvalues, (s[:4] ** 2) / 100)
+        assert st.orthonormality_error() < 1e-10
+
+    def test_from_batch_uncentered(self, rng):
+        x = rng.standard_normal((50, 8)) + 5.0
+        st = Eigensystem.from_batch(x, 2, center=False)
+        assert np.allclose(st.mean, 0.0)
+
+    def test_from_batch_degenerate_rank(self, rng):
+        row = rng.standard_normal(6)
+        x = np.vstack([row * i for i in range(1, 6)])  # rank 1
+        st = Eigensystem.from_batch(x, 4)
+        assert st.n_components <= 2  # mean removal can add one direction
+
+    def test_from_batch_errors(self, rng):
+        with pytest.raises(ValueError, match="2-D"):
+            Eigensystem.from_batch(np.zeros(5), 2)
+        with pytest.raises(ValueError, match="at least 2"):
+            Eigensystem.from_batch(np.zeros((1, 5)), 2)
+
+    def test_1d_basis_promoted(self):
+        st = Eigensystem(
+            mean=np.zeros(4),
+            basis=np.array([1.0, 0, 0, 0]),
+            eigenvalues=np.array([2.0]),
+        )
+        assert st.basis.shape == (4, 1)
+
+
+class TestValidation:
+    def test_mismatched_basis_rows(self):
+        with pytest.raises(ValueError, match="basis rows"):
+            Eigensystem(
+                mean=np.zeros(5),
+                basis=np.zeros((4, 2)),
+                eigenvalues=np.zeros(2),
+            )
+
+    def test_mismatched_eigenvalues(self):
+        with pytest.raises(ValueError, match="eigenvalues shape"):
+            Eigensystem(
+                mean=np.zeros(5),
+                basis=np.zeros((5, 2)),
+                eigenvalues=np.zeros(3),
+            )
+
+    def test_negative_eigenvalues(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Eigensystem(
+                mean=np.zeros(3),
+                basis=np.eye(3, 1),
+                eigenvalues=np.array([-1.0]),
+            )
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            Eigensystem(
+                mean=np.zeros(3),
+                basis=np.eye(3, 1),
+                eigenvalues=np.array([1.0]),
+                scale=float("nan"),
+            )
+
+
+class TestGeometry:
+    def test_projection_identities(self, rng):
+        st = _simple_state(rng)
+        y = rng.standard_normal(10)
+        recon = st.reconstruct(y)
+        resid = st.residual(y)
+        assert np.allclose(recon + resid, y)
+        # Residual is orthogonal to the basis.
+        assert np.allclose(st.basis.T @ resid, 0.0, atol=1e-10)
+        # Pythagoras.
+        assert float(y @ y) == pytest.approx(
+            float(recon @ recon) + float(resid @ resid)
+        )
+
+    def test_block_operations(self, rng):
+        st = _simple_state(rng)
+        y = rng.standard_normal((7, 10))
+        r2 = st.residual_norm2(y)
+        assert r2.shape == (7,)
+        for i in range(7):
+            assert r2[i] == pytest.approx(st.residual_norm2(y[i]))
+
+    def test_covariance_reconstruction(self, rng):
+        st = _simple_state(rng)
+        c = st.covariance()
+        assert c.shape == (10, 10)
+        assert np.allclose(c, c.T)
+        assert np.trace(c) == pytest.approx(st.eigenvalues.sum())
+
+    def test_center(self, rng):
+        st = _simple_state(rng)
+        x = rng.standard_normal(10)
+        assert np.allclose(st.center(x), x - st.mean)
+
+
+class TestLifecycle:
+    def test_copy_is_deep(self, rng):
+        st = _simple_state(rng)
+        cp = st.copy()
+        cp.mean[0] += 100
+        cp.basis[0, 0] += 100
+        assert st.mean[0] != cp.mean[0]
+        assert st.basis[0, 0] != cp.basis[0, 0]
+
+    def test_mark_synced(self, rng):
+        st = _simple_state(rng)
+        st.mark_synced()
+        assert st.n_since_sync == 0
+
+    def test_dict_roundtrip(self, rng):
+        st = _simple_state(rng)
+        st2 = Eigensystem.from_dict(st.to_dict())
+        assert st2 == st
+
+    def test_equality(self, rng):
+        st = _simple_state(rng)
+        assert st == st.copy()
+        other = st.copy()
+        other.scale += 1
+        assert st != other

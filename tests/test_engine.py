@@ -1,0 +1,199 @@
+"""Tests for the synchronous and threaded runtimes."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.data.streams import VectorStream
+from repro.streams import (
+    CollectingSink,
+    Functor,
+    FusionPlan,
+    Graph,
+    RunStats,
+    Split,
+    SynchronousEngine,
+    ThreadedEngine,
+    Union,
+    VectorSource,
+)
+from repro.streams.operators import Sink, Source
+from repro.streams.tuples import StreamTuple
+
+
+def _fan_graph(x, n_ways=3, split_strategy="round_robin"):
+    g = Graph("fan")
+    src = g.add(VectorSource("src", VectorStream.from_array(x)))
+    split = g.add(Split("split", n_ways, strategy=split_strategy, seed=1))
+    uni = g.add(Union("union", n_ways))
+    sink = g.add(CollectingSink("sink"))
+    g.connect(src, split)
+    for i in range(n_ways):
+        g.connect(split, uni, out_port=i, in_port=i)
+    g.connect(uni, sink)
+    return g, sink
+
+
+class TestSynchronousEngine:
+    def test_delivers_everything_in_order_per_channel(self, rng):
+        x = np.arange(60, dtype=float).reshape(30, 2)
+        g, sink = _fan_graph(x)
+        stats = SynchronousEngine(g).run()
+        assert len(sink.tuples) == 30
+        seqs = [t["seq"] for t in sink.tuples]
+        assert sorted(seqs) == list(range(30))
+        assert stats.source_tuples["src"] == 30
+
+    def test_deterministic_across_runs(self):
+        x = np.arange(40, dtype=float).reshape(20, 2)
+        orders = []
+        for _ in range(2):
+            g, sink = _fan_graph(x, split_strategy="random")
+            SynchronousEngine(g).run()
+            orders.append([t["seq"] for t in sink.tuples])
+        assert orders[0] == orders[1]
+
+    def test_multiple_sources_interleaved(self):
+        g = Graph("two-src")
+        a = g.add(VectorSource("a", VectorStream.from_array(np.zeros((5, 1)))))
+        b = g.add(VectorSource("b", VectorStream.from_array(np.ones((3, 1)))))
+        uni = g.add(Union("u", 2))
+        sink = g.add(CollectingSink("sink"))
+        g.connect(a, uni, in_port=0)
+        g.connect(b, uni, in_port=1)
+        g.connect(uni, sink)
+        SynchronousEngine(g).run()
+        vals = [float(t["x"][0]) for t in sink.tuples]
+        assert len(vals) == 8
+        # Round-robin interleaving: first four alternate.
+        assert vals[:4] == [0.0, 1.0, 0.0, 1.0]
+
+    def test_control_loop_quiesces(self):
+        """A cyclic request/response exchange terminates."""
+        g = Graph("loop")
+
+        class Pinger(Source):
+            def generate(self):
+                yield StreamTuple.control(type="ping", hops=0)
+
+        class Bouncer(Functor):
+            def __init__(self, name):
+                super().__init__(name, None)
+
+            def process(self, tup, port):
+                hops = tup.get("hops", 0)
+                if hops < 5:
+                    self.submit(
+                        StreamTuple.control(type="ping", hops=hops + 1)
+                    )
+
+        src = g.add(Pinger("src"))
+        a = g.add(Union("in", 2))
+        b = g.add(Bouncer("bounce"))
+        sink = g.add(CollectingSink("sink"))
+        g.connect(src, a, in_port=0)
+        g.connect(a, b)
+        g.connect(b, a, in_port=1)
+        g.connect(b, sink)
+        SynchronousEngine(g).run()  # must terminate
+
+    def test_stats_collects_counters(self):
+        x = np.zeros((10, 2))
+        g, sink = _fan_graph(x)
+        stats = SynchronousEngine(g).run()
+        assert stats.tuples_in["sink"] == 10
+        assert stats.wall_time_s > 0
+        assert stats.throughput() > 0
+
+
+class TestThreadedEngine:
+    @pytest.mark.parametrize("fusion_name", ["per_operator", "fused", "fuse_chains"])
+    def test_delivers_everything_under_all_fusions(self, fusion_name):
+        x = np.arange(200, dtype=float).reshape(100, 2)
+        g, sink = _fan_graph(x)
+        plan = getattr(FusionPlan, fusion_name)(g)
+        ThreadedEngine(g, fusion=plan).run(timeout_s=30)
+        assert len(sink.tuples) == 100
+        assert sorted(t["seq"] for t in sink.tuples) == list(range(100))
+
+    def test_backpressure_with_tiny_queues(self):
+        """A slow consumer with queue_size=1 must not lose tuples."""
+        x = np.arange(60, dtype=float).reshape(30, 2)
+        g = Graph("bp")
+        src = g.add(VectorSource("src", VectorStream.from_array(x)))
+
+        class SlowSink(Sink):
+            def __init__(self):
+                super().__init__("slow")
+                self.got = []
+
+            def consume(self, tup, port):
+                time.sleep(0.002)
+                self.got.append(tup)
+
+        sink = g.add(SlowSink())
+        g.connect(src, sink)
+        ThreadedEngine(g, queue_size=1).run(timeout_s=30)
+        assert len(sink.got) == 30
+
+    def test_timeout_raises(self):
+        g = Graph("hang")
+
+        class Stuck(Source):
+            def generate(self):
+                yield StreamTuple.data(x=1)
+                time.sleep(60)
+
+        class Devnull(Sink):
+            def consume(self, tup, port):
+                pass
+
+        src = g.add(Stuck("src"))
+        sink = g.add(Devnull("sink"))
+        g.connect(src, sink)
+        with pytest.raises(RuntimeError, match="did not finish"):
+            ThreadedEngine(g).run(timeout_s=0.3)
+
+    def test_operator_exception_propagates(self):
+        g = Graph("boom")
+        src = g.add(
+            VectorSource("src", VectorStream.from_array(np.zeros((5, 1))))
+        )
+
+        def explode(t):
+            raise ValueError("kaboom")
+
+        f = g.add(Functor("f", explode))
+        sink = g.add(CollectingSink("sink"))
+        g.connect(src, f)
+        g.connect(f, sink)
+        with pytest.raises(ValueError, match="kaboom"):
+            ThreadedEngine(g).run(timeout_s=10)
+
+    def test_least_loaded_probe_installed(self):
+        x = np.zeros((50, 2))
+        g, sink = _fan_graph(x, split_strategy="least_loaded")
+        ThreadedEngine(g).run(timeout_s=30)
+        assert len(sink.tuples) == 50
+
+    def test_no_leftover_threads(self):
+        before = threading.active_count()
+        x = np.zeros((20, 2))
+        g, sink = _fan_graph(x)
+        ThreadedEngine(g).run(timeout_s=30)
+        time.sleep(0.05)
+        assert threading.active_count() <= before + 1
+
+    def test_queue_size_validation(self):
+        x = np.zeros((5, 2))
+        g, _ = _fan_graph(x)
+        with pytest.raises(ValueError, match="queue_size"):
+            ThreadedEngine(g, queue_size=0)
+
+
+class TestRunStats:
+    def test_throughput_zero_cases(self):
+        stats = RunStats()
+        assert stats.throughput() == 0.0

@@ -1,0 +1,164 @@
+"""Smoke tests of the experiment harness (scaled-down configurations).
+
+The full-size runs live in benchmarks/; here we verify each experiment's
+plumbing and the direction of its headline effect on small workloads.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    Fig1Config,
+    Fig45Config,
+    Fig6Config,
+    Fig7Config,
+    format_table,
+    run_alpha_ablation,
+    run_fig1,
+    run_fig45,
+    run_fig6,
+    run_fig7,
+    run_gap_ablation,
+    run_gate_ablation,
+    run_sync_strategies,
+)
+from repro.experiments.common import Table
+
+
+class TestCommon:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_table_render(self):
+        t = Table("title", ["x"], [[1]])
+        assert t.render().startswith("title\n")
+
+
+class TestFig1:
+    def test_small_run_shapes(self):
+        config = Fig1Config(
+            dim=40, n_observations=1500, trace_every=20, seed=1
+        )
+        result = run_fig1(config)
+        assert result.classic_angle > result.robust_angle
+        assert result.detection["recall"] > 0.8
+        mat = result.robust_trace.eigenvalue_matrix()
+        assert mat.shape[1] == config.n_components
+        assert result.table().render()
+
+
+class TestFig45:
+    def test_small_run_improves(self):
+        config = Fig45Config(
+            n_bins=150, n_spectra=1200, early_at=100, seed=2
+        )
+        result = run_fig45(config)
+        assert result.late_roughness.mean() < result.early_roughness.mean()
+        assert result.late_angles.mean() < result.early_angles.mean()
+        assert result.early_basis.shape == (150, 4)
+        assert result.n_gap_filled > 0
+        assert result.table().render()
+
+
+class TestFig6:
+    def test_small_sweep_shape(self):
+        config = Fig6Config(
+            threads=(1, 4, 20, 30), warmup_s=0.1, window_s=0.3
+        )
+        result = run_fig6(config)
+        assert len(result.single) == len(result.distributed) == 4
+        dist = [r.throughput for r in result.distributed]
+        single = [r.throughput for r in result.single]
+        assert dist[2] > dist[1] > dist[0]   # scales up to 20
+        assert dist[3] < dist[2]             # degrades at 30
+        assert single[3] == pytest.approx(single[2], rel=0.1)  # flat
+        threads, peak = result.distributed_peak()
+        assert threads == 20
+        assert result.table().render()
+
+
+class TestFig7:
+    def test_small_sweep_shape(self):
+        config = Fig7Config(
+            dims=(250, 1000), threads=(1, 10, 20),
+            warmup_s=0.1, window_s=0.3,
+        )
+        result = run_fig7(config)
+        # Per-thread falls with d.
+        assert result.per_thread(10, 1000) < result.per_thread(10, 250) / 2
+        # 20 threads NIC-bound at small d.
+        assert result.per_thread(20, 250) < result.per_thread(10, 250)
+        assert result.table().render()
+
+
+class TestAblations:
+    def test_alpha_ablation_small(self):
+        result = run_alpha_ablation(
+            alphas=(0.99, 1.0), dim=30, n_observations=2500,
+            rotation_rate=5e-4, seed=3,
+        )
+        by = {a: i for i, a in enumerate(result.alphas)}
+        assert (
+            result.tracking_angles[by[1.0]]
+            > result.tracking_angles[by[0.99]]
+        )
+        assert result.best_alpha() == 0.99
+        assert result.table().render()
+
+    def test_gap_ablation_small(self):
+        result = run_gap_ablation(
+            modes=("observed", "hybrid"),
+            n_bins=120, n_spectra=700, seed=4,
+        )
+        assert result.inflation_of("observed") > result.inflation_of("hybrid")
+        assert result.table().render()
+
+    def test_sync_strategies_small(self):
+        result = run_sync_strategies(
+            strategies=("ring", "broadcast"),
+            dim=30, n_observations=3000, seed=5,
+        )
+        by = {s: i for i, s in enumerate(result.strategies)}
+        assert (
+            result.merge_messages[by["broadcast"]]
+            > result.merge_messages[by["ring"]]
+        )
+        assert all(a < 0.5 for a in result.global_angle)
+        assert result.table().render()
+
+    def test_gate_ablation_small(self):
+        result = run_gate_ablation(
+            factors=(1.0, 5.0), dim=30, n_observations=3000, seed=6
+        )
+        assert result.merge_messages[0] > result.merge_messages[1]
+        assert result.table().render()
+
+
+class TestConvergence:
+    def test_small_run(self):
+        from repro.experiments import ConvergenceConfig, run_convergence
+
+        result = run_convergence(
+            ConvergenceConfig(
+                n_bins=120, n_spectra=1500, snapshot_every=150, seed=2
+            )
+        )
+        assert len(result.fractions) == len(result.leading_angles)
+        assert result.final_leading_angle < 0.1
+        assert result.fraction_to_reach(0.1) < 0.5
+        assert result.table().render()
+
+
+class TestLatency:
+    def test_small_run(self):
+        from repro.experiments import LatencyConfig, run_latency
+
+        result = run_latency(
+            LatencyConfig(warmup_s=0.1, window_s=0.3)
+        )
+        assert result.p50_of("fused") < result.p50_of("distributed")
+        assert result.p50_of("distributed") < result.p50_of("relay")
+        assert result.table().render()

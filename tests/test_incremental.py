@@ -1,0 +1,142 @@
+"""Tests for the classical incremental PCA (the Fig. 1 baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.core import BatchPCA, IncrementalPCA, largest_principal_angle
+
+
+class TestWarmup:
+    def test_state_unavailable_before_init(self):
+        ipca = IncrementalPCA(2, init_size=5)
+        ipca.update(np.zeros(4))
+        with pytest.raises(RuntimeError, match="not initialized"):
+            _ = ipca.state
+        assert not ipca.is_initialized
+        assert ipca.n_seen == 1
+
+    def test_initializes_after_buffer(self, rng):
+        ipca = IncrementalPCA(2, init_size=5)
+        for _ in range(5):
+            ipca.update(rng.standard_normal(4))
+        assert ipca.is_initialized
+        assert ipca.n_seen == 5
+
+    def test_update_returns_none_during_warmup(self, rng):
+        ipca = IncrementalPCA(2, init_size=4)
+        assert ipca.update(rng.standard_normal(4)) is None
+
+
+class TestConvergence:
+    def test_converges_to_planted_subspace(self, small_model, small_data):
+        ipca = IncrementalPCA(3).partial_fit(small_data)
+        angle = largest_principal_angle(ipca.state.basis, small_model.basis)
+        assert angle < 0.08
+
+    def test_eigenvalues_near_truth(self, small_model, small_data):
+        ipca = IncrementalPCA(3).partial_fit(small_data)
+        assert np.allclose(
+            ipca.eigenvalues_, small_model.eigenvalues, rtol=0.15
+        )
+
+    def test_matches_batch_pca(self, small_data):
+        """Infinite-memory incremental ≈ batch on the same data."""
+        ipca = IncrementalPCA(3).partial_fit(small_data)
+        batch = BatchPCA(3).fit(small_data)
+        angle = largest_principal_angle(
+            ipca.state.basis, batch.components_.T
+        )
+        assert angle < 0.08
+        assert np.allclose(ipca.eigenvalues_, batch.eigenvalues_, rtol=0.1)
+        assert np.allclose(ipca.mean_, batch.mean_, atol=0.05)
+
+    def test_forgetting_tracks_mean_shift(self, rng):
+        """alpha < 1 adapts to a shifted distribution; alpha = 1 lags."""
+        d = 10
+        x1 = rng.standard_normal((3000, d))
+        x2 = rng.standard_normal((3000, d)) + 8.0
+
+        fast = IncrementalPCA(2, alpha=0.99)
+        slow = IncrementalPCA(2, alpha=1.0)
+        for est in (fast, slow):
+            est.partial_fit(x1)
+            est.partial_fit(x2)
+        err_fast = np.linalg.norm(fast.mean_ - 8.0)
+        err_slow = np.linalg.norm(slow.mean_ - 8.0)
+        assert err_fast < 0.5
+        assert err_slow > 2.0
+
+
+class TestInference:
+    def test_transform_inverse_roundtrip_in_subspace(self, small_model, rng):
+        # Noise-free data lies in the subspace: the round trip is exact
+        # up to the mean estimate.
+        model = small_model
+        x = model.sample(2000, rng)
+        ipca = IncrementalPCA(3).partial_fit(x)
+        z = ipca.transform(x[:10])
+        assert z.shape == (10, 3)
+        back = ipca.inverse_transform(z)
+        assert back.shape == (10, 40)
+        # Reconstruction error is bounded by the noise floor.
+        err = np.mean(np.sum((back - x[:10]) ** 2, axis=1))
+        noise_floor = 40 * model.noise_std**2
+        assert err < 3 * noise_floor
+
+    def test_reconstruction_error(self, small_data):
+        ipca = IncrementalPCA(3).partial_fit(small_data)
+        errs = ipca.reconstruction_error(small_data[:50])
+        assert errs.shape == (50,)
+        assert np.all(errs >= 0)
+
+    def test_components_shape(self, small_data):
+        ipca = IncrementalPCA(3).partial_fit(small_data)
+        assert ipca.components_.shape == (3, 40)
+        assert ipca.mean_.shape == (40,)
+
+
+class TestUpdateResult:
+    def test_diagnostics_fields(self, small_data):
+        ipca = IncrementalPCA(3, init_size=10)
+        results = [ipca.update(x) for x in small_data[:50]]
+        assert all(r is None for r in results[:10])
+        for r in results[10:]:
+            assert r.weight == 1.0
+            assert r.residual_norm2 >= 0
+            assert not r.is_outlier
+
+    def test_scale_tracks_mean_residual(self, small_model, small_data):
+        ipca = IncrementalPCA(3).partial_fit(small_data)
+        # Residual variance is (d - p) * noise_std² approximately.
+        expected = (40 - 3) * small_model.noise_std**2
+        assert ipca.state.scale == pytest.approx(expected, rel=0.3)
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(ValueError, match="n_components"):
+            IncrementalPCA(0)
+        with pytest.raises(ValueError, match="alpha"):
+            IncrementalPCA(2, alpha=0.0)
+        with pytest.raises(ValueError, match="alpha"):
+            IncrementalPCA(2, alpha=1.5)
+        with pytest.raises(ValueError, match="init_size"):
+            IncrementalPCA(2, init_size=1)
+
+    def test_wrong_shape_update(self, rng):
+        ipca = IncrementalPCA(2, init_size=3)
+        with pytest.raises(ValueError, match="single vector"):
+            ipca.update(rng.standard_normal((2, 4)))
+
+    def test_dimension_mismatch_after_init(self, rng):
+        ipca = IncrementalPCA(2, init_size=3)
+        for _ in range(3):
+            ipca.update(rng.standard_normal(6))
+        with pytest.raises(ValueError, match="dim"):
+            ipca.update(rng.standard_normal(7))
+
+    def test_orthonormality_preserved_over_long_stream(self, rng):
+        ipca = IncrementalPCA(4, init_size=10)
+        for _ in range(2000):
+            ipca.update(rng.standard_normal(20))
+        assert ipca.state.orthonormality_error() < 1e-8

@@ -1,0 +1,129 @@
+"""Tests for CSV vector IO and eigensystem checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.core import Eigensystem
+from repro.io.checkpoint import (
+    CheckpointStore,
+    load_eigensystem,
+    save_eigensystem,
+)
+from repro.io.csvio import read_vectors_csv, write_vectors_csv
+
+
+class TestCSVIO:
+    def test_roundtrip_with_nans(self, tmp_path, rng):
+        x = rng.standard_normal((6, 5))
+        x[1, 3] = np.nan
+        x[4, 0] = np.nan
+        path = tmp_path / "v.csv"
+        n = write_vectors_csv(path, x)
+        assert n == 6
+        got = np.vstack(list(read_vectors_csv(path)))
+        assert np.allclose(got, x, equal_nan=True)
+
+    def test_full_precision_roundtrip(self, tmp_path):
+        x = np.array([[1 / 3, np.pi, 1e-300, 1e300]])
+        path = tmp_path / "v.csv"
+        write_vectors_csv(path, x)
+        got = np.vstack(list(read_vectors_csv(path)))
+        assert np.array_equal(got, x)  # exact via repr()
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1,2,3\n4,5\n")
+        with pytest.raises(ValueError, match="expected 3"):
+            list(read_vectors_csv(path))
+
+    def test_unparsable_cell(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1,banana\n")
+        with pytest.raises(ValueError, match="unparsable"):
+            list(read_vectors_csv(path))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "v.csv"
+        path.write_text("1,2\n\n3,4\n")
+        got = np.vstack(list(read_vectors_csv(path)))
+        assert got.shape == (2, 2)
+
+    def test_nan_spellings(self, tmp_path):
+        path = tmp_path / "v.csv"
+        path.write_text("1,,nan,NaN\n")
+        got = next(read_vectors_csv(path))
+        assert got[0] == 1.0
+        assert np.isnan(got[1:]).all()
+
+
+def _state(rng, n_seen=1000) -> Eigensystem:
+    basis, _ = np.linalg.qr(rng.standard_normal((8, 3)))
+    return Eigensystem(
+        mean=rng.standard_normal(8),
+        basis=basis,
+        eigenvalues=np.array([3.0, 2.0, 1.0]),
+        scale=0.7,
+        sum_count=321.5,
+        sum_weight=300.25,
+        sum_weighted_r2=123.75,
+        n_seen=n_seen,
+        n_since_sync=17,
+    )
+
+
+class TestCheckpointFiles:
+    def test_save_load_roundtrip(self, tmp_path, rng):
+        st = _state(rng)
+        path = tmp_path / "ck.npz"
+        save_eigensystem(path, st)
+        assert load_eigensystem(path) == st
+
+
+class TestCheckpointStore:
+    def test_maybe_save_periodicity(self, tmp_path, rng):
+        store = CheckpointStore(tmp_path, every=100)
+        for n in (50, 100, 150, 199, 200, 450):
+            st = _state(rng, n_seen=n)
+            store.maybe_save(st)
+        saved = [n for n, _ in store.list()]
+        assert saved == [50, 100, 200, 450]
+
+    def test_keep_prunes_oldest(self, tmp_path, rng):
+        store = CheckpointStore(tmp_path, every=1, keep=2)
+        for n in (10, 20, 30):
+            store.save(_state(rng, n_seen=n))
+        assert [n for n, _ in store.list()] == [20, 30]
+
+    def test_load_latest_and_history(self, tmp_path, rng):
+        store = CheckpointStore(tmp_path, every=1)
+        assert store.load_latest() is None
+        for n in (10, 30, 20):
+            store.save(_state(rng, n_seen=n))
+        latest = store.load_latest()
+        assert latest.n_seen == 30
+        history = store.load_history()
+        assert [n for n, _ in history] == [10, 20, 30]
+
+    def test_resume_from_checkpoint(self, tmp_path, rng):
+        """A streaming run can be restored and continued — the paper's
+        'saved to the disk for future reference'."""
+        from repro.core import RobustIncrementalPCA
+        from repro.data import PlantedSubspaceModel
+
+        model = PlantedSubspaceModel(dim=20, seed=1)
+        est = RobustIncrementalPCA(3, alpha=0.999)
+        est.partial_fit(model.sample(500, rng))
+        store = CheckpointStore(tmp_path, every=1)
+        store.save(est.state)
+
+        est2 = RobustIncrementalPCA(3, alpha=0.999)
+        est2.partial_fit(model.sample(50, rng))  # initialize
+        est2.replace_state(store.load_latest())
+        assert est2.state.n_seen == est.state.n_seen
+        est2.partial_fit(model.sample(100, rng))  # keeps running
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="every"):
+            CheckpointStore(tmp_path, every=0)
+        with pytest.raises(ValueError, match="keep"):
+            CheckpointStore(tmp_path, keep=0)

@@ -1,0 +1,169 @@
+"""Tests for eigensystem merging — the parallel-sync combination rule."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BatchPCA,
+    Eigensystem,
+    eigensystems_consistent,
+    largest_principal_angle,
+    merge_eigensystems,
+    merge_pair,
+    merge_weights,
+)
+
+
+def _state_from(x: np.ndarray, p: int) -> Eigensystem:
+    st_ = BatchPCA(p).fit(x).to_eigensystem()
+    st_.sum_count = float(x.shape[0])
+    st_.sum_weight = float(x.shape[0])
+    st_.n_seen = x.shape[0]
+    return st_
+
+
+class TestMergeExactness:
+    def test_two_way_merge_matches_pooled_batch(self, small_data):
+        """Merging disjoint halves ≈ batch PCA of the union (the identity
+        the whole parallel scheme rests on)."""
+        a, b = small_data[:1500], small_data[1500:]
+        merged = merge_pair(_state_from(a, 3), _state_from(b, 3), 3)
+        full = BatchPCA(3).fit(small_data)
+        assert largest_principal_angle(
+            merged.basis, full.components_.T
+        ) < 1e-3
+        assert np.allclose(merged.eigenvalues, full.eigenvalues_, rtol=1e-3)
+        assert np.allclose(merged.mean, full.mean_, atol=1e-12)
+
+    def test_many_way_merge(self, small_data):
+        parts = np.array_split(small_data, 5)
+        merged = merge_eigensystems([_state_from(p, 3) for p in parts], 3)
+        full = BatchPCA(3).fit(small_data)
+        assert largest_principal_angle(
+            merged.basis, full.components_.T
+        ) < 1e-3
+        assert np.allclose(merged.eigenvalues, full.eigenvalues_, rtol=1e-3)
+
+    def test_mean_terms_matter_when_means_differ(self, rng):
+        """With shifted partitions, the exact merge captures the
+        between-group variance the eq. 16 approximation drops."""
+        # Low-rank partitions (so p-truncation is faithful) with a large
+        # mean shift between them.
+        scale = np.array([3.0, 2.0, 1.5] + [0.05] * 5)
+        a = rng.standard_normal((500, 8)) * scale
+        b = rng.standard_normal((500, 8)) * scale
+        b[:, 0] += 8.0
+        sa, sb = _state_from(a, 3), _state_from(b, 3)
+        exact = merge_pair(sa, sb, 3, exact=True)
+        approx = merge_pair(sa, sb, 3, exact=False)
+        full = BatchPCA(3).fit(np.vstack([a, b]))
+        err_exact = abs(exact.eigenvalues[0] - full.eigenvalues_[0])
+        err_approx = abs(approx.eigenvalues[0] - full.eigenvalues_[0])
+        assert err_exact < 0.02 * full.eigenvalues_[0]
+        assert err_approx > 10 * max(err_exact, 1e-12)
+
+    def test_approximation_fine_when_means_close(self, small_data):
+        a, b = small_data[:1500], small_data[1500:]
+        sa, sb = _state_from(a, 3), _state_from(b, 3)
+        exact = merge_pair(sa, sb, 3, exact=True)
+        approx = merge_pair(sa, sb, 3, exact=False)
+        assert np.allclose(
+            exact.eigenvalues, approx.eigenvalues, rtol=0.02
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 9999), split=st.floats(0.2, 0.8))
+    def test_hypothesis_trace_additivity(self, seed, split):
+        """Merged total variance (kept at full rank) equals the pooled
+        second moment about the pooled mean."""
+        r = np.random.default_rng(seed)
+        x = r.standard_normal((300, 6)) * np.array([3, 2, 1.5, 1, 0.5, 0.2])
+        k = int(300 * split)
+        sa, sb = _state_from(x[:k], 6), _state_from(x[k:], 6)
+        merged = merge_eigensystems([sa, sb], 6)
+        y = x - x.mean(axis=0)
+        pooled_trace = float(np.sum(y * y)) / 300
+        assert merged.eigenvalues.sum() == pytest.approx(
+            pooled_trace, rel=1e-6
+        )
+
+
+class TestMergeWeights:
+    def test_proportional_to_weight_sums(self):
+        s1 = Eigensystem.empty(4)
+        s2 = Eigensystem.empty(4)
+        s1.sum_weight, s2.sum_weight = 30.0, 10.0
+        w = merge_weights([s1, s2])
+        assert np.allclose(w, [0.75, 0.25])
+
+    def test_falls_back_to_counts(self):
+        s1, s2 = Eigensystem.empty(4), Eigensystem.empty(4)
+        s1.sum_count, s2.sum_count = 10.0, 30.0
+        assert np.allclose(merge_weights([s1, s2]), [0.25, 0.75])
+
+    def test_uniform_when_everything_zero(self):
+        w = merge_weights([Eigensystem.empty(4), Eigensystem.empty(4)])
+        assert np.allclose(w, [0.5, 0.5])
+
+
+class TestMergeBookkeeping:
+    def test_sums_added_and_sync_reset(self, small_data):
+        a, b = small_data[:1000], small_data[1000:]
+        sa, sb = _state_from(a, 2), _state_from(b, 2)
+        sa.n_since_sync, sb.n_since_sync = 77, 33
+        merged = merge_pair(sa, sb, 2)
+        assert merged.sum_count == pytest.approx(3000)
+        assert merged.n_seen == 3000
+        assert merged.n_since_sync == 0
+
+    def test_single_system_merge_is_copy(self, small_data):
+        s = _state_from(small_data, 2)
+        s.n_since_sync = 42
+        out = merge_eigensystems([s], 2)
+        assert np.allclose(out.basis, s.basis)
+        assert out.n_since_sync == 0
+        out.basis[0, 0] += 1  # must not alias the input
+        assert s.basis[0, 0] != out.basis[0, 0]
+
+    def test_explicit_weights(self, small_data):
+        a, b = small_data[:1000], small_data[1000:]
+        merged = merge_eigensystems(
+            [_state_from(a, 2), _state_from(b, 2)], 2, weights=[1.0, 0.0]
+        )
+        ref = _state_from(a, 2)
+        assert largest_principal_angle(merged.basis, ref.basis) < 1e-6
+
+    def test_errors(self, small_data):
+        s = _state_from(small_data, 2)
+        with pytest.raises(ValueError, match="at least one"):
+            merge_eigensystems([], 2)
+        other = Eigensystem.empty(7)
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            merge_eigensystems([s, other], 2)
+        with pytest.raises(ValueError, match="one per system"):
+            merge_eigensystems([s, s.copy()], 2, weights=[1.0])
+        with pytest.raises(ValueError, match="not all be zero"):
+            merge_eigensystems([s, s.copy()], 2, weights=[0.0, 0.0])
+
+
+class TestConsistencyCheck:
+    def test_consistent_systems(self, small_data):
+        a, b = small_data[:1500], small_data[1500:]
+        assert eigensystems_consistent(
+            [_state_from(a, 3), _state_from(b, 3)]
+        )
+
+    def test_inconsistent_scales(self, small_data):
+        sa = _state_from(small_data, 3)
+        sb = sa.copy()
+        sb.scale = sa.scale * 10
+        assert not eigensystems_consistent([sa, sb])
+
+    def test_inconsistent_subspaces(self, rng):
+        x1 = rng.standard_normal((500, 10)) * np.array([5] + [0.1] * 9)
+        x2 = rng.standard_normal((500, 10)) * np.array([0.1, 5] + [0.1] * 8)
+        assert not eigensystems_consistent(
+            [_state_from(x1, 1), _state_from(x2, 1)]
+        )

@@ -1,0 +1,179 @@
+"""Tests for the convergence/comparison metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import Eigensystem
+from repro.core.incremental import UpdateResult
+from repro.core.metrics import (
+    ConvergenceReport,
+    TraceRecorder,
+    align_signs,
+    explained_variance_ratio,
+    largest_principal_angle,
+    principal_angles,
+    roughness,
+    subspace_distance,
+)
+
+
+class TestPrincipalAngles:
+    def test_identical_subspaces(self, rng):
+        q, _ = np.linalg.qr(rng.standard_normal((20, 4)))
+        assert np.allclose(principal_angles(q, q), 0.0, atol=1e-7)
+        # Invariant under basis rotation.
+        rot, _ = np.linalg.qr(rng.standard_normal((4, 4)))
+        assert largest_principal_angle(q, q @ rot) < 1e-7
+
+    def test_orthogonal_subspaces(self):
+        a = np.eye(6)[:, :2]
+        b = np.eye(6)[:, 2:4]
+        angles = principal_angles(a, b)
+        assert np.allclose(angles, np.pi / 2)
+
+    def test_known_angle(self):
+        a = np.array([[1.0], [0.0]])
+        theta = 0.3
+        b = np.array([[np.cos(theta)], [np.sin(theta)]])
+        assert largest_principal_angle(a, b) == pytest.approx(theta)
+
+    def test_different_ranks(self, rng):
+        q, _ = np.linalg.qr(rng.standard_normal((20, 5)))
+        angles = principal_angles(q[:, :2], q)  # contained subspace
+        assert angles.size == 2
+        assert np.allclose(angles, 0.0, atol=1e-7)
+
+    def test_empty_basis(self):
+        assert principal_angles(np.zeros((5, 0)), np.eye(5)).size == 0
+        assert largest_principal_angle(np.zeros((5, 0)), np.eye(5)) == 0.0
+
+    def test_subspace_distance_is_sin(self):
+        a = np.array([[1.0], [0.0]])
+        b = np.array([[np.cos(0.3)], [np.sin(0.3)]])
+        assert subspace_distance(a, b) == pytest.approx(np.sin(0.3))
+
+    def test_non_2d_raises(self):
+        with pytest.raises(ValueError, match="2-D"):
+            principal_angles(np.zeros(5), np.eye(5))
+
+
+class TestAlignSigns:
+    def test_flips_to_match(self, rng):
+        q, _ = np.linalg.qr(rng.standard_normal((10, 3)))
+        flipped = q * np.array([1, -1, -1])
+        aligned = align_signs(flipped, q)
+        assert np.allclose(aligned, q)
+
+    def test_does_not_modify_input(self, rng):
+        q, _ = np.linalg.qr(rng.standard_normal((10, 2)))
+        flipped = -q
+        _ = align_signs(flipped, q)
+        assert np.allclose(flipped, -q)
+
+
+class TestRoughness:
+    def test_smooth_beats_noisy(self, rng):
+        t = np.linspace(0, 2 * np.pi, 200)
+        smooth = np.sin(t)
+        noisy = np.sin(t) + 0.3 * rng.standard_normal(200)
+        assert roughness(smooth) < roughness(noisy) / 10
+
+    def test_scale_invariant(self, rng):
+        x = rng.standard_normal(100)
+        assert roughness(x) == pytest.approx(roughness(5 * x))
+
+    def test_linear_is_perfectly_smooth(self):
+        assert roughness(np.linspace(1, 2, 50)) == pytest.approx(0.0, abs=1e-25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            roughness(np.zeros(2))
+
+
+class TestExplainedVarianceRatio:
+    def test_basic(self):
+        out = explained_variance_ratio(np.array([6.0, 3.0, 1.0]), 20.0)
+        assert np.allclose(out, [0.3, 0.15, 0.05])
+
+    def test_invalid_total(self):
+        with pytest.raises(ValueError):
+            explained_variance_ratio(np.ones(2), 0.0)
+
+
+class TestTraceRecorder:
+    def _state(self, lam):
+        k = len(lam)
+        return Eigensystem(
+            mean=np.zeros(4),
+            basis=np.eye(4)[:, :k],
+            eigenvalues=np.array(lam, dtype=float),
+            scale=1.0,
+        )
+
+    def test_records_and_thins(self):
+        rec = TraceRecorder(every=2)
+        for i in range(10):
+            res = UpdateResult(weight=1.0, scaled_residual=0.5,
+                               residual_norm2=2.0)
+            rec.record(self._state([3.0, 1.0]), res)
+        assert len(rec.weights) == 10
+        assert len(rec.eigenvalues) == 5  # thinned by every=2
+
+    def test_warmup_none_skipped(self):
+        rec = TraceRecorder()
+        rec.record(self._state([1.0]), None)
+        assert rec.weights == []
+
+    def test_outlier_steps(self):
+        rec = TraceRecorder()
+        for i in range(5):
+            res = UpdateResult(
+                weight=0.0 if i == 2 else 1.0,
+                scaled_residual=100.0 if i == 2 else 0.5,
+                residual_norm2=1.0,
+                is_outlier=(i == 2),
+            )
+            rec.record(self._state([1.0]), res)
+        assert list(rec.outlier_steps) == [3]  # 1-based
+
+    def test_eigenvalue_matrix_pads_ragged(self):
+        rec = TraceRecorder()
+        res = UpdateResult(weight=1.0, scaled_residual=0.5, residual_norm2=1.0)
+        rec.record(self._state([2.0]), res)
+        rec.record(self._state([2.0, 1.0]), res)
+        mat = rec.eigenvalue_matrix()
+        assert mat.shape == (2, 2)
+        assert np.isnan(mat[0, 1])
+
+    def test_tail_dispersion_detects_churn(self, rng):
+        stable, churn = TraceRecorder(), TraceRecorder()
+        res = UpdateResult(weight=1.0, scaled_residual=0.5, residual_norm2=1.0)
+        for i in range(100):
+            stable.record(self._state([5.0, 2.0]), res)
+            churn.record(
+                self._state([5.0 * (1 + rng.random()), 2.0]), res
+            )
+        assert stable.tail_dispersion()[0] < 1e-12
+        assert churn.tail_dispersion()[0] > 0.05
+
+    def test_empty_matrix(self):
+        rec = TraceRecorder()
+        assert rec.eigenvalue_matrix().shape == (0, 0)
+        assert rec.tail_dispersion().size == 0
+
+
+class TestConvergenceReport:
+    def test_compare(self, rng):
+        basis, _ = np.linalg.qr(rng.standard_normal((30, 3)))
+        st = Eigensystem(
+            mean=np.zeros(30),
+            basis=basis,
+            eigenvalues=np.array([4.0, 2.0, 1.0]),
+            scale=1.0,
+        )
+        report = ConvergenceReport.compare(
+            st, basis, reference_eigenvalues=np.array([4.0, 2.0, 2.0])
+        )
+        assert report.largest_angle < 1e-7
+        assert report.eigenvalue_rel_error[2] == pytest.approx(0.5)
+        assert report.roughness_per_component.shape == (3,)

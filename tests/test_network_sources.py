@@ -1,0 +1,223 @@
+"""Tests for live sources (TCP, tailing file) and the fusion optimizer."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.data import VectorStream
+from repro.streams import (
+    CollectingSink,
+    Functor,
+    Graph,
+    SynchronousEngine,
+    TailingFileSource,
+    TCPVectorSource,
+    ThreadedEngine,
+    VectorSource,
+    optimize_fusion,
+    serve_vectors,
+)
+
+
+class TestTCPVectorSource:
+    def test_streams_vectors_over_socket(self, rng):
+        x = rng.standard_normal((20, 5))
+        port, thread = serve_vectors(x)
+        g = Graph("tcp")
+        src = g.add(TCPVectorSource("tcp-src", "127.0.0.1", port))
+        sink = g.add(CollectingSink("sink"))
+        g.connect(src, sink)
+        SynchronousEngine(g).run()
+        thread.join(timeout=5)
+        got = np.vstack([t["x"] for t in sink.tuples])
+        assert np.allclose(got, x)
+        assert [t["seq"] for t in sink.tuples] == list(range(20))
+
+    def test_nan_cells_become_gaps(self):
+        x = np.array([[1.0, np.nan, 3.0]])
+        port, thread = serve_vectors(x)
+        src = TCPVectorSource("tcp-src", "127.0.0.1", port)
+        tuples = list(src.generate())
+        thread.join(timeout=5)
+        assert np.isnan(tuples[0]["x"][1])
+
+    def test_slow_feeder(self, rng):
+        x = rng.standard_normal((5, 3))
+        port, thread = serve_vectors(x, delay_s=0.02)
+        src = TCPVectorSource("tcp-src", "127.0.0.1", port)
+        assert len(list(src.generate())) == 5
+        thread.join(timeout=5)
+
+    def test_connect_failure(self):
+        src = TCPVectorSource(
+            "tcp-src", "127.0.0.1", 1, connect_timeout_s=0.2
+        )
+        with pytest.raises(OSError):
+            list(src.generate())
+
+
+class TestTailingFileSource:
+    def test_follows_growing_file(self, tmp_path, rng):
+        path = tmp_path / "feed.csv"
+        path.write_text("")
+        x = rng.standard_normal((10, 4))
+
+        def writer():
+            with path.open("a") as fh:
+                for row in x:
+                    fh.write(",".join(repr(float(v)) for v in row) + "\n")
+                    fh.flush()
+                    time.sleep(0.01)
+                fh.write("__END__\n")
+
+        t = threading.Thread(target=writer, daemon=True)
+        src = TailingFileSource("tail", path, poll_interval_s=0.005)
+        t.start()
+        got = np.vstack([tup["x"] for tup in src.generate()])
+        t.join(timeout=5)
+        assert np.allclose(got, x)
+
+    def test_idle_timeout_ends_stream(self, tmp_path):
+        path = tmp_path / "feed.csv"
+        path.write_text("1.0,2.0\n")
+        src = TailingFileSource(
+            "tail", path, poll_interval_s=0.01, idle_timeout_s=0.1
+        )
+        start = time.monotonic()
+        tuples = list(src.generate())
+        assert len(tuples) == 1
+        assert time.monotonic() - start < 5.0
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            TailingFileSource("tail", tmp_path / "nope.csv")
+
+    def test_validation(self, tmp_path):
+        path = tmp_path / "feed.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="poll_interval"):
+            TailingFileSource("t", path, poll_interval_s=0.0)
+        with pytest.raises(ValueError, match="idle_timeout"):
+            TailingFileSource("t", path, idle_timeout_s=0.0)
+
+
+class TestProfilingAndOptimizer:
+    def _graph(self, n=400):
+        g = Graph("opt")
+        src = g.add(
+            VectorSource("src", VectorStream.from_array(np.zeros((n, 4))))
+        )
+
+        def heavy(t):
+            time.sleep(0.0002)
+            return t
+
+        f_light1 = g.add(Functor("light1", lambda t: t))
+        f_heavy = g.add(Functor("heavy", heavy))
+        f_light2 = g.add(Functor("light2", lambda t: t))
+        sink = g.add(CollectingSink("sink"))
+        g.connect(src, f_light1)
+        g.connect(f_light1, f_heavy)
+        g.connect(f_heavy, f_light2)
+        g.connect(f_light2, sink)
+        return g, f_heavy
+
+    def test_profiling_attributes_exclusive_time(self):
+        g, f_heavy = self._graph()
+        stats = SynchronousEngine(g, profile=True).run()
+        times = stats.processing_time_s
+        assert times["heavy"] > 5 * times["light1"]
+        assert times["heavy"] > 5 * times["light2"]
+
+    def test_unprofiled_run_records_nothing(self):
+        g, _ = self._graph(n=10)
+        stats = SynchronousEngine(g).run()
+        assert stats.processing_time_s == {}
+
+    def test_optimizer_isolates_the_bottleneck(self):
+        g, f_heavy = self._graph()
+        stats = SynchronousEngine(g, profile=True).run()
+        plan = optimize_fusion(g, stats, target_pes=2)
+        heavy_pe = plan.pe_of(f_heavy)
+        assert len(heavy_pe.operators) == 1  # the hot op stays alone
+        # Light operators got fused somewhere (fewer PEs than operators).
+        assert len(plan.pes) < len(g)
+
+    def test_optimized_plan_runs(self):
+        g, _ = self._graph(n=100)
+        stats = SynchronousEngine(g, profile=True).run()
+        # Fresh graph (the profiled one is consumed) with same names.
+        g2, _ = self._graph(n=100)
+        plan = optimize_fusion(g2, stats, target_pes=2)
+        sink = next(op for op in g2 if op.name == "sink")
+        ThreadedEngine(g2, fusion=plan).run(timeout_s=30)
+        assert len(sink.tuples) == 100
+
+    def test_requires_profiled_stats(self):
+        g, _ = self._graph(n=10)
+        stats = SynchronousEngine(g).run()
+        with pytest.raises(ValueError, match="profile=True"):
+            optimize_fusion(g, stats)
+
+    def test_threaded_profiling(self):
+        g, f_heavy = self._graph(n=100)
+        stats = ThreadedEngine(g, profile=True).run(timeout_s=30)
+        assert stats.processing_time_s["heavy"] > 0
+
+
+class TestHTTPVectorSource:
+    def _serve_http(self, body: bytes):
+        import http.server
+        import threading
+
+        class Handler(http.server.BaseHTTPRequestHandler):
+            def do_GET(self):
+                self.send_response(200)
+                self.send_header("Content-Type", "text/csv")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args):
+                pass
+
+        server = http.server.HTTPServer(("127.0.0.1", 0), Handler)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        return server, server.server_address[1]
+
+    def test_fetches_csv_stream(self, rng):
+        from repro.streams import HTTPVectorSource
+
+        x = rng.standard_normal((8, 3))
+        body = "\n".join(
+            ",".join(repr(float(v)) for v in row) for row in x
+        ).encode() + b"\n"
+        server, port = self._serve_http(body)
+        try:
+            src = HTTPVectorSource(
+                "http-src", f"http://127.0.0.1:{port}/feed.csv"
+            )
+            got = np.vstack([t["x"] for t in src.generate()])
+            assert np.allclose(got, x)
+        finally:
+            server.shutdown()
+
+    def test_end_marker_stops_stream(self):
+        from repro.streams import HTTPVectorSource
+
+        body = b"1.0,2.0\n__END__\n3.0,4.0\n"
+        server, port = self._serve_http(body)
+        try:
+            src = HTTPVectorSource("h", f"http://127.0.0.1:{port}/x")
+            assert len(list(src.generate())) == 1
+        finally:
+            server.shutdown()
+
+    def test_rejects_non_http_url(self):
+        from repro.streams import HTTPVectorSource
+
+        with pytest.raises(ValueError, match="http"):
+            HTTPVectorSource("h", "ftp://example/feed.csv")

@@ -1,0 +1,85 @@
+"""Tests for gap-aware spectrum normalization."""
+
+import numpy as np
+import pytest
+
+from repro.core.normalize import (
+    NormalizationError,
+    normalize_block,
+    unit_mean_flux,
+    unit_norm,
+)
+
+
+class TestUnitNorm:
+    def test_complete_vector(self, rng):
+        x = rng.standard_normal(50)
+        out = unit_norm(x)
+        assert np.linalg.norm(out) == pytest.approx(1.0)
+
+    def test_gap_extrapolation_is_unbiased(self, rng):
+        """A gappy version of a spectrum gets (approximately) the same
+        scale as the complete version."""
+        x = rng.standard_normal(2000) + 5.0
+        full = unit_norm(x)
+        gappy = x.copy()
+        gappy[rng.random(2000) < 0.4] = np.nan
+        out = unit_norm(gappy)
+        mask = np.isfinite(out)
+        ratio = np.median(out[mask] / full[mask])
+        assert ratio == pytest.approx(1.0, rel=0.05)
+
+    def test_gaps_stay_nan(self):
+        x = np.array([3.0, np.nan, 4.0])
+        out = unit_norm(x)
+        assert np.isnan(out[1])
+        assert np.all(np.isfinite(out[[0, 2]]))
+
+    def test_zero_vector_raises(self):
+        with pytest.raises(NormalizationError, match="zero"):
+            unit_norm(np.zeros(5))
+
+    def test_fully_missing_raises(self):
+        with pytest.raises(NormalizationError, match="fully-missing"):
+            unit_norm(np.full(5, np.nan))
+
+
+class TestUnitMeanFlux:
+    def test_complete_vector(self, rng):
+        x = rng.random(50) + 0.5
+        out = unit_mean_flux(x)
+        assert out.mean() == pytest.approx(1.0)
+
+    def test_scale_invariance(self, rng):
+        """Brightness differences vanish — the §II-D requirement."""
+        x = rng.random(50) + 0.5
+        assert np.allclose(unit_mean_flux(x), unit_mean_flux(7.5 * x))
+
+    def test_gappy_mean(self):
+        x = np.array([2.0, np.nan, 4.0])
+        out = unit_mean_flux(x)
+        assert np.nanmean(out) == pytest.approx(1.0)
+
+    def test_negative_mean_raises(self):
+        with pytest.raises(NormalizationError, match="positive"):
+            unit_mean_flux(np.array([-1.0, -2.0]))
+
+
+class TestNormalizeBlock:
+    def test_normalizes_rows(self, rng):
+        x = rng.random((10, 20)) + 0.5
+        out = normalize_block(x, "mean-flux")
+        assert np.allclose(out.mean(axis=1), 1.0)
+
+    def test_norm_method(self, rng):
+        x = rng.standard_normal((5, 20))
+        out = normalize_block(x, "norm")
+        assert np.allclose(np.linalg.norm(out, axis=1), 1.0)
+
+    def test_single_vector(self, rng):
+        x = rng.random(20) + 0.5
+        assert normalize_block(x).ndim == 1
+
+    def test_unknown_method(self, rng):
+        with pytest.raises(ValueError, match="unknown normalization"):
+            normalize_block(rng.random((2, 3)), "zscore")

@@ -1,0 +1,161 @@
+"""Tests for the operator model (lifecycle, punctuation, counters)."""
+
+import pytest
+
+from repro.streams.operators import (
+    FilterOperator,
+    Functor,
+    Operator,
+    Sink,
+    Source,
+    Union,
+)
+from repro.streams.tuples import StreamTuple
+
+
+class Collect(Sink):
+    def __init__(self, name="sink", n_inputs=1):
+        super().__init__(name, n_inputs=n_inputs)
+        self.got = []
+
+    def consume(self, tup, port):
+        self.got.append((tup, port))
+
+
+def wire_to(op: Operator, downstream: list):
+    """Bind op's emit to append (tuple, port) records."""
+    op.bind(lambda tup, port: downstream.append((tup, port)))
+
+
+class TestOperatorBase:
+    def test_submit_requires_binding(self):
+        op = Functor("f", lambda t: t)
+        with pytest.raises(RuntimeError, match="not wired"):
+            op.submit(StreamTuple.data(x=1))
+
+    def test_submit_port_range(self):
+        out = []
+        op = Functor("f", lambda t: t)
+        wire_to(op, out)
+        with pytest.raises(ValueError, match="no output port"):
+            op.submit(StreamTuple.data(x=1), port=3)
+
+    def test_counters(self):
+        out = []
+        op = Functor("f", lambda t: t)
+        wire_to(op, out)
+        op._dispatch(StreamTuple.data(x=1), 0)
+        op._dispatch(StreamTuple.data(x=2), 0)
+        assert op.tuples_in == 2
+        assert op.tuples_out == 2
+
+    def test_punctuation_completes_and_propagates(self):
+        out = []
+        op = Functor("f", lambda t: t)
+        wire_to(op, out)
+        op._dispatch(StreamTuple.punctuation(), 0)
+        assert op.is_closed
+        assert len(out) == 1
+        assert out[0][0].is_punctuation
+
+    def test_duplicate_punctuation_ignored(self):
+        out = []
+        op = Functor("f", lambda t: t)
+        wire_to(op, out)
+        op._dispatch(StreamTuple.punctuation(), 0)
+        op._dispatch(StreamTuple.punctuation(), 0)
+        assert len(out) == 1
+
+    def test_multi_input_waits_for_all_ports(self):
+        out = []
+        op = Union("u", 2)
+        wire_to(op, out)
+        op._dispatch(StreamTuple.punctuation(), 0)
+        assert not op.is_closed
+        op._dispatch(StreamTuple.punctuation(), 1)
+        assert op.is_closed
+
+    def test_excluded_control_port_does_not_block_completion(self):
+        class Ctl(Operator):
+            def __init__(self):
+                super().__init__(
+                    "c", n_inputs=2, n_outputs=1, punctuation_ports={0}
+                )
+
+            def process(self, tup, port):
+                pass
+
+        out = []
+        op = Ctl()
+        wire_to(op, out)
+        op._dispatch(StreamTuple.punctuation(), 0)
+        assert op.is_closed
+
+    def test_invalid_punctuation_ports(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Operator("x", n_inputs=1, punctuation_ports={5})
+
+    def test_close_hook_called_once(self):
+        calls = []
+
+        class C(Sink):
+            def consume(self, tup, port):
+                pass
+
+            def close(self):
+                calls.append(1)
+
+        op = C("c")
+        op.bind(lambda t, p: None)
+        op._dispatch(StreamTuple.punctuation(), 0)
+        op._dispatch(StreamTuple.punctuation(), 0)
+        assert calls == [1]
+
+
+class TestFunctor:
+    def test_transform(self):
+        out = []
+        op = Functor("f", lambda t: StreamTuple.data(x=t["x"] * 2))
+        wire_to(op, out)
+        op._dispatch(StreamTuple.data(x=3), 0)
+        assert out[0][0]["x"] == 6
+
+    def test_drop_with_none(self):
+        out = []
+        op = Functor("f", lambda t: None)
+        wire_to(op, out)
+        op._dispatch(StreamTuple.data(x=3), 0)
+        assert out == []
+
+    def test_fan_out_list(self):
+        out = []
+        op = Functor("f", lambda t: [t, t])
+        wire_to(op, out)
+        op._dispatch(StreamTuple.data(x=1), 0)
+        assert len(out) == 2
+
+
+class TestFilter:
+    def test_predicate(self):
+        out = []
+        op = FilterOperator("f", lambda t: t["x"] > 0)
+        wire_to(op, out)
+        op._dispatch(StreamTuple.data(x=1), 0)
+        op._dispatch(StreamTuple.data(x=-1), 0)
+        assert len(out) == 1
+
+
+class TestSource:
+    def test_items_source(self):
+        tuples = [StreamTuple.data(x=i) for i in range(3)]
+        src = Source("s", items=tuples)
+        assert list(src.generate()) == tuples
+
+    def test_generate_not_implemented(self):
+        src = Source("s")
+        with pytest.raises(NotImplementedError):
+            list(src.generate())
+
+    def test_union_requires_input(self):
+        with pytest.raises(ValueError):
+            Union("u", 0)

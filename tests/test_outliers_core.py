@@ -1,0 +1,87 @@
+"""Tests for streaming/batch outlier flagging."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BatchPCA,
+    OutlierLog,
+    RobustIncrementalPCA,
+    flag_outliers,
+    make_rho,
+)
+from repro.core.incremental import UpdateResult
+
+
+class TestOutlierLog:
+    def _result(self, outlier: bool) -> UpdateResult:
+        return UpdateResult(
+            weight=0.0 if outlier else 0.5,
+            scaled_residual=50.0 if outlier else 1.0,
+            residual_norm2=1.0,
+            is_outlier=outlier,
+        )
+
+    def test_steps_are_one_based_stream_positions(self):
+        log = OutlierLog()
+        log.observe(None)                  # warm-up step 1
+        log.observe(self._result(False))   # step 2
+        log.observe(self._result(True))    # step 3
+        assert list(log.steps) == [3]
+        assert log.n_processed == 3
+
+    def test_rate(self):
+        log = OutlierLog()
+        for i in range(10):
+            log.observe(self._result(i < 2))
+        assert log.rate == pytest.approx(0.2)
+        assert OutlierLog().rate == 0.0
+
+    def test_detection_stats(self):
+        log = OutlierLog()
+        flags = [False, True, True, False, True]
+        for f in flags:
+            log.observe(self._result(f))
+        truth = np.array([2, 3, 4])  # flagged {2,3,5}
+        stats = log.detection_stats(truth)
+        assert stats["true_positives"] == 2
+        assert stats["false_positives"] == 1
+        assert stats["false_negatives"] == 1
+        assert stats["precision"] == pytest.approx(2 / 3)
+        assert stats["recall"] == pytest.approx(2 / 3)
+
+    def test_stats_with_empty_sets(self):
+        log = OutlierLog()
+        stats = log.detection_stats(np.array([], dtype=int))
+        assert stats["precision"] == 1.0
+        assert stats["recall"] == 1.0
+
+
+class TestFlagOutliersBatch:
+    def test_flags_match_streaming_decisions(self, small_model, rng):
+        x = small_model.sample(1000, rng)
+        est = RobustIncrementalPCA(3, alpha=0.999).partial_fit(x)
+        probe = small_model.sample(200, rng)
+        probe[::10] = 30.0 * rng.standard_normal((20, 40))
+        flags = flag_outliers(est.state, probe, est.rho)
+        assert flags.shape == (200,)
+        assert flags[::10].mean() > 0.9
+        assert flags[1::10].mean() < 0.1
+
+    def test_threshold_override(self, small_model, rng):
+        x = small_model.sample(500, rng)
+        state = BatchPCA(3).fit(x).to_eigensystem()
+        rho = make_rho("bisquare", c2=4.0)
+        none_flagged = flag_outliers(state, x, rho, threshold=1e12)
+        assert not none_flagged.any()
+        all_flagged = flag_outliers(state, x, rho, threshold=0.0)
+        assert all_flagged.all()
+
+    def test_single_vector(self, small_model, rng):
+        x = small_model.sample(200, rng)
+        est = RobustIncrementalPCA(3, alpha=0.999).partial_fit(x)
+        flags = flag_outliers(
+            est.state, 50.0 * np.ones(40), est.rho
+        )
+        assert flags.shape == (1,)
+        assert flags[0]

@@ -1,0 +1,152 @@
+"""Tests for the StreamingPCAOperator control protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core import RobustIncrementalPCA, largest_principal_angle
+from repro.data import PlantedSubspaceModel
+from repro.parallel.pca_operator import StreamingPCAOperator
+from repro.streams.tuples import StreamTuple
+
+
+@pytest.fixture
+def model():
+    return PlantedSubspaceModel(
+        dim=30, signal_variances=(16.0, 9.0, 4.0), noise_std=0.3, seed=2
+    )
+
+
+def _make_op(engine_id=0, alpha=0.99, **kwargs):
+    est = RobustIncrementalPCA(3, alpha=alpha, init_size=20)
+    op = StreamingPCAOperator(
+        f"pca-{engine_id}", engine_id=engine_id, estimator=est, **kwargs
+    )
+    out = []
+    op.bind(lambda tup, port: out.append((tup, port)))
+    return op, out
+
+
+def _feed(op, model, rng, n):
+    for i, x in enumerate(model.sample(n, rng)):
+        op._dispatch(StreamTuple.data(x=x, seq=i), 0)
+
+
+class TestDataPath:
+    def test_updates_estimator_and_emits_diagnostics(self, model, rng):
+        op, out = _make_op()
+        _feed(op, model, rng, 100)
+        assert op.estimator.n_seen == 100
+        diags = [t for t, port in out if port == 1 and "weight" in t.payload]
+        assert len(diags) == 80  # after init_size warm-up
+        assert all(t["engine"] == 0 for t in diags)
+
+    def test_diagnostics_can_be_disabled(self, model, rng):
+        op, out = _make_op(emit_diagnostics=False)
+        _feed(op, model, rng, 100)
+        assert [t for t, port in out if port == 1] == []
+
+    def test_snapshots_emitted(self, model, rng):
+        op, out = _make_op(snapshot_every=25)
+        _feed(op, model, rng, 100)
+        snaps = [t for t, port in out
+                 if port == 1 and t.get("kind") == "snapshot"]
+        assert len(snaps) == 4  # init at 20, snapshots at 25/50/75/100
+        assert snaps[0]["state"].n_components == 3
+
+
+class TestSyncProtocol:
+    def test_ready_announced_once_when_gate_opens(self, model, rng):
+        op, out = _make_op(alpha=0.99)  # N=100, gate at 150
+        _feed(op, model, rng, 400)
+        readies = [t for t, port in out if port == 0 and t.get("type") == "ready"]
+        assert len(readies) == 1
+        assert readies[0]["engine"] == 0
+
+    def test_share_replies_with_state(self, model, rng):
+        op, out = _make_op()
+        _feed(op, model, rng, 100)
+        op._dispatch(StreamTuple.control(type="share"), 1)
+        states = [t for t, port in out if port == 0 and t.get("type") == "state"]
+        assert len(states) == 1
+        assert states[0]["state"].n_components == 3
+        assert op.n_states_shared == 1
+
+    def test_share_before_init_is_noop(self, model, rng):
+        op, out = _make_op()
+        _feed(op, model, rng, 5)  # still warming up
+        op._dispatch(StreamTuple.control(type="share"), 1)
+        assert [t for t, _ in out if t.get("type") == "state"] == []
+
+    def test_merge_installs_combined_state(self, model, rng):
+        op, out = _make_op(alpha=0.99)
+        _feed(op, model, rng, 200)
+        # Build a second, independent engine's state.
+        other = RobustIncrementalPCA(3, alpha=0.99, init_size=20)
+        other.partial_fit(model.sample(200, np.random.default_rng(5)))
+        incoming = other.public_state()
+
+        before = op.estimator.state.basis.copy()
+        op._dispatch(StreamTuple.control(type="merge", state=incoming), 1)
+        assert op.n_syncs_received == 1
+        assert op.estimator.state.n_since_sync == 0
+        after = op.estimator.state.basis
+        # Merged basis differs from the local one but spans ~the truth.
+        assert not np.allclose(after[:, :3], before[:, :3])
+        assert largest_principal_angle(after[:, :3], model.basis) < 0.3
+
+    def test_ready_rearmed_after_merge(self, model, rng):
+        op, out = _make_op(alpha=0.99)  # N = 100
+        _feed(op, model, rng, 200)
+        assert sum(1 for t, _ in out if t.get("type") == "ready") == 1
+        other = RobustIncrementalPCA(3, alpha=0.99, init_size=20)
+        other.partial_fit(model.sample(150, np.random.default_rng(5)))
+        op._dispatch(
+            StreamTuple.control(type="merge", state=other.public_state()), 1
+        )
+        _feed(op, model, rng, 200)
+        assert sum(1 for t, _ in out if t.get("type") == "ready") == 2
+
+    def test_merge_before_init_is_dropped(self, model, rng):
+        op, out = _make_op()
+        other = RobustIncrementalPCA(3, alpha=0.99, init_size=20)
+        other.partial_fit(model.sample(100, np.random.default_rng(5)))
+        op._dispatch(
+            StreamTuple.control(type="merge", state=other.public_state()), 1
+        )
+        assert op.n_syncs_received == 0
+
+    def test_unknown_control_message(self, model, rng):
+        op, _ = _make_op()
+        with pytest.raises(ValueError, match="unknown control"):
+            op._dispatch(StreamTuple.control(type="reboot"), 1)
+
+
+class TestLifecycle:
+    def test_final_state_on_close(self, model, rng):
+        op, out = _make_op()
+        _feed(op, model, rng, 100)
+        op._dispatch(StreamTuple.punctuation(), 0)
+        finals = [t for t, port in out if port == 0 and t.get("type") == "final"]
+        assert len(finals) == 1
+        assert finals[0]["state"].n_seen == 100
+        assert op.is_closed
+
+    def test_control_punctuation_does_not_close(self, model, rng):
+        op, _ = _make_op()
+        _feed(op, model, rng, 50)
+        op._dispatch(StreamTuple.punctuation(), 1)  # control port
+        assert not op.is_closed
+
+    def test_diagnostics_dict(self, model, rng):
+        op, _ = _make_op()
+        _feed(op, model, rng, 100)
+        d = op.diagnostics()
+        assert d["engine"] == 0
+        assert d["n_seen"] == 100
+
+    def test_validation(self):
+        est = RobustIncrementalPCA(2)
+        with pytest.raises(ValueError, match="sync_gate_factor"):
+            StreamingPCAOperator("p", 0, est, sync_gate_factor=0.0)
+        with pytest.raises(ValueError, match="snapshot_every"):
+            StreamingPCAOperator("p", 0, est, snapshot_every=-1)

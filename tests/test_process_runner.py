@@ -1,0 +1,69 @@
+"""Tests for the process-parallel runner (real worker processes)."""
+
+import numpy as np
+import pytest
+
+from repro.core import largest_principal_angle
+from repro.data import PlantedSubspaceModel, VectorStream
+from repro.parallel import ProcessParallelStreamingPCA
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PlantedSubspaceModel(
+        dim=50, signal_variances=(25.0, 16.0, 9.0), noise_std=0.4, seed=6
+    )
+
+
+class TestProcessParallelStreamingPCA:
+    def test_global_solution_accurate(self, model):
+        x = model.sample(6000, np.random.default_rng(2))
+        runner = ProcessParallelStreamingPCA(
+            3, n_engines=3, alpha=0.995, split_seed=1
+        )
+        result = runner.run(VectorStream.from_array(x))
+        assert largest_principal_angle(
+            result.global_state.basis, model.basis
+        ) < 0.15
+        assert result.eigenvalues.shape == (3,)
+
+    def test_every_observation_processed(self, model):
+        x = model.sample(3000, np.random.default_rng(3))
+        runner = ProcessParallelStreamingPCA(
+            3, n_engines=4, alpha=0.995, split_seed=2
+        )
+        result = runner.run(VectorStream.from_array(x))
+        assert sum(r["n_local"] for r in result.engine_reports) == 3000
+        assert len(result.engine_states) == 4
+
+    def test_sync_traffic_happens(self, model):
+        x = model.sample(6000, np.random.default_rng(4))
+        runner = ProcessParallelStreamingPCA(
+            3, n_engines=3, alpha=0.99, split_seed=3  # N=100: many syncs
+        )
+        result = runner.run(VectorStream.from_array(x))
+        assert result.n_states_routed > 0
+        assert result.n_merge_commands >= result.n_states_routed
+
+    def test_single_engine(self, model):
+        x = model.sample(2000, np.random.default_rng(5))
+        runner = ProcessParallelStreamingPCA(3, n_engines=1, alpha=0.995)
+        result = runner.run(VectorStream.from_array(x))
+        assert result.n_merge_commands == 0
+        assert largest_principal_angle(
+            result.global_state.basis, model.basis
+        ) < 0.2
+
+    def test_too_short_stream_raises(self, model):
+        x = model.sample(5, np.random.default_rng(6))
+        runner = ProcessParallelStreamingPCA(3, n_engines=2)
+        with pytest.raises(RuntimeError, match="no engine produced"):
+            runner.run(VectorStream.from_array(x))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProcessParallelStreamingPCA(0)
+        with pytest.raises(ValueError):
+            ProcessParallelStreamingPCA(2, n_engines=0)
+        with pytest.raises(ValueError):
+            ProcessParallelStreamingPCA(2, queue_size=0)

@@ -1,0 +1,210 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Each property here is an invariant the system's correctness rests on,
+exercised over randomized inputs: update/merge algebra, serialization
+round-trips, normalization equivariance, gap-fill consistency, and
+stream-engine conservation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Eigensystem,
+    IncrementalPCA,
+    RobustIncrementalPCA,
+    fill_from_basis,
+    merge_eigensystems,
+    unit_mean_flux,
+    unit_norm,
+)
+from repro.data import VectorStream
+from repro.streams import (
+    CollectingSink,
+    Graph,
+    Split,
+    SynchronousEngine,
+    Union,
+    VectorSource,
+)
+
+seeds = st.integers(0, 2**31 - 1)
+
+
+class TestUpdateInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=seeds, dim=st.integers(5, 30), p=st.integers(1, 4))
+    def test_classic_update_preserves_orthonormality(self, seed, dim, p):
+        rng = np.random.default_rng(seed)
+        p = min(p, dim - 1)
+        est = IncrementalPCA(p, init_size=max(p + 2, 5))
+        est.partial_fit(rng.standard_normal((60, dim)))
+        assert est.state.orthonormality_error() < 1e-8
+        assert np.all(np.diff(est.eigenvalues_) <= 1e-12)  # descending
+        assert np.all(est.eigenvalues_ >= -1e-12)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=seeds, alpha=st.floats(0.9, 1.0))
+    def test_robust_update_state_always_valid(self, seed, alpha):
+        rng = np.random.default_rng(seed)
+        est = RobustIncrementalPCA(3, alpha=alpha, init_size=10)
+        x = rng.standard_normal((80, 12))
+        # Sprinkle outliers and gaps.
+        x[::11] *= 40.0
+        x[::7, 0] = np.nan
+        est.partial_fit(x)
+        st_ = est.state
+        st_.validate()
+        assert st_.orthonormality_error() < 1e-8
+        assert np.isfinite(st_.scale) and st_.scale >= 0
+        assert st_.sum_count > 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=seeds)
+    def test_trace_never_exceeds_total_power(self, seed):
+        """Retained eigenvalue mass is bounded by the running total
+        second moment (no energy creation)."""
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((100, 10))
+        est = IncrementalPCA(3, init_size=10).partial_fit(x)
+        total_power = np.mean(np.sum((x - est.mean_) ** 2, axis=1))
+        assert est.eigenvalues_.sum() <= total_power * 1.3
+
+
+class TestMergeInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=seeds, n_parts=st.integers(2, 5))
+    def test_merge_is_permutation_invariant(self, seed, n_parts):
+        rng = np.random.default_rng(seed)
+        states = []
+        for i in range(n_parts):
+            x = rng.standard_normal((50, 8))
+            st_ = Eigensystem.from_batch(x, 3)
+            st_.sum_weight = st_.sum_count
+            states.append(st_)
+        a = merge_eigensystems(states, 3)
+        b = merge_eigensystems(states[::-1], 3)
+        assert np.allclose(a.eigenvalues, b.eigenvalues, rtol=1e-9)
+        assert np.allclose(a.mean, b.mean)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=seeds)
+    def test_merged_eigenvalues_nonnegative_descending(self, seed):
+        rng = np.random.default_rng(seed)
+        states = [
+            Eigensystem.from_batch(rng.standard_normal((30, 6)), 4)
+            for _ in range(3)
+        ]
+        merged = merge_eigensystems(states, 4)
+        assert np.all(merged.eigenvalues >= 0)
+        assert np.all(np.diff(merged.eigenvalues) <= 1e-12)
+        assert merged.orthonormality_error() < 1e-8
+
+
+class TestSerializationRoundTrips:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=seeds, dim=st.integers(2, 20), k=st.integers(0, 4))
+    def test_eigensystem_dict_roundtrip(self, seed, dim, k):
+        rng = np.random.default_rng(seed)
+        k = min(k, dim)
+        basis, _ = np.linalg.qr(rng.standard_normal((dim, max(k, 1))))
+        st_ = Eigensystem(
+            mean=rng.standard_normal(dim),
+            basis=basis[:, :k],
+            eigenvalues=np.sort(rng.random(k))[::-1],
+            scale=float(rng.random() + 0.1),
+            sum_count=float(rng.random() * 100),
+            sum_weight=float(rng.random() * 100),
+            sum_weighted_r2=float(rng.random() * 100),
+            n_seen=int(rng.integers(0, 1000)),
+            n_since_sync=int(rng.integers(0, 100)),
+        )
+        assert Eigensystem.from_dict(st_.to_dict()) == st_
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=seeds)
+    def test_checkpoint_roundtrip(self, seed, tmp_path_factory):
+        from repro.io.checkpoint import load_eigensystem, save_eigensystem
+
+        rng = np.random.default_rng(seed)
+        basis, _ = np.linalg.qr(rng.standard_normal((7, 2)))
+        st_ = Eigensystem(
+            mean=rng.standard_normal(7),
+            basis=basis,
+            eigenvalues=np.array([2.0, 1.0]) * (1 + rng.random()),
+            scale=float(rng.random() + 0.01),
+            n_seen=int(rng.integers(0, 10_000)),
+        )
+        path = tmp_path_factory.mktemp("ck") / "state.npz"
+        save_eigensystem(path, st_)
+        assert load_eigensystem(path) == st_
+
+
+class TestNormalizationInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=seeds, scale=st.floats(1e-3, 1e3))
+    def test_scale_invariance(self, seed, scale):
+        rng = np.random.default_rng(seed)
+        x = rng.random(30) + 0.1
+        assert np.allclose(unit_mean_flux(x), unit_mean_flux(scale * x))
+        assert np.allclose(unit_norm(x), unit_norm(scale * x))
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=seeds)
+    def test_idempotence(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.random(30) + 0.1
+        once = unit_mean_flux(x)
+        assert np.allclose(unit_mean_flux(once), once)
+
+
+class TestGapFillInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=seeds, n_miss=st.integers(1, 10))
+    def test_fill_is_idempotent_and_preserves_observed(self, seed, n_miss):
+        rng = np.random.default_rng(seed)
+        basis, _ = np.linalg.qr(rng.standard_normal((25, 3)))
+        mean = rng.standard_normal(25)
+        x = mean + basis @ rng.standard_normal(3) + 0.1 * rng.standard_normal(25)
+        miss = rng.choice(25, size=n_miss, replace=False)
+        x_gappy = x.copy()
+        x_gappy[miss] = np.nan
+        out = fill_from_basis(x_gappy, mean, basis)
+        # Observed entries untouched, all entries finite.
+        obs = np.isfinite(x_gappy)
+        assert np.array_equal(out.filled[obs], x_gappy[obs])
+        assert np.all(np.isfinite(out.filled))
+        # Filling a complete vector is the identity.
+        again = fill_from_basis(out.filled, mean, basis)
+        assert again.n_filled == 0
+        assert np.array_equal(again.filled, out.filled)
+
+
+class TestEngineConservation:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=seeds,
+        n_tuples=st.integers(1, 200),
+        n_ways=st.integers(1, 6),
+        strategy=st.sampled_from(["random", "round_robin"]),
+    )
+    def test_split_union_conserves_tuples(
+        self, seed, n_tuples, n_ways, strategy
+    ):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((n_tuples, 3))
+        g = Graph("prop")
+        src = g.add(VectorSource("src", VectorStream.from_array(x)))
+        split = g.add(Split("split", n_ways, strategy=strategy, seed=seed))
+        uni = g.add(Union("union", n_ways))
+        sink = g.add(CollectingSink("sink"))
+        g.connect(src, split)
+        for i in range(n_ways):
+            g.connect(split, uni, out_port=i, in_port=i)
+        g.connect(uni, sink)
+        SynchronousEngine(g).run()
+        assert len(sink.tuples) == n_tuples
+        assert sorted(t["seq"] for t in sink.tuples) == list(range(n_tuples))
+        assert int(split.sent_per_target.sum()) == n_tuples

@@ -1,0 +1,126 @@
+"""Unit and property tests for the bounded rho-functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rho import (
+    BisquareRho,
+    CauchyRho,
+    SkippedMeanRho,
+    make_rho,
+)
+
+ALL_FAMILIES = [BisquareRho(), CauchyRho(), SkippedMeanRho()]
+FAMILY_IDS = ["bisquare", "cauchy", "skipped"]
+
+t_values = st.floats(
+    min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+@pytest.mark.parametrize("rho", ALL_FAMILIES, ids=FAMILY_IDS)
+class TestRhoProperties:
+    def test_rho_at_zero_is_zero(self, rho):
+        assert rho.rho(0.0) == 0.0
+
+    def test_rho_at_infinity_is_one(self, rho):
+        assert rho.rho(1e30) == pytest.approx(1.0, abs=1e-12)
+
+    def test_rho_bounded(self, rho):
+        t = np.linspace(0, 100 * rho.c2, 500)
+        vals = rho.rho(t)
+        assert np.all(vals >= 0.0)
+        assert np.all(vals <= 1.0)
+
+    def test_rho_nondecreasing(self, rho):
+        t = np.linspace(0, 20 * rho.c2, 1000)
+        vals = np.asarray(rho.rho(t))
+        assert np.all(np.diff(vals) >= -1e-12)
+
+    def test_weight_nonnegative(self, rho):
+        t = np.linspace(0, 20 * rho.c2, 500)
+        assert np.all(np.asarray(rho.weight(t)) >= 0.0)
+
+    def test_weight_is_rho_derivative(self, rho):
+        # Numerical differentiation away from any kink.
+        t = np.linspace(0.01 * rho.c2, 0.9 * rho.c2, 50)
+        h = 1e-7 * rho.c2
+        numeric = (np.asarray(rho.rho(t + h)) - np.asarray(rho.rho(t - h))) / (
+            2 * h
+        )
+        assert np.allclose(numeric, rho.weight(t), rtol=1e-4, atol=1e-10)
+
+    def test_wstar_limit_at_zero(self, rho):
+        assert rho.wstar(0.0) == pytest.approx(rho.weight_at_zero())
+        # wstar is continuous into the limit.
+        assert rho.wstar(1e-12) == pytest.approx(
+            rho.weight_at_zero(), rel=1e-5
+        )
+
+    def test_wstar_equals_rho_over_t(self, rho):
+        t = np.array([0.1, 1.0, 5.0, 50.0]) * rho.c2
+        assert np.allclose(rho.wstar(t), np.asarray(rho.rho(t)) / t)
+
+    def test_scalar_and_array_agree(self, rho):
+        t = np.array([0.0, 0.5, 2.0]) * rho.c2
+        arr = np.asarray(rho.rho(t))
+        for i, ti in enumerate(t):
+            assert rho.rho(float(ti)) == pytest.approx(arr[i])
+        assert isinstance(rho.rho(1.0), float)
+        assert isinstance(rho.weight(1.0), float)
+        assert isinstance(rho.wstar(1.0), float)
+
+    def test_with_c2(self, rho):
+        other = rho.with_c2(rho.c2 * 2)
+        assert type(other) is type(rho)
+        assert other.c2 == rho.c2 * 2
+
+    @settings(max_examples=50, deadline=None)
+    @given(t=t_values)
+    def test_hypothesis_bounds(self, rho, t):
+        r = rho.rho(t)
+        assert 0.0 <= r <= 1.0
+        assert rho.weight(t) >= 0.0
+        assert rho.wstar(t) >= 0.0
+
+
+class TestRedescending:
+    def test_bisquare_rejects_beyond_c2(self):
+        rho = BisquareRho(c2=9.0)
+        assert rho.weight(9.0) == 0.0
+        assert rho.weight(100.0) == 0.0
+        assert rho.rejection_point() == 9.0
+
+    def test_skipped_rejects_beyond_c2(self):
+        rho = SkippedMeanRho(c2=4.0)
+        assert rho.weight(4.0) == 0.0
+        assert rho.weight(3.99) == pytest.approx(0.25)
+        assert rho.rejection_point() == 4.0
+
+    def test_cauchy_never_fully_rejects(self):
+        rho = CauchyRho(c2=4.0)
+        assert rho.weight(1e6) > 0.0
+        assert np.isinf(rho.rejection_point())
+
+
+class TestMakeRho:
+    def test_default_families(self):
+        assert isinstance(make_rho("bisquare"), BisquareRho)
+        assert isinstance(make_rho("cauchy"), CauchyRho)
+        assert isinstance(make_rho("skipped"), SkippedMeanRho)
+
+    def test_custom_c2(self):
+        assert make_rho("bisquare", c2=3.5).c2 == 3.5
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(ValueError, match="unknown rho family"):
+            make_rho("huber")
+
+    @pytest.mark.parametrize("cls", [BisquareRho, CauchyRho, SkippedMeanRho])
+    def test_invalid_c2_raises(self, cls):
+        with pytest.raises(ValueError, match="c2 must be positive"):
+            cls(c2=0.0)
+        with pytest.raises(ValueError, match="c2 must be positive"):
+            cls(c2=-1.0)

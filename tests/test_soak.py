@@ -1,0 +1,62 @@
+"""Long-stream soak tests: numerical stability over tens of thousands of
+updates with mixed contamination, gaps, and synchronization."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    RobustIncrementalPCA,
+    largest_principal_angle,
+    merge_eigensystems,
+)
+from repro.data import PlantedSubspaceModel
+
+
+@pytest.mark.parametrize("alpha", [0.999, 1.0])
+def test_robust_estimator_30k_updates_stays_healthy(alpha):
+    model = PlantedSubspaceModel(
+        dim=60, signal_variances=(25.0, 16.0, 9.0), noise_std=0.4, seed=10
+    )
+    rng = np.random.default_rng(1)
+    gap_rng = np.random.default_rng(2)
+    est = RobustIncrementalPCA(3, extra_components=2, alpha=alpha)
+    for i, x in enumerate(model.stream(30_000, rng)):
+        if i % 40 == 0:
+            x = 30.0 * rng.standard_normal(60)      # gross outlier
+        elif i % 17 == 0:
+            x = x.copy()
+            x[gap_rng.random(60) < 0.1] = np.nan    # gappy
+        est.update(x)
+
+    st = est.state
+    st.validate()
+    assert st.orthonormality_error() < 1e-8
+    assert np.isfinite(st.scale) and st.scale > 0
+    assert np.all(np.isfinite(st.eigenvalues))
+    assert np.all(np.isfinite(st.mean))
+    assert largest_principal_angle(st.basis[:, :3], model.basis) < 0.15
+    # Eigenvalues in a sane range (no slow blow-up or collapse).
+    assert 5 < st.eigenvalues[0] < 100
+
+
+def test_repeated_merging_stays_stable():
+    """A long chain of pairwise merges (many sync rounds) must not drift
+    off orthonormal or leak eigenvalue mass."""
+    model = PlantedSubspaceModel(
+        dim=40, signal_variances=(16.0, 9.0, 4.0), noise_std=0.3, seed=11
+    )
+    rng = np.random.default_rng(3)
+    est = RobustIncrementalPCA(3, alpha=0.99)
+    est.partial_fit(model.sample(500, rng))
+    state = est.state.copy()
+
+    for round_ in range(200):
+        other = RobustIncrementalPCA(3, alpha=0.99)
+        other.partial_fit(model.sample(300, rng))
+        state = merge_eigensystems([state, other.state], 5)
+
+    state.validate()
+    assert state.orthonormality_error() < 1e-8
+    assert largest_principal_angle(state.basis[:, :3], model.basis) < 0.1
+    total = model.eigenvalues.sum()
+    assert 0.5 * total < state.eigenvalues[:3].sum() < 2.0 * total

@@ -1,0 +1,129 @@
+"""Tests for the Split load balancer and the Throttle operator."""
+
+import numpy as np
+import pytest
+
+from repro.streams.split import Split
+from repro.streams.throttle import Throttle
+from repro.streams.tuples import StreamTuple
+
+
+def wire(op):
+    out = []
+    op.bind(lambda tup, port: out.append((tup, port)))
+    return out
+
+
+class TestSplit:
+    def test_round_robin_cycles(self):
+        split = Split("s", 3, strategy="round_robin")
+        out = wire(split)
+        for i in range(9):
+            split._dispatch(StreamTuple.data(x=i), 0)
+        ports = [p for _, p in out]
+        assert ports == [0, 1, 2] * 3
+        assert list(split.sent_per_target) == [3, 3, 3]
+
+    def test_random_is_roughly_uniform(self):
+        split = Split("s", 4, strategy="random", seed=0)
+        wire(split)
+        for i in range(4000):
+            split._dispatch(StreamTuple.data(x=i), 0)
+        counts = split.sent_per_target
+        assert counts.sum() == 4000
+        assert np.all(counts > 800)
+
+    def test_random_deterministic_by_seed(self):
+        ports = []
+        for _ in range(2):
+            split = Split("s", 4, strategy="random", seed=42)
+            out = wire(split)
+            for i in range(50):
+                split._dispatch(StreamTuple.data(x=i), 0)
+            ports.append([p for _, p in out])
+        assert ports[0] == ports[1]
+
+    def test_least_loaded_uses_probe(self):
+        split = Split("s", 3, strategy="least_loaded", seed=0)
+        wire(split)
+        loads = {0: 10, 1: 0, 2: 10}
+        split.set_load_probe(lambda p: loads[p])
+        for i in range(20):
+            split._dispatch(StreamTuple.data(x=i), 0)
+        assert split.sent_per_target[1] == 20
+
+    def test_least_loaded_without_probe_falls_back_random(self):
+        split = Split("s", 3, strategy="least_loaded", seed=0)
+        wire(split)
+        for i in range(300):
+            split._dispatch(StreamTuple.data(x=i), 0)
+        assert np.all(split.sent_per_target > 50)
+
+    def test_control_broadcast(self):
+        split = Split("s", 3, strategy="round_robin")
+        out = wire(split)
+        split._dispatch(StreamTuple.control(type="ping"), 0)
+        assert len(out) == 3
+        assert sorted(p for _, p in out) == [0, 1, 2]
+        # Control tuples don't count toward data balance.
+        assert split.sent_per_target.sum() == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_targets"):
+            Split("s", 0)
+        with pytest.raises(ValueError, match="strategy"):
+            Split("s", 2, strategy="zigzag")
+
+
+class TestThrottleLogical:
+    def test_logical_period(self):
+        th = Throttle("t", logical_period=3)
+        out = wire(th)
+        for i in range(9):
+            th._dispatch(StreamTuple.data(x=i), 0)
+        assert [t["x"] for t, _ in out] == [2, 5, 8]
+        assert th.n_dropped == 6
+
+    def test_period_one_passes_everything(self):
+        th = Throttle("t", logical_period=1)
+        out = wire(th)
+        for i in range(5):
+            th._dispatch(StreamTuple.data(x=i), 0)
+        assert len(out) == 5
+
+
+class TestThrottleWallClock:
+    def test_drop_mode_with_fake_clock(self):
+        now = [0.0]
+        th = Throttle("t", rate_hz=10.0, mode="drop", clock=lambda: now[0])
+        out = wire(th)
+        # Two tuples in the same instant: second is dropped.
+        th._dispatch(StreamTuple.data(x=0), 0)
+        th._dispatch(StreamTuple.data(x=1), 0)
+        assert len(out) == 1
+        assert th.n_dropped == 1
+        # After the rate interval, the next one passes.
+        now[0] += 0.11
+        th._dispatch(StreamTuple.data(x=2), 0)
+        assert len(out) == 2
+
+    def test_combined_logical_and_rate(self):
+        now = [0.0]
+        th = Throttle(
+            "t", rate_hz=1000.0, logical_period=2, mode="drop",
+            clock=lambda: now[0],
+        )
+        out = wire(th)
+        for i in range(6):
+            now[0] += 0.01
+            th._dispatch(StreamTuple.data(x=i), 0)
+        # Logical gate admits every 2nd; rate never binds at 10ms spacing.
+        assert [t["x"] for t, _ in out] == [1, 3, 5]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rate_hz"):
+            Throttle("t", rate_hz=0.0)
+        with pytest.raises(ValueError, match="logical_period"):
+            Throttle("t", logical_period=0)
+        with pytest.raises(ValueError, match="mode"):
+            Throttle("t", rate_hz=1.0, mode="defer")

@@ -1,0 +1,96 @@
+"""Tests for stream tuples and schemas."""
+
+import numpy as np
+import pytest
+
+from repro.streams.tuples import (
+    FieldType,
+    SchemaError,
+    StreamSchema,
+    StreamTuple,
+    TupleKind,
+)
+
+
+class TestFieldType:
+    def test_float(self):
+        assert FieldType.FLOAT.check(1.5)
+        assert FieldType.FLOAT.check(3)
+        assert not FieldType.FLOAT.check(True)
+        assert not FieldType.FLOAT.check("x")
+
+    def test_int(self):
+        assert FieldType.INT.check(3)
+        assert FieldType.INT.check(np.int64(3))
+        assert not FieldType.INT.check(True)
+        assert not FieldType.INT.check(3.0)
+
+    def test_vector(self):
+        assert FieldType.VECTOR.check(np.zeros(3))
+        assert not FieldType.VECTOR.check(np.zeros((2, 2)))
+        assert not FieldType.VECTOR.check([1.0, 2.0])
+
+    def test_string_and_object(self):
+        assert FieldType.STRING.check("abc")
+        assert not FieldType.STRING.check(5)
+        assert FieldType.OBJECT.check(object())
+
+
+class TestStreamSchema:
+    def test_validate_ok(self):
+        schema = StreamSchema({"x": FieldType.VECTOR, "seq": FieldType.INT})
+        schema.validate({"x": np.zeros(3), "seq": 1})
+
+    def test_missing_field(self):
+        schema = StreamSchema({"x": FieldType.VECTOR, "seq": FieldType.INT})
+        with pytest.raises(SchemaError, match="missing"):
+            schema.validate({"x": np.zeros(3)})
+
+    def test_extra_field(self):
+        schema = StreamSchema({"x": FieldType.VECTOR})
+        with pytest.raises(SchemaError, match="extra"):
+            schema.validate({"x": np.zeros(3), "y": 1})
+
+    def test_wrong_type(self):
+        schema = StreamSchema({"seq": FieldType.INT})
+        with pytest.raises(SchemaError, match="expects int"):
+            schema.validate({"seq": "nope"})
+
+    def test_contains(self):
+        schema = StreamSchema({"x": FieldType.VECTOR})
+        assert "x" in schema
+        assert "y" not in schema
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(ValueError):
+            StreamSchema({})
+
+
+class TestStreamTuple:
+    def test_data_with_schema_validated(self):
+        schema = StreamSchema({"seq": FieldType.INT})
+        t = StreamTuple.data(schema, seq=4)
+        assert t.is_data
+        assert t["seq"] == 4
+        with pytest.raises(SchemaError):
+            StreamTuple.data(schema, seq="bad")
+
+    def test_control_is_schema_free(self):
+        t = StreamTuple.control(type="ready", engine=2)
+        assert t.is_control
+        assert t.get("engine") == 2
+        assert t.get("missing", -1) == -1
+
+    def test_punctuation(self):
+        t = StreamTuple.punctuation()
+        assert t.is_punctuation
+        assert not t.is_data
+
+    def test_sequence_numbers_monotone(self):
+        a, b = StreamTuple.data(x=1), StreamTuple.data(x=2)
+        assert b.seq > a.seq
+
+    def test_nbytes(self):
+        t = StreamTuple.data(x=np.zeros(100), seq=1, name="abc")
+        # 16 header + 800 vector + 8 int + 3 str
+        assert t.nbytes() == 16 + 800 + 8 + 3
