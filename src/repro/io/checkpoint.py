@@ -89,7 +89,11 @@ class CheckpointStore:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.every = int(every)
         self.keep = keep
-        self._last_saved_at = -1
+        # Resume over an existing directory: seed the period tracker from
+        # the snapshots already on disk so the first maybe_save() after a
+        # restart doesn't re-write (or double-count) a persisted state.
+        snaps = self.list()
+        self._last_saved_at = snaps[-1][0] if snaps else -1
 
     def _path_for(self, n_seen: int) -> pathlib.Path:
         return self.directory / f"eigensystem-{n_seen:012d}.npz"

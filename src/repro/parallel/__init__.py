@@ -1,6 +1,10 @@
 """The parallel streaming-PCA application (paper Sections II-C, III)."""
 
-from .app import ParallelPCAApp, build_parallel_pca_graph
+from .app import (
+    ParallelPCAApp,
+    build_parallel_pca_graph,
+    engine_restart_supervisor,
+)
 from .mapreduce import MapReducePCAResult, mapreduce_pca
 from .partition import (
     partition_contiguous,
@@ -37,6 +41,7 @@ __all__ = [
     "SyncStats",
     "SyncStrategy",
     "build_parallel_pca_graph",
+    "engine_restart_supervisor",
     "make_strategy",
     "mapreduce_pca",
     "partition_contiguous",

@@ -17,18 +17,25 @@ The topology::
 
 from __future__ import annotations
 
+import pathlib
 from dataclasses import dataclass, field
 
 from ..core.robust import RobustIncrementalPCA
 from ..data.streams import VectorStream
+from ..io.checkpoint import CheckpointStore
 from ..streams.graph import Graph
 from ..streams.sinks import CollectingSink
 from ..streams.sources import VectorSource
 from ..streams.split import Split
+from ..streams.supervision import RestartFromCheckpoint, Supervisor
 from .pca_operator import StreamingPCAOperator
 from .sync import SyncController, SyncStrategy
 
-__all__ = ["ParallelPCAApp", "build_parallel_pca_graph"]
+__all__ = [
+    "ParallelPCAApp",
+    "build_parallel_pca_graph",
+    "engine_restart_supervisor",
+]
 
 
 @dataclass
@@ -161,3 +168,36 @@ def build_parallel_pca_graph(
         engines=engines,
         diag_sink=diag_sink,
     )
+
+
+def engine_restart_supervisor(
+    app: ParallelPCAApp,
+    *,
+    directory: str | pathlib.Path | None = None,
+    checkpoint_every: int = 200,
+    resume: str = "retry",
+    max_restarts: int | None = None,
+) -> Supervisor:
+    """A :class:`Supervisor` giving every PCA engine restart-from-checkpoint.
+
+    Each engine gets its own :class:`RestartFromCheckpoint` policy; when
+    ``directory`` is given, each engine also persists its snapshots to a
+    per-engine :class:`~repro.io.checkpoint.CheckpointStore` subdirectory
+    (``<directory>/pca-<i>``), enabling resume across processes.  All
+    other operators (split, controller, sinks) stay fail-fast: losing the
+    coordinator is not survivable, losing one engine's recent updates is.
+    """
+    policies = {}
+    for op in app.engines:
+        store = None
+        if directory is not None:
+            store = CheckpointStore(
+                pathlib.Path(directory) / op.name, every=checkpoint_every
+            )
+        policies[op.name] = RestartFromCheckpoint(
+            checkpoint_every=checkpoint_every,
+            store=store,
+            resume=resume,
+            max_restarts=max_restarts,
+        )
+    return Supervisor(policies=policies)

@@ -175,6 +175,26 @@ class StreamingPCAOperator(Operator):
         self.n_syncs_received += 1
         self._ready_announced = False
 
+    # -- checkpoint/restart protocol (repro.streams.supervision) ---------
+
+    def snapshot_state(self) -> Eigensystem | None:
+        """An independent copy of the recoverable state (``None`` during
+        warm-up, before the estimator initializes)."""
+        if not self.estimator.is_initialized:
+            return None
+        return self.estimator.public_state()
+
+    def restore_state(self, state: Eigensystem) -> None:
+        """Roll the estimator back to a snapshot taken by
+        :meth:`snapshot_state`; re-arms the sync gate so the recovered
+        engine can resynchronize promptly."""
+        if state is None or not self.estimator.is_initialized:
+            # Warm-up crash with nothing to roll back to: the estimator's
+            # own buffer machinery restarts cleanly on the next tuple.
+            return
+        self.estimator.replace_state(state)
+        self._ready_announced = False
+
     # ------------------------------------------------------------------
 
     def close(self) -> None:

@@ -17,6 +17,7 @@ from ..core.robust import RobustIncrementalPCA
 from ..data.streams import VectorStream
 from ..streams.engine import RunStats, SynchronousEngine, ThreadedEngine
 from ..streams.fusion import FusionPlan
+from ..streams.supervision import Supervisor
 from .app import ParallelPCAApp, build_parallel_pca_graph
 from .sync import SyncStats, SyncStrategy
 
@@ -98,6 +99,15 @@ class ParallelStreamingPCA:
     sync_gate_factor / min_sync_interval / split_strategy / split_seed /
     collect_diagnostics / snapshot_every:
         See :func:`repro.parallel.app.build_parallel_pca_graph`.
+    supervisor:
+        Optional :class:`~repro.streams.supervision.Supervisor` applying
+        per-operator failure policies (see
+        :func:`repro.parallel.app.engine_restart_supervisor` for the
+        common engines-restart-from-checkpoint configuration); without
+        one, execution is fail-fast.
+    stall_timeout_s:
+        Threaded runtime only: arm the deadlock/stall watchdog (see
+        :class:`~repro.streams.engine.ThreadedEngine`).
 
     Example
     -------
@@ -127,6 +137,8 @@ class ParallelStreamingPCA:
         collect_diagnostics: bool = True,
         snapshot_every: int = 0,
         timeout_s: float = 300.0,
+        supervisor: Supervisor | None = None,
+        stall_timeout_s: float | None = None,
     ) -> None:
         if runtime not in ("synchronous", "threaded"):
             raise ValueError(
@@ -152,6 +164,8 @@ class ParallelStreamingPCA:
         self.collect_diagnostics = collect_diagnostics
         self.snapshot_every = snapshot_every
         self.timeout_s = timeout_s
+        self.supervisor = supervisor
+        self.stall_timeout_s = stall_timeout_s
 
     def _make_estimator(self, engine_id: int) -> RobustIncrementalPCA:
         return RobustIncrementalPCA(
@@ -180,7 +194,9 @@ class ParallelStreamingPCA:
         """Build and execute the application; return the merged result."""
         app = self.build(stream)
         if self.runtime == "synchronous":
-            stats = SynchronousEngine(app.graph).run()
+            stats = SynchronousEngine(
+                app.graph, supervisor=self.supervisor
+            ).run()
         else:
             if self.fusion == "fused":
                 plan = FusionPlan.fused(app.graph)
@@ -188,9 +204,12 @@ class ParallelStreamingPCA:
                 plan = FusionPlan.fuse_chains(app.graph)
             else:
                 plan = FusionPlan.per_operator(app.graph)
-            stats = ThreadedEngine(app.graph, fusion=plan).run(
-                timeout_s=self.timeout_s
-            )
+            stats = ThreadedEngine(
+                app.graph,
+                fusion=plan,
+                supervisor=self.supervisor,
+                stall_timeout_s=self.stall_timeout_s,
+            ).run(timeout_s=self.timeout_s)
 
         controller = app.controller
         global_state = controller.global_state(self.n_components)

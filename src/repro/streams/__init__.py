@@ -26,6 +26,21 @@ from .sources import (
     VectorSource,
 )
 from .split import Split
+from .supervision import (
+    EngineAborted,
+    FailFast,
+    FailurePolicy,
+    FaultInjector,
+    InjectedFault,
+    OperatorFailure,
+    RestartFromCheckpoint,
+    Retry,
+    SkipTuple,
+    StallDetected,
+    SupervisionStats,
+    Supervisor,
+    Watchdog,
+)
 from .throttle import Throttle
 from .tuples import FieldType, SchemaError, StreamSchema, StreamTuple, TupleKind
 
@@ -38,6 +53,10 @@ __all__ = [
     "CollectingSink",
     "DirectorySource",
     "Edge",
+    "EngineAborted",
+    "FailFast",
+    "FailurePolicy",
+    "FaultInjector",
     "FieldType",
     "FilterOperator",
     "Functor",
@@ -45,16 +64,24 @@ __all__ = [
     "Graph",
     "HTTPVectorSource",
     "GraphError",
+    "InjectedFault",
     "OBSERVATION_SCHEMA",
     "Operator",
+    "OperatorFailure",
     "optimize_fusion",
     "ProcessingElement",
     "RateProbe",
+    "RestartFromCheckpoint",
+    "Retry",
     "RunStats",
     "SchemaError",
     "Sink",
+    "SkipTuple",
     "Source",
     "Split",
+    "StallDetected",
+    "SupervisionStats",
+    "Supervisor",
     "TCPVectorSource",
     "TailingFileSource",
     "StreamSchema",
@@ -64,5 +91,6 @@ __all__ = [
     "Throttle",
     "TupleKind",
     "Union",
+    "Watchdog",
     "serve_vectors",
 ]

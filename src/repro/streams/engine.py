@@ -14,7 +14,25 @@ Two interchangeable engines run the same operators:
   operator can observe downstream queue depths for load balancing.
 
 Both engines return a :class:`RunStats` with per-operator tuple counters
-(the profiling statistics the paper uses for placement tuning).
+(the profiling statistics the paper uses for placement tuning) plus the
+failure/recovery counters of an attached
+:class:`~repro.streams.supervision.Supervisor`.
+
+Shutdown protocol (threaded engine)
+-----------------------------------
+Completion is two-phase so no data or control tuple is ever lost:
+
+1. **Quiesce** — every source thread has finished and every PE has all
+   of its operators closed.  A PE whose operators closed keeps servicing
+   its inbox (tuples may still race in from peers mid-close, e.g. a
+   ``final`` state crossing a punctuation).
+2. **Drain** — the coordinator additionally waits until the global
+   in-flight count (tuples enqueued but not yet fully dispatched) reaches
+   zero; only then does it raise the ``finish`` flag.  Runners observe
+   ``finish`` with an empty inbox, drain any stragglers, and exit.
+
+Abort paths (operator error, timeout, stall) set the ``stop`` flag
+instead, which unwinds every thread promptly without draining.
 """
 
 from __future__ import annotations
@@ -29,6 +47,7 @@ from .fusion import FusionPlan, ProcessingElement
 from .graph import Graph
 from .operators import Operator, Source
 from .split import Split
+from .supervision import EngineAborted, StallDetected, Supervisor, Watchdog
 from .tuples import StreamTuple
 
 __all__ = ["RunStats", "SynchronousEngine", "ThreadedEngine"]
@@ -46,7 +65,11 @@ class RunStats:
         Per-operator counters (name → count), including punctuation for
         ``tuples_out``.
     source_tuples:
-        Data tuples produced per source.
+        Tuples produced per source, with punctuation counted explicitly
+        on the operator and excluded (see :attr:`Operator.punct_out`).
+    failures / retries / skipped_tuples / restarts / recovery_time_s:
+        Supervision counters (name → count/seconds), populated when the
+        engine ran with a :class:`~repro.streams.supervision.Supervisor`.
     """
 
     wall_time_s: float = 0.0
@@ -55,6 +78,11 @@ class RunStats:
     source_tuples: dict[str, int] = field(default_factory=dict)
     #: Per-operator exclusive processing seconds (profiled runs only).
     processing_time_s: dict[str, float] = field(default_factory=dict)
+    failures: dict[str, int] = field(default_factory=dict)
+    retries: dict[str, int] = field(default_factory=dict)
+    skipped_tuples: dict[str, int] = field(default_factory=dict)
+    restarts: dict[str, int] = field(default_factory=dict)
+    recovery_time_s: dict[str, float] = field(default_factory=dict)
 
     def throughput(self) -> float:
         """Aggregate source tuples per second of wall time."""
@@ -63,8 +91,21 @@ class RunStats:
             return 0.0
         return total / self.wall_time_s
 
+    def total_recoveries(self) -> int:
+        """Failures repaired in-flight (retries + skips + restarts)."""
+        return (
+            sum(self.retries.values())
+            + sum(self.skipped_tuples.values())
+            + sum(self.restarts.values())
+        )
+
     @classmethod
-    def collect(cls, graph: Graph, wall_time_s: float) -> "RunStats":
+    def collect(
+        cls,
+        graph: Graph,
+        wall_time_s: float,
+        supervisor: Supervisor | None = None,
+    ) -> "RunStats":
         stats = cls(wall_time_s=wall_time_s)
         for op in graph:
             stats.tuples_in[op.name] = op.tuples_in
@@ -72,10 +113,20 @@ class RunStats:
             if op._profiled:
                 stats.processing_time_s[op.name] = op.processing_time_s
             if isinstance(op, Source):
-                # Output counter includes the trailing punctuation(s).
+                # tuples_out includes punctuation; the operator counts its
+                # emitted punctuation explicitly, so sources that flow
+                # extra punctuation (window markers, early EOS on one
+                # port) are not miscounted.
                 stats.source_tuples[op.name] = max(
-                    op.tuples_out - op.n_outputs, 0
+                    op.tuples_out - op.punct_out, 0
                 )
+        if supervisor is not None:
+            sup = supervisor.stats
+            stats.failures = dict(sup.failures)
+            stats.retries = dict(sup.retries)
+            stats.skipped_tuples = dict(sup.skipped_tuples)
+            stats.restarts = dict(sup.restarts)
+            stats.recovery_time_s = dict(sup.recovery_time_s)
         return stats
 
 
@@ -87,15 +138,25 @@ class SynchronousEngine:
     triggers) before the next tuple enters.  Cycles are safe: the work
     list is a FIFO, so a sync round-trip simply enqueues more work until
     the loop quiesces.
+
+    An optional :class:`~repro.streams.supervision.Supervisor` applies
+    per-operator failure policies to every dispatch.
     """
 
-    def __init__(self, graph: Graph, *, profile: bool = False) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        profile: bool = False,
+        supervisor: Supervisor | None = None,
+    ) -> None:
         graph.validate()
         self.graph = graph
         if profile:
             from .profiling import enable_profiling
 
             enable_profiling(graph.operators)
+        self.supervisor = supervisor
         self._work: deque[tuple[Operator, int, StreamTuple]] = deque()
 
     def _wire(self) -> None:
@@ -115,10 +176,16 @@ class SynchronousEngine:
 
             op.bind(emit)
 
+    def _dispatch(self, dst: Operator, tup: StreamTuple, port: int) -> None:
+        if self.supervisor is not None:
+            self.supervisor.dispatch(dst, tup, port)
+        else:
+            dst._dispatch(tup, port)
+
     def _drain(self) -> None:
         while self._work:
             dst, port, tup = self._work.popleft()
-            dst._dispatch(tup, port)
+            self._dispatch(dst, tup, port)
 
     def run(self) -> RunStats:
         """Execute to completion and return statistics."""
@@ -142,45 +209,98 @@ class SynchronousEngine:
                 still.append((src, gen))
             active = still
         self._drain()
-        return RunStats.collect(self.graph, time.perf_counter() - start)
+        return RunStats.collect(
+            self.graph, time.perf_counter() - start, self.supervisor
+        )
 
 
-class _EngineStopped(Exception):
-    """Internal: raised inside runner threads when the engine aborts."""
+# Backwards-compatible alias: the abort exception moved to supervision.
+_EngineStopped = EngineAborted
 
 
 class _PERunner(threading.Thread):
-    """Thread executing one processing element's inbox loop."""
+    """Thread executing one processing element's inbox loop.
+
+    Completion follows the engine's two-phase protocol: when all of the
+    PE's operators have closed the runner raises its ``quiesced`` flag but
+    *keeps draining* the inbox — tuples can still race in from peers mid
+    close — and only exits once the coordinator raises ``finish`` (global
+    quiescence, nothing in flight) and the inbox is empty, or the engine
+    aborts via ``stop``.
+    """
 
     def __init__(
         self,
         pe: ProcessingElement,
         inbox: "queue.Queue[tuple[Operator, int, StreamTuple]]",
-        errors: list[BaseException],
-        stop: threading.Event,
+        engine: "ThreadedEngine",
     ) -> None:
         super().__init__(name=f"pe-{pe.pe_id}", daemon=True)
         self.pe = pe
         self.inbox = inbox
-        self.errors = errors
-        self.stop = stop
+        self.engine = engine
+        self.quiesced = threading.Event()
+
+    def _check_quiesced(self) -> None:
+        if not self.quiesced.is_set() and all(
+            op.is_closed for op in self.pe.operators
+        ):
+            self.quiesced.set()
 
     def run(self) -> None:
+        eng = self.engine
+        stop, finish = eng._stop, eng._finish
         try:
-            ops = self.pe.operators
-            while not self.stop.is_set() and not all(
-                op.is_closed for op in ops
-            ):
+            while not stop.is_set():
                 try:
                     dst, port, tup = self.inbox.get(timeout=0.02)
                 except queue.Empty:
+                    self._check_quiesced()
+                    if finish.is_set():
+                        break
                     continue
-                dst._dispatch(tup, port)
-        except _EngineStopped:
+                try:
+                    eng._dispatch(dst, tup, port)
+                finally:
+                    eng._tuple_done()
+                self._check_quiesced()
+        except EngineAborted:
             pass
         except BaseException as exc:
-            self.errors.append(exc)
-            self.stop.set()
+            eng._errors.append(exc)
+            stop.set()
+        finally:
+            self._drain_remaining()
+            # Never leave the coordinator waiting on a dead runner.
+            self.quiesced.set()
+
+    def _drain_remaining(self) -> None:
+        """Process stragglers left in the inbox at exit time.
+
+        On the normal path the coordinator guarantees the inbox is empty
+        before ``finish``, so this is a no-op; it matters when the loop
+        exits through ``stop`` after a graceful completion race, keeping
+        the no-tuple-lost guarantee.  After an operator error the run is
+        aborting anyway, so the backlog is dropped.
+        """
+        eng = self.engine
+        if eng._errors:
+            return
+        try:
+            while True:
+                try:
+                    dst, port, tup = self.inbox.get_nowait()
+                except queue.Empty:
+                    return
+                try:
+                    eng._dispatch(dst, tup, port)
+                finally:
+                    eng._tuple_done()
+        except EngineAborted:
+            pass
+        except BaseException as exc:
+            eng._errors.append(exc)
+            eng._stop.set()
 
 
 class _SourceRunner(threading.Thread):
@@ -204,7 +324,7 @@ class _SourceRunner(threading.Thread):
                     return
                 self.src.submit(tup, 0)
             self.src._complete()
-        except _EngineStopped:
+        except EngineAborted:
             pass
         except BaseException as exc:
             self.errors.append(exc)
@@ -223,6 +343,16 @@ class ThreadedEngine:
     queue_size:
         Bound of each inter-PE queue (backpressure); control loops stay
         well below it by construction.
+    supervisor:
+        Optional :class:`~repro.streams.supervision.Supervisor` applying
+        per-operator failure policies (retry / skip / checkpoint-restart)
+        to every dispatch; without one the engine is fail-fast.
+    stall_timeout_s:
+        Arm the deadlock/stall watchdog: if no tuple is enqueued or
+        dispatched for this long while work remains, the run aborts with
+        :class:`~repro.streams.supervision.StallDetected` and a per-PE
+        queue report instead of waiting for ``timeout_s``.  Must exceed
+        the slowest single-tuple processing time; ``None`` disables.
     """
 
     def __init__(
@@ -232,6 +362,8 @@ class ThreadedEngine:
         fusion: FusionPlan | None = None,
         queue_size: int = 4096,
         profile: bool = False,
+        supervisor: Supervisor | None = None,
+        stall_timeout_s: float | None = None,
     ) -> None:
         graph.validate()
         self.graph = graph
@@ -244,20 +376,52 @@ class ThreadedEngine:
         if queue_size < 1:
             raise ValueError(f"queue_size must be >= 1, got {queue_size}")
         self.queue_size = queue_size
+        self.supervisor = supervisor
+        self._watchdog = (
+            Watchdog(stall_timeout_s) if stall_timeout_s is not None else None
+        )
         self._inboxes: dict[int, queue.Queue] = {}
         self._pe_of: dict[int, ProcessingElement] = {}
         self._stop = threading.Event()
+        self._finish = threading.Event()
+        self._errors: list[BaseException] = []
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+
+    # -- in-flight accounting -------------------------------------------
+
+    def _tuple_enqueued(self) -> None:
+        with self._inflight_lock:
+            self._inflight += 1
+
+    def _tuple_done(self) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+        if self._watchdog is not None:
+            self._watchdog.poke()
+
+    def _dispatch(self, dst: Operator, tup: StreamTuple, port: int) -> None:
+        if self.supervisor is not None:
+            self.supervisor.dispatch(dst, tup, port)
+        else:
+            dst._dispatch(tup, port)
 
     def _put(self, pe_id: int, item) -> None:
         """Blocking put that aborts promptly when the engine stops."""
         inbox = self._inboxes[pe_id]
+        self._tuple_enqueued()
         while True:
             try:
                 inbox.put(item, timeout=0.05)
-                return
             except queue.Full:
                 if self._stop.is_set():
-                    raise _EngineStopped from None
+                    with self._inflight_lock:
+                        self._inflight -= 1
+                    raise EngineAborted from None
+                continue
+            if self._watchdog is not None:
+                self._watchdog.poke()
+            return
 
     def _wire(self) -> None:
         for pe in self.fusion.pes:
@@ -283,7 +447,7 @@ class ThreadedEngine:
                     dst_pe = self._pe_of[id(dst)]
                     if dst_pe is _my_pe:
                         # Fused edge: zero-copy, same-thread call.
-                        dst._dispatch(tup, in_port)
+                        self._dispatch(dst, tup, in_port)
                     else:
                         self._put(dst_pe.pe_id, (dst, in_port, tup))
 
@@ -305,14 +469,28 @@ class ThreadedEngine:
 
         return probe
 
-    def run(self, *, timeout_s: float = 300.0) -> RunStats:
-        """Execute to completion; raises on PE errors or timeout.
+    def _stall_report(self, stalled_s: float) -> str:
+        lines = [
+            f"graph {self.graph.name!r} stalled: no progress for "
+            f"{stalled_s:.1f}s with work outstanding (suspected full-queue "
+            f"backpressure cycle or deadlock); per-PE inbox depths:"
+        ]
+        for pe in self.fusion.pes:
+            depth = self._inboxes[pe.pe_id].qsize()
+            lines.append(f"  {pe.label()}: {depth}/{self.queue_size}")
+        return "\n".join(lines)
 
-        Fail-fast: the first operator exception stops every thread and is
-        re-raised immediately instead of waiting for the timeout.
+    def run(self, *, timeout_s: float = 300.0) -> RunStats:
+        """Execute to completion; raises on PE errors, stall, or timeout.
+
+        Fail-fast on errors: the first unhandled operator exception (after
+        any supervisor policy) stops every thread and is re-raised
+        immediately instead of waiting for the timeout.  Normal completion
+        follows the two-phase quiesce → drain → close protocol described
+        in the module docstring.
         """
         self._wire()
-        errors: list[BaseException] = []
+        errors = self._errors
         start = time.perf_counter()
         for op in self.graph:
             op.open()
@@ -321,32 +499,52 @@ class ThreadedEngine:
         for pe in self.fusion.pes:
             if all(isinstance(op, Source) for op in pe.operators):
                 continue  # pure-source PEs are driven by source runners
-            t = _PERunner(pe, self._inboxes[pe.pe_id], errors, self._stop)
+            t = _PERunner(pe, self._inboxes[pe.pe_id], self)
             pe_threads.append(t)
         src_threads = [
             _SourceRunner(src, errors, self._stop)
             for src in self.graph.sources
         ]
         threads = src_threads + pe_threads
+        if self._watchdog is not None:
+            self._watchdog.poke()
         for t in threads:
             t.start()
 
         deadline = start + timeout_s
         try:
             while True:
-                alive = [t for t in threads if t.is_alive()]
                 if errors:
                     raise errors[0]
-                if not alive:
+                if (
+                    all(not t.is_alive() for t in src_threads)
+                    and all(r.quiesced.is_set() for r in pe_threads)
+                    and self._inflight == 0
+                ):
                     break
-                if time.perf_counter() > deadline:
+                now = time.perf_counter()
+                if now > deadline:
+                    running = [t.name for t in threads if t.is_alive()]
                     raise RuntimeError(
                         f"graph {self.graph.name!r} did not finish within "
-                        f"{timeout_s}s (thread {alive[0].name} still running)"
+                        f"{timeout_s}s (threads still running: {running})"
                     )
-                alive[0].join(timeout=0.05)
+                if self._watchdog is not None:
+                    stalled = self._watchdog.stalled_for()
+                    if stalled is not None:
+                        raise StallDetected(self._stall_report(stalled))
+                time.sleep(0.002)
+            # Global quiescence: nothing in flight, every PE closed.
+            self._finish.set()
+            for t in pe_threads:
+                t.join(timeout=5.0)
+            if errors:
+                raise errors[0]
         finally:
+            self._finish.set()
             self._stop.set()
             for t in threads:
                 t.join(timeout=1.0)
-        return RunStats.collect(self.graph, time.perf_counter() - start)
+        return RunStats.collect(
+            self.graph, time.perf_counter() - start, self.supervisor
+        )

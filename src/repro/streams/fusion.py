@@ -32,6 +32,11 @@ class ProcessingElement:
     def __contains__(self, op: Operator) -> bool:
         return any(o is op for o in self.operators)
 
+    def label(self) -> str:
+        """Human-readable id used in stall reports and diagnostics."""
+        names = ",".join(op.name for op in self.operators)
+        return f"pe-{self.pe_id}[{names}]"
+
 
 @dataclass
 class FusionPlan:

@@ -38,6 +38,13 @@ class Operator:
     :meth:`submit`; the runtime injects the delivery function at wiring
     time.
 
+    Stateful operators may additionally implement the checkpoint/restart
+    protocol used by :mod:`repro.streams.supervision`:
+    ``snapshot_state() -> state | None`` returning an *independent copy*
+    of the recoverable state, and ``restore_state(state)`` installing a
+    previous snapshot.  Operators run under retrying failure policies
+    should keep :meth:`close` idempotent.
+
     Attributes
     ----------
     n_inputs / n_outputs:
@@ -71,6 +78,9 @@ class Operator:
                 raise ValueError(f"punctuation_ports out of range: {bad}")
         self.tuples_in = 0
         self.tuples_out = 0
+        #: Punctuation tuples emitted (counted explicitly so statistics
+        #: never have to assume "exactly one punctuation per port").
+        self.punct_out = 0
         #: Exclusive processing time (seconds); populated when the
         #: runtime enables profiling (see repro.streams.profiling).
         self.processing_time_s = 0.0
@@ -78,6 +88,7 @@ class Operator:
         self._emit: Callable[[StreamTuple, int], None] | None = None
         self._punctuated: set[int] = set()
         self._closed = False
+        self._completing = False
 
     # -- runtime wiring -------------------------------------------------
 
@@ -96,6 +107,8 @@ class Operator:
                 f"operator {self.name!r} has no output port {port}"
             )
         self.tuples_out += 1
+        if tup.is_punctuation:
+            self.punct_out += 1
         self._emit(tup, port)
 
     # -- lifecycle --------------------------------------------------------
@@ -128,21 +141,35 @@ class Operator:
             if port not in self._punctuated:
                 self._punctuated.add(port)
                 self.on_punctuation(port)
-                if self.punctuation_ports <= self._punctuated and not self._closed:
-                    self._complete()
+            # Completion is re-checked on every punctuation dispatch (not
+            # only the first per port) so a supervisor that re-dispatches
+            # after a failed close() can drive completion to success.
+            if self.punctuation_ports <= self._punctuated and not self._closed:
+                self._complete()
             return
         self.tuples_in += 1
         self.process(tup, port)
 
     def _complete(self) -> None:
-        """Close and propagate punctuation downstream (exactly once)."""
-        if self._closed:
+        """Close and propagate punctuation downstream (exactly once).
+
+        ``close()`` runs before the operator is marked closed: if it
+        raises, a failure policy may re-dispatch the punctuation and
+        retry completion.  Re-entrant completion (a fused cycle bouncing
+        punctuation straight back) is guarded separately.
+        """
+        if self._closed or self._completing:
             return
+        self._completing = True
+        try:
+            self.close()
+        finally:
+            self._completing = False
         self._closed = True
-        self.close()
         if self._emit is not None:
             for port in range(self.n_outputs):
                 self.tuples_out += 1
+                self.punct_out += 1
                 self._emit(StreamTuple.punctuation(), port)
 
     @property

@@ -24,7 +24,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .operators import Operator
     from .tuples import StreamTuple
 
-__all__ = ["profiled_dispatch", "enable_profiling"]
+__all__ = ["profiled_dispatch", "enable_profiling", "supervision_report"]
 
 _tls = threading.local()
 
@@ -55,3 +55,35 @@ def enable_profiling(operators) -> None:
     """Mark every operator in ``operators`` for profiled dispatch."""
     for op in operators:
         op._profiled = True
+
+
+def supervision_report(stats) -> str:
+    """Render a run's failure/recovery counters as an aligned table.
+
+    ``stats`` is a :class:`~repro.streams.engine.RunStats` from an engine
+    run with a :class:`~repro.streams.supervision.Supervisor` attached;
+    operators with no recorded failures are omitted.  Returns a one-line
+    note when the run was fault-free.
+    """
+    names = sorted(
+        set(stats.failures)
+        | set(stats.retries)
+        | set(stats.skipped_tuples)
+        | set(stats.restarts)
+    )
+    if not names:
+        return "supervision: no failures recorded"
+    header = (
+        f"{'operator':<20} {'failures':>8} {'retries':>8} "
+        f"{'skipped':>8} {'restarts':>8} {'recovery_s':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for name in names:
+        lines.append(
+            f"{name:<20} {stats.failures.get(name, 0):>8} "
+            f"{stats.retries.get(name, 0):>8} "
+            f"{stats.skipped_tuples.get(name, 0):>8} "
+            f"{stats.restarts.get(name, 0):>8} "
+            f"{stats.recovery_time_s.get(name, 0.0):>10.4f}"
+        )
+    return "\n".join(lines)

@@ -17,6 +17,7 @@ Control tuples and punctuation are broadcast to *all* targets.
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable
 
 import numpy as np
@@ -62,6 +63,7 @@ class Split(Operator):
         self._rng = np.random.default_rng(seed)
         self._next_rr = 0
         self._load_probe: Callable[[int], int] | None = None
+        self._warned_no_probe = False
         self.sent_per_target = np.zeros(n_targets, dtype=np.int64)
 
     def set_load_probe(self, probe: Callable[[int], int]) -> None:
@@ -73,15 +75,29 @@ class Split(Operator):
         self._load_probe = probe
 
     def _choose(self) -> int:
-        if self.strategy == "round_robin":
+        strategy = self.strategy
+        if strategy == "least_loaded":
+            if self._load_probe is not None:
+                loads = [self._load_probe(p) for p in range(self.n_outputs)]
+                lo = min(loads)
+                candidates = [p for p, v in enumerate(loads) if v == lo]
+                return int(self._rng.choice(candidates))
+            # No probe (synchronous engine): degrade deterministically to
+            # round-robin rather than silently to uniform random.
+            if not self._warned_no_probe:
+                self._warned_no_probe = True
+                warnings.warn(
+                    f"Split {self.name!r}: least_loaded strategy has no "
+                    "load probe (synchronous engine?); falling back to "
+                    "round_robin",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            strategy = "round_robin"
+        if strategy == "round_robin":
             port = self._next_rr
             self._next_rr = (self._next_rr + 1) % self.n_outputs
             return port
-        if self.strategy == "least_loaded" and self._load_probe is not None:
-            loads = [self._load_probe(p) for p in range(self.n_outputs)]
-            lo = min(loads)
-            candidates = [p for p, v in enumerate(loads) if v == lo]
-            return int(self._rng.choice(candidates))
         return int(self._rng.integers(self.n_outputs))
 
     def process(self, tup: StreamTuple, port: int) -> None:

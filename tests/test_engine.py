@@ -193,7 +193,129 @@ class TestThreadedEngine:
             ThreadedEngine(g, queue_size=0)
 
 
+class _FinalOnClose(Functor):
+    """Forwards tuples slowly; ships a ``final`` control tuple at close
+    (the same shape as the PCA engines' final-state handoff)."""
+
+    def __init__(self, name, delay_s=0.001):
+        super().__init__(name, None)
+        self._delay_s = delay_s
+
+    def process(self, tup, port):
+        time.sleep(self._delay_s)
+        self.submit(tup)
+
+    def close(self):
+        self.submit(StreamTuple.control(type="final"))
+
+
+class _LooseCollector(Sink):
+    """Two-input sink that completes as soon as port 0 punctuates —
+    forcing the close-vs-late-arrivals race on port 1."""
+
+    def __init__(self, name):
+        super().__init__(name, n_inputs=2)
+        self.punctuation_ports = {0}
+        self.port1_data = 0
+        self.finals = 0
+
+    def consume(self, tup, port):
+        if tup.is_control and tup.get("type") == "final":
+            self.finals += 1
+        elif port == 1:
+            self.port1_data += 1
+
+
+def _race_graph(n=5):
+    g = Graph("race")
+    fast = g.add(
+        VectorSource("fast", VectorStream.from_array(np.zeros((n, 1))))
+    )
+    slow_src = g.add(
+        VectorSource("slow-src", VectorStream.from_array(np.ones((n, 1))))
+    )
+    slow = g.add(_FinalOnClose("slow"))
+    col = g.add(_LooseCollector("collector"))
+    g.connect(fast, col, in_port=0)
+    g.connect(slow_src, slow)
+    g.connect(slow, col, in_port=1)
+    return g, col
+
+
+class TestShutdownDrain:
+    """Regression: `_PERunner` must drain tuples racing in during close
+    (a lost `final` state would corrupt the global merge)."""
+
+    def test_final_tuple_never_lost_in_shutdown_race(self):
+        # The collector closes as soon as the fast path punctuates, while
+        # the slow path is still streaming; 50 iterations of the race must
+        # lose nothing.
+        for _ in range(50):
+            g, col = _race_graph(n=5)
+            ThreadedEngine(g).run(timeout_s=30)
+            assert col.finals == 1
+            assert col.port1_data == 5
+
+    def test_synchronous_engine_same_semantics(self):
+        g, col = _race_graph(n=5)
+        SynchronousEngine(g).run()
+        assert col.finals == 1
+        assert col.port1_data == 5
+
+
+class _EarlyEOSSource(Source):
+    """Two-port source that ends port 1 early with explicit punctuation —
+    more than one punctuation flows on that port overall."""
+
+    def __init__(self, name, n):
+        super().__init__(name, n_outputs=2)
+        self._n = n
+
+    def generate(self):
+        for i in range(self._n):
+            if i == 2:
+                self.submit(StreamTuple.data(x=np.zeros(1)), 1)
+                self.submit(StreamTuple.punctuation(), 1)
+            yield StreamTuple.data(x=np.zeros(1))
+
+
 class TestRunStats:
     def test_throughput_zero_cases(self):
         stats = RunStats()
         assert stats.throughput() == 0.0
+
+    def test_source_tuples_counts_punctuation_explicitly(self):
+        """Regression: source_tuples assumed exactly one punctuation per
+        output port; a source flowing extra punctuation was miscounted."""
+        n = 6
+        g = Graph("early-eos")
+        src = g.add(_EarlyEOSSource("src", n))
+        a = g.add(CollectingSink("a"))
+        b = g.add(CollectingSink("b"))
+        g.connect(src, a, out_port=0)
+        g.connect(src, b, out_port=1)
+        stats = SynchronousEngine(g).run()
+        # n data tuples on port 0 plus one on port 1; three punctuation
+        # marks total (early EOS + one per port at completion).
+        assert stats.source_tuples["src"] == n + 1
+        assert src.punct_out == 3
+
+    def test_least_loaded_fallback_round_robin_synchronous(self):
+        """Without a load probe the split degrades deterministically."""
+        x = np.zeros((30, 2))
+        g, sink = _fan_graph(x, n_ways=3, split_strategy="least_loaded")
+        split = next(op for op in g if op.name == "split")
+        with pytest.warns(RuntimeWarning, match="no load probe"):
+            SynchronousEngine(g).run()
+        assert len(sink.tuples) == 30
+        assert list(split.sent_per_target) == [10, 10, 10]
+
+    def test_least_loaded_threaded_has_probe_no_warning(self):
+        import warnings as _warnings
+
+        x = np.zeros((30, 2))
+        g, sink = _fan_graph(x, n_ways=3, split_strategy="least_loaded")
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error", RuntimeWarning)
+            ThreadedEngine(g).run(timeout_s=30)
+        assert len(sink.tuples) == 30

@@ -104,6 +104,26 @@ class TestCheckpointStore:
         history = store.load_history()
         assert [n for n, _ in history] == [10, 20, 30]
 
+    def test_reopen_existing_directory_is_idempotent(self, tmp_path, rng):
+        """Regression: a store reopened over an existing directory must
+        seed its period tracker from disk, so re-saving the state it was
+        restored from is a no-op instead of a duplicate write."""
+        first = CheckpointStore(tmp_path, every=100)
+        st = _state(rng, n_seen=250)
+        assert first.maybe_save(st) is True
+
+        reopened = CheckpointStore(tmp_path, every=100)
+        assert reopened._last_saved_at == 250
+        # Same state again (the resume path re-offers the restored state).
+        assert reopened.maybe_save(st) is False
+        # A state within the same period is also suppressed...
+        assert reopened.maybe_save(_state(rng, n_seen=280)) is False
+        # ...but crossing the next period boundary saves again.
+        assert reopened.maybe_save(_state(rng, n_seen=310)) is True
+        assert [n for n, _ in reopened.list()] == [250, 310]
+        # Round-trip: the restored state equals what was saved.
+        assert load_eigensystem(reopened.list()[0][1]) == st
+
     def test_resume_from_checkpoint(self, tmp_path, rng):
         """A streaming run can be restored and continued — the paper's
         'saved to the disk for future reference'."""

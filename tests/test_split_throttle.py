@@ -52,12 +52,27 @@ class TestSplit:
             split._dispatch(StreamTuple.data(x=i), 0)
         assert split.sent_per_target[1] == 20
 
-    def test_least_loaded_without_probe_falls_back_random(self):
+    def test_least_loaded_without_probe_falls_back_round_robin(self):
         split = Split("s", 3, strategy="least_loaded", seed=0)
+        out = wire(split)
+        with pytest.warns(RuntimeWarning, match="no load probe"):
+            for i in range(9):
+                split._dispatch(StreamTuple.data(x=i), 0)
+        # Deterministic round-robin, not uniform random.
+        assert [p for _, p in out] == [0, 1, 2] * 3
+        assert list(split.sent_per_target) == [3, 3, 3]
+
+    def test_no_probe_warning_emitted_once(self):
+        split = Split("s", 2, strategy="least_loaded")
         wire(split)
-        for i in range(300):
-            split._dispatch(StreamTuple.data(x=i), 0)
-        assert np.all(split.sent_per_target > 50)
+        with pytest.warns(RuntimeWarning):
+            split._dispatch(StreamTuple.data(x=0), 0)
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            for i in range(5):
+                split._dispatch(StreamTuple.data(x=i), 0)
 
     def test_control_broadcast(self):
         split = Split("s", 3, strategy="round_robin")
