@@ -2,6 +2,12 @@
 
 Runs any of the paper-reproduction experiments or ablations and prints
 its data table — the scriptable face of the benchmark harness.
+
+``python -m repro telemetry <events.jsonl>`` instead renders the run
+report for a telemetry event log written by
+:meth:`repro.streams.telemetry.Telemetry.write_jsonl` (top operators by
+exclusive time, hottest queues, trace waterfalls for the slowest
+sampled tuples).
 """
 
 from __future__ import annotations
@@ -61,8 +67,43 @@ def _run_one(name: str, sink=None) -> None:
         sink.write(f"## {name}\n\n```\n{text}\n```\n\n")
 
 
+def telemetry_main(argv: list[str]) -> int:
+    """``python -m repro telemetry <events.jsonl>`` — render a run report."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro telemetry",
+        description=(
+            "Render a human-readable run report from a telemetry JSONL "
+            "event log (Telemetry.write_jsonl)."
+        ),
+    )
+    parser.add_argument("log", help="path to the JSONL event log")
+    parser.add_argument(
+        "--top", type=int, default=10,
+        help="row limit of the per-operator tables (default 10)",
+    )
+    parser.add_argument(
+        "--traces", type=int, default=3,
+        help="number of slowest traces to render as waterfalls (default 3)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.streams.telemetry import load_events
+    from repro.streams.telemetry_report import render_report
+
+    try:
+        events = load_events(args.log)
+    except OSError as exc:
+        parser.error(f"cannot read {args.log}: {exc}")
+    print(render_report(events, top=args.top, n_traces=args.traces))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Parse arguments and run the selected experiment(s)."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "telemetry":
+        return telemetry_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(
@@ -71,7 +112,10 @@ def main(argv: list[str] | None = None) -> int:
         ),
         formatter_class=argparse.RawDescriptionHelpFormatter,
         epilog="experiments:\n"
-        + "\n".join(f"  {k:<10} {v}" for k, v in EXPERIMENTS.items()),
+        + "\n".join(f"  {k:<10} {v}" for k, v in EXPERIMENTS.items())
+        + "\n\nother commands:\n"
+        "  telemetry  render a run report from a telemetry JSONL log\n"
+        "             (python -m repro telemetry <events.jsonl>)",
     )
     parser.add_argument(
         "experiment",

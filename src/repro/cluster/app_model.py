@@ -153,8 +153,16 @@ class _AppState:
         self.latencies: list[float] = []
 
 
-def simulate_streaming_pca(config: SimConfig) -> SimReport:
-    """Run one simulated configuration and measure its throughput."""
+def simulate_streaming_pca(config: SimConfig, *, telemetry=None) -> SimReport:
+    """Run one simulated configuration and measure its throughput.
+
+    ``telemetry`` (a :class:`repro.streams.telemetry.Telemetry`) makes
+    the simulator emit the *same schema* as the real engines — per-engine
+    ``repro_tuples_in_total`` counters, ``sync`` events with bytes-moved,
+    and per-channel ``sample`` events (queue depth over simulated time) —
+    so a simulated run and a threaded run can be compared with the same
+    report tooling.  Event timestamps are simulated seconds.
+    """
     sim = Simulator()
     spec = config.spec
     placement = config.placement
@@ -256,16 +264,59 @@ def simulate_streaming_pca(config: SimConfig) -> SimReport:
         src = placement.engine_nodes[engine]
         target = (engine + 1) % n_engines
         dst = placement.engine_nodes[target]
+        t0 = sim.now
         yield from cpu_work(src, cost.send_cost(state_bytes))
         yield from net.transfer(src, dst, state_bytes)
         yield from cpu_work(
             dst, cost.recv_cost(state_bytes) + merge_s
         )
         state.n_syncs += 1
+        if telemetry is not None:
+            telemetry.events.append({
+                "ts": sim.now, "kind": "sync", "op": "sim-sync",
+                "sender": f"engine-{engine}", "target": f"engine-{target}",
+                "bytes": state_bytes, "duration_s": sim.now - t0,
+            })
+            telemetry.metrics.counter(
+                "repro_sync_merges_total", operator="sim-sync"
+            ).inc()
+            telemetry.metrics.counter(
+                "repro_sync_bytes_total", operator="sim-sync"
+            ).inc(state_bytes)
+
+    def sampler_proc(interval_s: float):
+        """The simulated twin of the engines' backpressure sampler."""
+        while True:
+            yield sim.timeout(interval_s)
+            for i in range(n_engines):
+                depth = len(stores[i]._items)
+                telemetry.events.append({
+                    "ts": sim.now, "kind": "sample", "pe": f"chan-{i}",
+                    "depth": depth, "capacity": config.queue_capacity,
+                })
+                telemetry.metrics.gauge(
+                    "repro_queue_depth", pe=f"chan-{i}"
+                ).set(depth)
 
     for i in range(n_engines):
         sim.process(sender(i))
         sim.process(engine_proc(i))
+
+    if telemetry is not None:
+        telemetry.events.append({
+            "ts": 0.0, "kind": "run_start", "engine": "simulated",
+            "graph": f"sim-{n_engines}-engines",
+        })
+
+        def collect_engine_counters():
+            for i in range(n_engines):
+                yield ("repro_tuples_in_total", "counter",
+                       {"operator": f"engine-{i}"}, state.processed[i])
+
+        telemetry.metrics.register_collector(collect_engine_counters)
+        interval = telemetry.config.sampler_interval_s
+        if interval is not None:
+            sim.process(sampler_proc(interval))
 
     sim.run(until=config.warmup_s)
     state.in_window = True
@@ -273,6 +324,12 @@ def simulate_streaming_pca(config: SimConfig) -> SimReport:
 
     window_total = sum(state.window_counts)
     horizon = config.warmup_s + config.window_s
+    if telemetry is not None:
+        telemetry.events.append({
+            "ts": horizon, "kind": "run_end",
+            "wall_time_s": horizon,
+            "throughput_tps": window_total / config.window_s,
+        })
     if state.latencies:
         lat = np.sort(np.asarray(state.latencies))
         lat_mean = float(lat.mean())

@@ -172,6 +172,7 @@ class SyncController(Operator):
         )
         self.min_interval = int(min_interval)
         self.stats = SyncStats()
+        self._telemetry = None
         self.final_states: dict[int, Eigensystem] = {}
         #: Most recent state seen from each engine (share or final).
         self.last_states: dict[int, Eigensystem] = {}
@@ -214,17 +215,62 @@ class SyncController(Operator):
         self._last_grant_at[sender] = self._messages_seen
         self.submit(StreamTuple.control(type="share"), port=sender)
 
+    def bind_telemetry(self, telemetry) -> None:
+        """Emit merge events (with bytes-moved estimates) to telemetry.
+
+        Called by :meth:`Telemetry.attach_graph
+        <repro.streams.telemetry.Telemetry.attach_graph>`; each routed
+        state produces one ``sync`` event plus ``repro_sync_*`` counters,
+        the controller-side view of the paper's "data channels traffic".
+        """
+        self._telemetry = telemetry
+
+    @staticmethod
+    def _state_nbytes(state: Eigensystem) -> int:
+        """Wire-size estimate of one shipped eigensystem (see §III-A.2)."""
+        total = 128  # header / scalars
+        for attr in ("mean", "basis", "eigenvalues"):
+            arr = getattr(state, attr, None)
+            if isinstance(arr, np.ndarray):
+                total += arr.nbytes
+        return total
+
     def _handle_state(self, sender: int, state: Eigensystem) -> None:
         self.stats.n_states_routed += 1
+        tel = self._telemetry
+        nbytes = self._state_nbytes(state) if tel is not None else 0
         for target in self.strategy.targets(sender, self.n_engines):
             self.stats.n_merge_commands += 1
             self.stats.per_engine_syncs[target] = (
                 self.stats.per_engine_syncs.get(target, 0) + 1
             )
-            self.submit(
-                StreamTuple.control(type="merge", state=state, sender=sender),
-                port=target,
-            )
+            if tel is not None:
+                t0 = tel.now()
+                self.submit(
+                    StreamTuple.control(
+                        type="merge", state=state, sender=sender
+                    ),
+                    port=target,
+                )
+                tel.events.append({
+                    "ts": t0, "kind": "sync", "op": self.name,
+                    "sender": f"engine-{sender}",
+                    "target": f"engine-{target}",
+                    "bytes": nbytes, "duration_s": tel.now() - t0,
+                })
+                tel.metrics.counter(
+                    "repro_sync_merges_total", operator=self.name
+                ).inc()
+                tel.metrics.counter(
+                    "repro_sync_bytes_total", operator=self.name
+                ).inc(nbytes)
+            else:
+                self.submit(
+                    StreamTuple.control(
+                        type="merge", state=state, sender=sender
+                    ),
+                    port=target,
+                )
 
     # ------------------------------------------------------------------
 

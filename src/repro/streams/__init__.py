@@ -41,10 +41,26 @@ from .supervision import (
     Supervisor,
     Watchdog,
 )
+from .telemetry import (
+    BackpressureSampler,
+    Counter,
+    EventLog,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Span,
+    Telemetry,
+    TelemetryConfig,
+    Tracer,
+    load_events,
+)
+from .telemetry_report import render_report
 from .throttle import Throttle
 from .tuples import FieldType, SchemaError, StreamSchema, StreamTuple, TupleKind
 
 __all__ = [
+    "BackpressureSampler",
+    "Counter",
     "CSVFileSource",
     "CSVSink",
     "CallbackSink",
@@ -54,6 +70,7 @@ __all__ = [
     "DirectorySource",
     "Edge",
     "EngineAborted",
+    "EventLog",
     "FailFast",
     "FailurePolicy",
     "FaultInjector",
@@ -61,10 +78,13 @@ __all__ = [
     "FilterOperator",
     "Functor",
     "FusionPlan",
+    "Gauge",
     "Graph",
     "HTTPVectorSource",
     "GraphError",
+    "Histogram",
     "InjectedFault",
+    "MetricsRegistry",
     "OBSERVATION_SCHEMA",
     "Operator",
     "OperatorFailure",
@@ -78,12 +98,16 @@ __all__ = [
     "Sink",
     "SkipTuple",
     "Source",
+    "Span",
     "Split",
     "StallDetected",
     "SupervisionStats",
     "Supervisor",
     "TCPVectorSource",
     "TailingFileSource",
+    "Telemetry",
+    "TelemetryConfig",
+    "Tracer",
     "StreamSchema",
     "StreamTuple",
     "SynchronousEngine",
@@ -92,5 +116,7 @@ __all__ = [
     "TupleKind",
     "Union",
     "Watchdog",
+    "load_events",
+    "render_report",
     "serve_vectors",
 ]

@@ -48,6 +48,11 @@ from .graph import Graph
 from .operators import Operator, Source
 from .split import Split
 from .supervision import EngineAborted, StallDetected, Supervisor, Watchdog
+from .telemetry import (
+    BackpressureSampler,
+    Telemetry,
+    operator_counter_snapshot,
+)
 from .tuples import StreamTuple
 
 __all__ = ["RunStats", "SynchronousEngine", "ThreadedEngine"]
@@ -106,20 +111,15 @@ class RunStats:
         wall_time_s: float,
         supervisor: Supervisor | None = None,
     ) -> "RunStats":
+        # Thin view: the operators' own counters are the single source of
+        # truth, read through the same snapshot helper the telemetry
+        # registry collectors use (see repro.streams.telemetry).
         stats = cls(wall_time_s=wall_time_s)
-        for op in graph:
-            stats.tuples_in[op.name] = op.tuples_in
-            stats.tuples_out[op.name] = op.tuples_out
-            if op._profiled:
-                stats.processing_time_s[op.name] = op.processing_time_s
-            if isinstance(op, Source):
-                # tuples_out includes punctuation; the operator counts its
-                # emitted punctuation explicitly, so sources that flow
-                # extra punctuation (window markers, early EOS on one
-                # port) are not miscounted.
-                stats.source_tuples[op.name] = max(
-                    op.tuples_out - op.punct_out, 0
-                )
+        snap = operator_counter_snapshot(graph)
+        stats.tuples_in = snap["tuples_in"]
+        stats.tuples_out = snap["tuples_out"]
+        stats.source_tuples = snap["source_tuples"]
+        stats.processing_time_s = snap["processing_time_s"]
         if supervisor is not None:
             sup = supervisor.stats
             stats.failures = dict(sup.failures)
@@ -140,7 +140,10 @@ class SynchronousEngine:
     the loop quiesces.
 
     An optional :class:`~repro.streams.supervision.Supervisor` applies
-    per-operator failure policies to every dispatch.
+    per-operator failure policies to every dispatch; an optional
+    :class:`~repro.streams.telemetry.Telemetry` records metrics, sampled
+    traces (a root span wraps each sampled source tuple's full drain),
+    and structured events.
     """
 
     def __init__(
@@ -149,6 +152,7 @@ class SynchronousEngine:
         *,
         profile: bool = False,
         supervisor: Supervisor | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         graph.validate()
         self.graph = graph
@@ -157,9 +161,20 @@ class SynchronousEngine:
 
             enable_profiling(graph.operators)
         self.supervisor = supervisor
+        self.telemetry = telemetry
+        self._tracer = (
+            telemetry.tracer
+            if telemetry is not None and telemetry.config.tracing
+            else None
+        )
+        if telemetry is not None:
+            telemetry.attach_graph(graph)
+            if supervisor is not None:
+                telemetry.attach_supervisor(supervisor)
         self._work: deque[tuple[Operator, int, StreamTuple]] = deque()
 
     def _wire(self) -> None:
+        tracer = self._tracer
         for op in self.graph:
             successors = {
                 port: self.graph.successors(op, port)
@@ -171,16 +186,28 @@ class SynchronousEngine:
                 port: int,
                 _succ: dict[int, list[tuple[Operator, int]]] = successors,
             ) -> None:
+                if tracer is not None:
+                    tracer.propagate(tup)
                 for dst, in_port in _succ.get(port, ()):
                     self._work.append((dst, in_port, tup))
 
             op.bind(emit)
 
-    def _dispatch(self, dst: Operator, tup: StreamTuple, port: int) -> None:
+    def _deliver(self, dst: Operator, tup: StreamTuple, port: int) -> None:
         if self.supervisor is not None:
             self.supervisor.dispatch(dst, tup, port)
         else:
             dst._dispatch(tup, port)
+
+    def _dispatch(self, dst: Operator, tup: StreamTuple, port: int) -> None:
+        tracer = self._tracer
+        if tracer is not None:
+            ctx = tracer.ctx_of(tup)
+            if ctx is not None:
+                with tracer.dispatch_span(dst, tup, ctx):
+                    self._deliver(dst, tup, port)
+                return
+        self._deliver(dst, tup, port)
 
     def _drain(self) -> None:
         while self._work:
@@ -190,6 +217,11 @@ class SynchronousEngine:
     def run(self) -> RunStats:
         """Execute to completion and return statistics."""
         self._wire()
+        tracer = self._tracer
+        if self.telemetry is not None:
+            self.telemetry.run_started(
+                engine="synchronous", graph=self.graph.name
+            )
         start = time.perf_counter()
         for op in self.graph:
             op.open()
@@ -204,14 +236,26 @@ class SynchronousEngine:
                     src._complete()
                     self._drain()
                     continue
+                root = (
+                    tracer.maybe_start_root(src, tup)
+                    if tracer is not None
+                    else None
+                )
                 src.submit(tup, 0)
                 self._drain()
+                if root is not None:
+                    # The root span covers the tuple's entire downstream
+                    # drain (this engine is run-to-quiescence per tuple).
+                    tracer.finish_span(root)
                 still.append((src, gen))
             active = still
         self._drain()
-        return RunStats.collect(
+        stats = RunStats.collect(
             self.graph, time.perf_counter() - start, self.supervisor
         )
+        if self.telemetry is not None:
+            self.telemetry.run_finished(stats)
+        return stats
 
 
 # Backwards-compatible alias: the abort exception moved to supervision.
@@ -311,18 +355,30 @@ class _SourceRunner(threading.Thread):
         src: Source,
         errors: list[BaseException],
         stop: threading.Event,
+        tracer=None,
     ) -> None:
         super().__init__(name=f"src-{src.name}", daemon=True)
         self.src = src
         self.errors = errors
         self.stop = stop
+        self.tracer = tracer
 
     def run(self) -> None:
+        tracer = self.tracer
         try:
             for tup in self.src.generate():
                 if self.stop.is_set():
                     return
+                root = (
+                    tracer.maybe_start_root(self.src, tup)
+                    if tracer is not None
+                    else None
+                )
                 self.src.submit(tup, 0)
+                if root is not None:
+                    # Root span = emission incl. any backpressure block;
+                    # downstream child spans close in their own threads.
+                    tracer.finish_span(root)
             self.src._complete()
         except EngineAborted:
             pass
@@ -353,6 +409,11 @@ class ThreadedEngine:
         :class:`~repro.streams.supervision.StallDetected` and a per-PE
         queue report instead of waiting for ``timeout_s``.  Must exceed
         the slowest single-tuple processing time; ``None`` disables.
+    telemetry:
+        Optional :class:`~repro.streams.telemetry.Telemetry`: per-PE
+        metrics views, sampled traces across queue hops, and (when
+        ``sampler_interval_s`` is set) a background backpressure sampler
+        recording queue depth / in-flight / throughput over time.
     """
 
     def __init__(
@@ -364,6 +425,7 @@ class ThreadedEngine:
         profile: bool = False,
         supervisor: Supervisor | None = None,
         stall_timeout_s: float | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         graph.validate()
         self.graph = graph
@@ -377,11 +439,22 @@ class ThreadedEngine:
             raise ValueError(f"queue_size must be >= 1, got {queue_size}")
         self.queue_size = queue_size
         self.supervisor = supervisor
+        self.telemetry = telemetry
+        self._tracer = (
+            telemetry.tracer
+            if telemetry is not None and telemetry.config.tracing
+            else None
+        )
+        if telemetry is not None:
+            telemetry.attach_graph(graph, fusion=self.fusion)
+            if supervisor is not None:
+                telemetry.attach_supervisor(supervisor)
         self._watchdog = (
             Watchdog(stall_timeout_s) if stall_timeout_s is not None else None
         )
         self._inboxes: dict[int, queue.Queue] = {}
         self._pe_of: dict[int, ProcessingElement] = {}
+        self._pe_of_id: dict[int, str] = {}
         self._stop = threading.Event()
         self._finish = threading.Event()
         self._errors: list[BaseException] = []
@@ -400,15 +473,29 @@ class ThreadedEngine:
         if self._watchdog is not None:
             self._watchdog.poke()
 
-    def _dispatch(self, dst: Operator, tup: StreamTuple, port: int) -> None:
+    def _deliver(self, dst: Operator, tup: StreamTuple, port: int) -> None:
         if self.supervisor is not None:
             self.supervisor.dispatch(dst, tup, port)
         else:
             dst._dispatch(tup, port)
 
+    def _dispatch(self, dst: Operator, tup: StreamTuple, port: int) -> None:
+        tracer = self._tracer
+        if tracer is not None:
+            ctx = tracer.ctx_of(tup)
+            if ctx is not None:
+                with tracer.dispatch_span(dst, tup, ctx):
+                    self._deliver(dst, tup, port)
+                return
+        self._deliver(dst, tup, port)
+
     def _put(self, pe_id: int, item) -> None:
         """Blocking put that aborts promptly when the engine stops."""
         inbox = self._inboxes[pe_id]
+        if self._tracer is not None and self._tracer.ctx_of(item[2]) is not None:
+            # Queue-wait clock starts now, so the span includes any time
+            # this producer spends blocked on a full inbox.
+            self._tracer.note_enqueued(item[2], self._pe_of_id[pe_id])
         self._tuple_enqueued()
         while True:
             try:
@@ -424,9 +511,11 @@ class ThreadedEngine:
             return
 
     def _wire(self) -> None:
+        tracer = self._tracer
         for pe in self.fusion.pes:
             inbox: queue.Queue = queue.Queue(maxsize=self.queue_size)
             self._inboxes[pe.pe_id] = inbox
+            self._pe_of_id[pe.pe_id] = pe.label()
             for op in pe.operators:
                 self._pe_of[id(op)] = pe
 
@@ -443,6 +532,8 @@ class ThreadedEngine:
                 _succ: dict[int, list[tuple[Operator, int]]] = successors,
                 _my_pe: ProcessingElement = my_pe,
             ) -> None:
+                if tracer is not None:
+                    tracer.propagate(tup)
                 for dst, in_port in _succ.get(port, ()):
                     dst_pe = self._pe_of[id(dst)]
                     if dst_pe is _my_pe:
@@ -491,6 +582,11 @@ class ThreadedEngine:
         """
         self._wire()
         errors = self._errors
+        if self.telemetry is not None:
+            self.telemetry.run_started(
+                engine="threaded", graph=self.graph.name
+            )
+        sampler = self._start_sampler()
         start = time.perf_counter()
         for op in self.graph:
             op.open()
@@ -502,7 +598,7 @@ class ThreadedEngine:
             t = _PERunner(pe, self._inboxes[pe.pe_id], self)
             pe_threads.append(t)
         src_threads = [
-            _SourceRunner(src, errors, self._stop)
+            _SourceRunner(src, errors, self._stop, self._tracer)
             for src in self.graph.sources
         ]
         threads = src_threads + pe_threads
@@ -545,6 +641,34 @@ class ThreadedEngine:
             self._stop.set()
             for t in threads:
                 t.join(timeout=1.0)
-        return RunStats.collect(
+            if sampler is not None:
+                sampler.stop()
+        stats = RunStats.collect(
             self.graph, time.perf_counter() - start, self.supervisor
         )
+        if self.telemetry is not None:
+            self.telemetry.run_finished(stats)
+        return stats
+
+    def _start_sampler(self) -> BackpressureSampler | None:
+        tel = self.telemetry
+        if tel is None or tel.config.sampler_interval_s is None:
+            return None
+
+        def probe():
+            per_pe = [
+                (
+                    pe.label(),
+                    self._inboxes[pe.pe_id].qsize(),
+                    self.queue_size,
+                )
+                for pe in self.fusion.pes
+            ]
+            dispatched = sum(op.tuples_in for op in self.graph)
+            return per_pe, self._inflight, dispatched
+
+        sampler = BackpressureSampler(
+            tel, probe, interval_s=tel.config.sampler_interval_s
+        )
+        sampler.start()
+        return sampler

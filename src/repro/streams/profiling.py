@@ -46,7 +46,15 @@ def profiled_dispatch(
     finally:
         elapsed = time.perf_counter() - start
         child_time = stack.pop()
-        op.processing_time_s += max(elapsed - child_time, 0.0)
+        exclusive = max(elapsed - child_time, 0.0)
+        op.processing_time_s += exclusive
+        # Telemetry view: when a registry histogram is attached (see
+        # Telemetry.attach_graph with timing=True) the same measurement
+        # also feeds the per-operator latency distribution — one clock,
+        # two read paths.
+        hist = getattr(op, "_latency_hist", None)
+        if hist is not None:
+            hist.observe(exclusive)
         if stack:
             stack[-1] += elapsed
 
@@ -62,7 +70,7 @@ def supervision_report(stats) -> str:
 
     ``stats`` is a :class:`~repro.streams.engine.RunStats` from an engine
     run with a :class:`~repro.streams.supervision.Supervisor` attached;
-    operators with no recorded failures are omitted.  Returns a one-line
+    operators with no recorded activity are omitted.  Returns a one-line
     note when the run was fault-free.
     """
     names = sorted(
@@ -70,6 +78,7 @@ def supervision_report(stats) -> str:
         | set(stats.retries)
         | set(stats.skipped_tuples)
         | set(stats.restarts)
+        | set(stats.recovery_time_s)
     )
     if not names:
         return "supervision: no failures recorded"

@@ -234,9 +234,20 @@ class Supervisor:
                     f"policy for {name!r} is not a FailurePolicy: {pol!r}"
                 )
         self.stats = SupervisionStats()
+        #: Optional Telemetry; set via Telemetry.attach_supervisor so
+        #: failures/recoveries also land in the structured event log.
+        self.telemetry = None
         self._snapshots: dict[str, object] = {}
         self._successes: dict[str, int] = {}
         self._lock = threading.Lock()
+
+    def _emit_event(self, event: str, op_name: str, **extra) -> None:
+        tel = self.telemetry
+        if tel is not None:
+            tel.events.append({
+                "ts": tel.now(), "kind": "supervision",
+                "event": event, "op": op_name, **extra,
+            })
 
     def policy_for(self, op: "Operator") -> FailurePolicy:
         return self.policies.get(op.name, self.default)
@@ -272,6 +283,10 @@ class Supervisor:
         started = time.perf_counter()
         with self._lock:
             self.stats.failures[name] = self.stats.failures.get(name, 0) + 1
+        self._emit_event(
+            "failure", name,
+            error=repr(exc), policy=type(policy).__name__,
+        )
         try:
             if isinstance(policy, Retry):
                 self._retry(op, tup, port, policy, exc)
@@ -297,6 +312,7 @@ class Supervisor:
                 self.stats.retries[op.name] = (
                     self.stats.retries.get(op.name, 0) + 1
                 )
+            self._emit_event("retry", op.name, attempt=attempt)
             try:
                 op._dispatch(tup, port)
             except (EngineAborted, OperatorFailure):
@@ -326,6 +342,7 @@ class Supervisor:
         with self._lock:
             n = self.stats.skipped_tuples.get(op.name, 0) + 1
             self.stats.skipped_tuples[op.name] = n
+        self._emit_event("skip", op.name, seq=tup.seq)
         if policy.max_skips is not None and n > policy.max_skips:
             raise OperatorFailure(
                 op.name, exc, f"skip budget exhausted ({policy.max_skips})"
@@ -344,6 +361,7 @@ class Supervisor:
         with self._lock:
             n = self.stats.restarts.get(name, 0) + 1
             self.stats.restarts[name] = n
+        self._emit_event("restart", name, restart_n=n)
         if policy.max_restarts is not None and n > policy.max_restarts:
             raise OperatorFailure(
                 name, exc, f"restart budget exhausted ({policy.max_restarts})"

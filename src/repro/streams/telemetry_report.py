@@ -1,0 +1,242 @@
+"""Human-readable run reports over the telemetry event log.
+
+This is the dashboard face of :mod:`repro.streams.telemetry`: given the
+structured JSONL event log of a run (or a live event list), render what
+the paper's profiling workflow looks at — the hottest operators (by
+exclusive time and by traffic), the hottest queues over time, the
+supervision/sync activity, and a trace waterfall for the slowest sampled
+tuples.  ``python -m repro telemetry <log.jsonl>`` is the CLI wrapper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+__all__ = ["render_report"]
+
+
+def _fmt_s(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.1f}µs"
+
+
+def _metric_rows(
+    metrics: list[dict[str, Any]], name: str
+) -> list[dict[str, Any]]:
+    return [m for m in metrics if m.get("name") == name]
+
+
+def _section(title: str) -> list[str]:
+    return ["", title, "-" * len(title)]
+
+
+def _top_operators(metrics: list[dict[str, Any]], limit: int) -> list[str]:
+    lines: list[str] = []
+    excl = _metric_rows(metrics, "repro_exclusive_seconds_total")
+    if excl:
+        lines += _section(f"top operators by exclusive time (top {limit})")
+        total = sum(m["value"] for m in excl) or 1.0
+        header = f"{'operator':<24} {'exclusive':>10} {'share':>7}"
+        lines += [header]
+        for m in sorted(excl, key=lambda m: -m["value"])[:limit]:
+            op = m["labels"].get("operator", "?")
+            lines.append(
+                f"{op:<24} {_fmt_s(m['value']):>10} "
+                f"{100.0 * m['value'] / total:>6.1f}%"
+            )
+    hists = [
+        m for m in metrics
+        if m.get("name") == "repro_dispatch_seconds"
+        and m.get("kind") == "histogram" and m.get("count", 0) > 0
+    ]
+    if hists:
+        lines += _section("dispatch latency per operator")
+        header = (
+            f"{'operator':<24} {'count':>8} {'mean':>10} "
+            f"{'p50':>10} {'p95':>10} {'p99':>10}"
+        )
+        lines += [header]
+        for m in sorted(hists, key=lambda m: -m.get("sum", 0.0)):
+            op = m["labels"].get("operator", "?")
+            lines.append(
+                f"{op:<24} {m['count']:>8} {_fmt_s(m['mean']):>10} "
+                f"{_fmt_s(m['p50']):>10} {_fmt_s(m['p95']):>10} "
+                f"{_fmt_s(m['p99']):>10}"
+            )
+    traffic = _metric_rows(metrics, "repro_tuples_in_total")
+    if traffic:
+        lines += _section(f"traffic (tuples in, top {limit})")
+        for m in sorted(traffic, key=lambda m: -m["value"])[:limit]:
+            op = m["labels"].get("operator", "?")
+            lines.append(f"{op:<24} {int(m['value']):>10}")
+    return lines
+
+
+def _hottest_queues(events: list[dict[str, Any]], limit: int) -> list[str]:
+    per_pe: dict[str, list[int]] = {}
+    capacity: dict[str, int] = {}
+    for e in events:
+        if e.get("kind") == "sample" and e.get("pe") is not None:
+            per_pe.setdefault(e["pe"], []).append(int(e.get("depth", 0)))
+            if "capacity" in e:
+                capacity[e["pe"]] = int(e["capacity"])
+    if not per_pe:
+        return []
+    lines = _section(f"hottest queues ({sum(map(len, per_pe.values()))} samples)")
+    header = f"{'pe':<32} {'max':>6} {'mean':>8} {'cap':>6}"
+    lines += [header]
+    ranked = sorted(per_pe.items(), key=lambda kv: -max(kv[1]))[:limit]
+    for pe, depths in ranked:
+        mean = sum(depths) / len(depths)
+        cap = capacity.get(pe)
+        lines.append(
+            f"{pe:<32} {max(depths):>6} {mean:>8.1f} "
+            f"{cap if cap is not None else '-':>6}"
+        )
+    return lines
+
+
+def _supervision(events: list[dict[str, Any]]) -> list[str]:
+    counts: dict[tuple[str, str], int] = {}
+    for e in events:
+        if e.get("kind") == "supervision":
+            key = (e.get("op", "?"), e.get("event", "?"))
+            counts[key] = counts.get(key, 0) + 1
+    if not counts:
+        return []
+    lines = _section("supervision events")
+    for (op, event), n in sorted(counts.items()):
+        lines.append(f"{op:<24} {event:<10} ×{n}")
+    return lines
+
+
+def _sync_traffic(events: list[dict[str, Any]]) -> list[str]:
+    syncs = [e for e in events if e.get("kind") == "sync"]
+    if not syncs:
+        return []
+    total_bytes = sum(int(e.get("bytes", 0)) for e in syncs)
+    lines = _section("sync traffic")
+    lines.append(
+        f"{len(syncs)} state transfers, {total_bytes / 1024.0:.1f} KiB moved"
+    )
+    per_edge: dict[tuple, int] = {}
+    for e in syncs:
+        key = (e.get("sender", "?"), e.get("target", "?"))
+        per_edge[key] = per_edge.get(key, 0) + 1
+    for (sender, target), n in sorted(per_edge.items(), key=lambda kv: -kv[1])[:8]:
+        lines.append(f"  {sender} → {target}: ×{n}")
+    return lines
+
+
+def _waterfall(
+    events: list[dict[str, Any]], n_traces: int, width: int = 40
+) -> list[str]:
+    spans = [e for e in events if e.get("kind") == "span"]
+    if not spans:
+        return []
+    by_trace: dict[int, list[dict[str, Any]]] = {}
+    for s in spans:
+        by_trace.setdefault(s["trace_id"], []).append(s)
+
+    def root_of(trace: list[dict[str, Any]]) -> dict[str, Any] | None:
+        for s in trace:
+            if s.get("parent_id") is None:
+                return s
+        return None
+
+    def span_of_trace(trace: list[dict[str, Any]]) -> float:
+        t0 = min(s["t_start"] for s in trace)
+        t1 = max(s["t_end"] for s in trace)
+        return t1 - t0
+
+    ranked = sorted(by_trace.values(), key=span_of_trace, reverse=True)
+    lines = _section(
+        f"slowest traces ({min(n_traces, len(ranked))} of {len(ranked)} sampled)"
+    )
+    for trace in ranked[:n_traces]:
+        t0 = min(s["t_start"] for s in trace)
+        total = max(span_of_trace(trace), 1e-9)
+        root = root_of(trace)
+        lines.append(
+            f"trace {trace[0]['trace_id']} — {_fmt_s(total)} end-to-end"
+            + (f" (root: {root['name']})" if root else "")
+        )
+        children: dict[int | None, list[dict[str, Any]]] = {}
+        for s in trace:
+            children.setdefault(s.get("parent_id"), []).append(s)
+
+        def render(span: dict[str, Any], depth: int) -> None:
+            lo = int(width * (span["t_start"] - t0) / total)
+            hi = max(int(width * (span["t_end"] - t0) / total), lo + 1)
+            bar = " " * lo + "█" * (hi - lo)
+            label = "  " * depth + span["name"]
+            lines.append(
+                f"  {label:<28.28} |{bar:<{width}.{width}}| "
+                f"{_fmt_s(span['t_end'] - span['t_start'])}"
+            )
+            for child in sorted(
+                children.get(span["span_id"], []), key=lambda s: s["t_start"]
+            ):
+                render(child, depth + 1)
+
+        for root_span in sorted(
+            children.get(None, []), key=lambda s: s["t_start"]
+        ):
+            render(root_span, 0)
+    return lines
+
+
+def render_report(
+    events: Iterable[dict[str, Any]],
+    *,
+    top: int = 10,
+    n_traces: int = 3,
+) -> str:
+    """Render the full run report from an event list / loaded JSONL log.
+
+    Parameters
+    ----------
+    events:
+        Telemetry events (``Telemetry.events.events()`` or
+        :func:`~repro.streams.telemetry.load_events`); the last
+        ``metrics`` event supplies the counter/histogram tables.
+    top:
+        Row limit of the per-operator tables.
+    n_traces:
+        How many of the slowest sampled traces to render as waterfalls.
+    """
+    events = list(events)
+    metrics: list[dict[str, Any]] = []
+    for e in reversed(events):
+        if e.get("kind") == "metrics":
+            metrics = e.get("metrics", [])
+            break
+
+    header = "telemetry run report"
+    run_start = next((e for e in events if e.get("kind") == "run_start"), None)
+    run_end = next(
+        (e for e in reversed(events) if e.get("kind") == "run_end"), None
+    )
+    if run_start is not None:
+        header += f" — {run_start.get('graph', '?')} ({run_start.get('engine', '?')})"
+    lines = [header, "=" * len(header)]
+    if run_end is not None and "wall_time_s" in run_end:
+        lines.append(
+            f"wall time {run_end['wall_time_s']:.3f}s, "
+            f"throughput {run_end.get('throughput_tps', 0.0):.0f} tuples/s"
+        )
+    n_spans = sum(1 for e in events if e.get("kind") == "span")
+    n_samples = sum(1 for e in events if e.get("kind") == "sample")
+    lines.append(
+        f"{len(events)} events: {n_spans} spans, {n_samples} samples"
+    )
+
+    lines += _top_operators(metrics, top)
+    lines += _hottest_queues(events, top)
+    lines += _supervision(events)
+    lines += _sync_traffic(events)
+    lines += _waterfall(events, n_traces)
+    return "\n".join(lines)

@@ -68,6 +68,29 @@ class Throttle(Operator):
         self._last_emit_time = -float("inf")
         self._arrivals_since_emit = 0
         self.n_dropped = 0
+        self.n_forwarded = 0
+        self._first_forward_time: float | None = None
+        self._last_forward_time: float | None = None
+
+    def achieved_rate_hz(self) -> float:
+        """Forwarded tuples per second over the run so far (wall clock).
+
+        The observable counterpart of the ``rate_hz`` setting: what rate
+        the throttle actually achieved, measured first-forward to
+        last-forward.  Exposed as the ``repro_throttle_achieved_hz``
+        gauge when telemetry is attached; 0.0 until two tuples pass.
+        """
+        if (
+            self.n_forwarded < 2
+            or self._first_forward_time is None
+            or self._last_forward_time is None
+        ):
+            return 0.0
+        elapsed = self._last_forward_time - self._first_forward_time
+        if elapsed <= 0:
+            return 0.0
+        # n forwards define n-1 inter-emission intervals.
+        return (self.n_forwarded - 1) / elapsed
 
     def process(self, tup: StreamTuple, port: int) -> None:
         self._arrivals_since_emit += 1
@@ -91,4 +114,9 @@ class Throttle(Operator):
                 now = self._clock()
             self._last_emit_time = now
         self._arrivals_since_emit = 0
+        now = self._clock()
+        if self._first_forward_time is None:
+            self._first_forward_time = now
+        self._last_forward_time = now
+        self.n_forwarded += 1
         self.submit(tup)

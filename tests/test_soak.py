@@ -1,6 +1,9 @@
 """Long-stream soak tests: numerical stability over tens of thousands of
 updates with mixed contamination, gaps, and synchronization."""
 
+import os
+import pathlib
+
 import numpy as np
 import pytest
 
@@ -60,3 +63,63 @@ def test_repeated_merging_stays_stable():
     assert largest_principal_angle(state.basis[:, :3], model.basis) < 0.1
     total = model.eigenvalues.sum()
     assert 0.5 * total < state.eigenvalues[:3].sum() < 2.0 * total
+
+
+def test_threaded_engine_soak_with_telemetry(tmp_path):
+    """A long telemetry-enabled threaded run stays lossless and leaves a
+    usable event log.
+
+    The JSONL log lands in ``$TELEMETRY_LOG_DIR`` when set (CI uploads it
+    as a build artifact), otherwise in the test's tmp dir.
+    """
+    from repro.data import VectorStream
+    from repro.streams import (
+        CollectingSink,
+        FusionPlan,
+        Graph,
+        Split,
+        Telemetry,
+        TelemetryConfig,
+        ThreadedEngine,
+        Union,
+        VectorSource,
+        load_events,
+        render_report,
+    )
+
+    n = 20_000
+    rng = np.random.default_rng(7)
+    x = rng.standard_normal((n, 16))
+    g = Graph("soak")
+    src = g.add(VectorSource("src", VectorStream.from_array(x)))
+    split = g.add(Split("split", 4, strategy="round_robin"))
+    uni = g.add(Union("union", 4))
+    sink = g.add(CollectingSink("sink"))
+    g.connect(src, split)
+    for i in range(4):
+        g.connect(split, uni, out_port=i, in_port=i)
+    g.connect(uni, sink)
+
+    tel = Telemetry(TelemetryConfig(
+        timing=True, tracing=True, trace_sample_every=500,
+        sampler_interval_s=0.05,
+    ))
+    stats = ThreadedEngine(
+        g, fusion=FusionPlan.fuse_chains(g), telemetry=tel
+    ).run(timeout_s=120)
+
+    assert len(sink.tuples) == n  # lossless under telemetry
+    assert stats.tuples_in["sink"] == n
+    assert tel.tracer.n_traces == n // 500
+    assert tel.events.n_dropped == 0
+
+    log_dir = pathlib.Path(os.environ.get("TELEMETRY_LOG_DIR", tmp_path))
+    log_dir.mkdir(parents=True, exist_ok=True)
+    path = log_dir / "soak-telemetry.jsonl"
+    tel.write_jsonl(path)
+    events = load_events(path)
+    kinds = {e["kind"] for e in events}
+    assert {"run_start", "span", "sample", "run_end", "metrics"} <= kinds
+    # The log renders through the same tooling as `python -m repro telemetry`.
+    report = render_report(events)
+    assert "top operators by exclusive time" in report

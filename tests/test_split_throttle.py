@@ -142,3 +142,64 @@ class TestThrottleWallClock:
             Throttle("t", logical_period=0)
         with pytest.raises(ValueError, match="mode"):
             Throttle("t", rate_hz=1.0, mode="defer")
+
+
+class TestThrottleAchievedRate:
+    def test_achieved_rate_matches_configured_rate(self):
+        now = [0.0]
+        # Binary-exact numbers (1/8 s period, 1/16 s arrivals) keep the
+        # fake-clock grid float-drift free.
+        th = Throttle("t", rate_hz=8.0, mode="drop", clock=lambda: now[0])
+        wire(th)
+        assert th.achieved_rate_hz() == 0.0  # nothing forwarded yet
+        # Offer at 16 Hz; the throttle passes every other tuple, so the
+        # achieved rate converges on the configured 8 Hz.
+        for i in range(21):
+            now[0] = i * 0.0625
+            th._dispatch(StreamTuple.data(x=i), 0)
+        assert th.n_forwarded == 11
+        assert th.n_dropped == 10
+        assert th.achieved_rate_hz() == pytest.approx(8.0)
+
+    def test_single_forward_reports_zero(self):
+        now = [0.0]
+        th = Throttle("t", rate_hz=5.0, clock=lambda: now[0])
+        wire(th)
+        th._dispatch(StreamTuple.data(x=0), 0)
+        assert th.n_forwarded == 1
+        assert th.achieved_rate_hz() == 0.0  # one forward = no interval
+
+    def test_exported_as_telemetry_gauge(self):
+        from repro.data import VectorStream
+        from repro.streams.engine import SynchronousEngine
+        from repro.streams.graph import Graph
+        from repro.streams.sinks import CollectingSink
+        from repro.streams.sources import VectorSource
+        from repro.streams.telemetry import Telemetry
+
+        now = [0.0]
+        g = Graph("rate")
+        src = g.add(VectorSource(
+            "src", VectorStream.from_array(np.zeros((11, 2)))
+        ))
+        th = Throttle("t", rate_hz=100.0, mode="drop",
+                      clock=lambda: now[0])
+        # Advance the fake clock 10ms per arrival: forwards land exactly
+        # on the 100 Hz grid, so nothing is dropped.
+        orig = th.process
+
+        def paced(tup, port):
+            orig(tup, port)
+            now[0] += 0.01
+
+        th.process = paced
+        g.add(th)
+        sink = g.add(CollectingSink("sink"))
+        g.connect(src, th)
+        g.connect(th, sink)
+        tel = Telemetry()
+        SynchronousEngine(g, telemetry=tel).run()
+        assert th.n_forwarded == 11
+        gauge = tel.metrics.value("repro_throttle_achieved_hz", operator="t")
+        assert gauge == pytest.approx(th.achieved_rate_hz())
+        assert gauge == pytest.approx(100.0)
