@@ -1,0 +1,91 @@
+"""Compare a freshly generated BENCH_*.json against the committed baseline.
+
+The committed baselines record absolute rows/s from the machine that
+produced them, which is *not* portable across runners.  What is portable
+is the block-vs-sequential **speedup ratio**: both measurements share the
+machine, BLAS, and Python, so the ratio cancels hardware out.  The check
+therefore fails only when a speedup ratio regresses by more than the
+tolerance (default 20%) relative to the baseline's ratio.
+
+Usage::
+
+    python benchmarks/check_regression.py CURRENT.json \
+        --baseline BENCH_core_update.json [--tolerance 0.2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _ratios(payload: dict) -> dict[str, float]:
+    """Extract the named speedup ratios from one benchmark payload."""
+    out: dict[str, float] = {}
+    for r in payload.get("results", []):
+        key = r.get("name") or f"dim={r['dim']}"
+        if "speedup" in r:
+            out[key] = float(r["speedup"])
+    return out
+
+
+def check(current: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Return a list of human-readable regression messages (empty = pass).
+
+    Only keys present in both payloads are compared, so a ``--quick``
+    smoke run (fewer dimensions) can still be checked against the full
+    committed baseline; zero overlap is itself a failure.
+    """
+    cur = _ratios(current)
+    base = _ratios(baseline)
+    shared = [k for k in base if k in cur]
+    if not shared:
+        return ["no overlapping benchmark cases between current and baseline"]
+    failures = []
+    for key in shared:
+        floor = base[key] * (1.0 - tolerance)
+        if cur[key] < floor:
+            failures.append(
+                f"{key}: speedup {cur[key]:.2f}x < floor {floor:.2f}x "
+                f"(baseline {base[key]:.2f}x, tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when benchmark speedups regress vs a baseline"
+    )
+    parser.add_argument("current", type=Path)
+    parser.add_argument("--baseline", type=Path, required=True)
+    parser.add_argument("--tolerance", type=float, default=0.2)
+    args = parser.parse_args(argv)
+
+    current = json.loads(args.current.read_text())
+    baseline = json.loads(args.baseline.read_text())
+    if current.get("benchmark") != baseline.get("benchmark"):
+        print(
+            f"benchmark mismatch: current={current.get('benchmark')!r} "
+            f"baseline={baseline.get('benchmark')!r}"
+        )
+        return 2
+
+    failures = check(current, baseline, args.tolerance)
+    name = current.get("benchmark", "?")
+    if failures:
+        print(f"{name}: {len(failures)} speedup regression(s):")
+        for msg in failures:
+            print(f"  - {msg}")
+        return 1
+    n = len([k for k in _ratios(baseline) if k in _ratios(current)])
+    print(
+        f"{name}: all {n} shared speedup ratios within "
+        f"{args.tolerance:.0%} of baseline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

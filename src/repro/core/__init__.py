@@ -30,22 +30,26 @@ from .calibration import (
 )
 from .drift import DriftReport, SubspaceDriftDetector
 from .eigensystem import Eigensystem
+from .exceptions import NotFittedError
 from .gaps import (
     GAP_RESIDUAL_MODES,
+    BlockGapFillResult,
     GapFiller,
     GapFillResult,
     corrected_residual_norm2,
     estimate_residual_norm2,
+    fill_block_from_basis,
     fill_from_basis,
     has_gaps,
     iterative_gap_fill,
     observed_mask,
 )
-from .incremental import IncrementalPCA, UpdateResult
+from .incremental import BlockUpdateResult, IncrementalPCA, UpdateResult
 from .lowrank import (
     build_merge_factor,
     build_update_factor,
     eigensystem_of_factor,
+    rank_k_update,
     rank_one_update,
 )
 from .merge import (
@@ -77,6 +81,8 @@ __all__ = [
     "GAP_RESIDUAL_MODES",
     "BatchRobustPCA",
     "BisquareRho",
+    "BlockGapFillResult",
+    "BlockUpdateResult",
     "CauchyRho",
     "ConvergenceReport",
     "DriftReport",
@@ -85,6 +91,7 @@ __all__ = [
     "GapFiller",
     "IncrementalPCA",
     "NormalizationError",
+    "NotFittedError",
     "OutlierEvent",
     "OutlierLog",
     "RhoFunction",
@@ -109,6 +116,7 @@ __all__ = [
     "eigensystems_consistent",
     "expected_rho",
     "explained_variance_ratio",
+    "fill_block_from_basis",
     "fill_from_basis",
     "flag_outliers",
     "has_gaps",
@@ -122,6 +130,7 @@ __all__ = [
     "normalize_block",
     "observed_mask",
     "principal_angles",
+    "rank_k_update",
     "rank_one_update",
     "robust_eigenvalues_along",
     "roughness",

@@ -1,0 +1,21 @@
+"""Shared exception types for the core estimators.
+
+:class:`NotFittedError` subclasses ``RuntimeError`` so existing callers
+(and tests) that catch ``RuntimeError`` keep working, while new code can
+catch the precise condition — an inference call (``transform``,
+``inverse_transform``, ``reconstruction_error``, ``components_``, …)
+issued before the estimator finished its warm-up batch solve.
+"""
+
+from __future__ import annotations
+
+__all__ = ["NotFittedError"]
+
+
+class NotFittedError(RuntimeError):
+    """An estimator was queried before it was fitted / initialized.
+
+    Raised instead of an opaque ``AttributeError`` (reading a ``None``
+    field) or a bare assert when ``transform``-style methods run before
+    the warm-up buffer has filled and the eigensystem exists.
+    """

@@ -31,7 +31,9 @@ __all__ = [
     "observed_mask",
     "has_gaps",
     "fill_from_basis",
+    "fill_block_from_basis",
     "GapFillResult",
+    "BlockGapFillResult",
     "GapFiller",
     "corrected_residual_norm2",
     "estimate_residual_norm2",
@@ -120,6 +122,67 @@ def fill_from_basis(
     z = np.linalg.solve(gram, e_obs.T @ y_obs)
     filled[~mask] = mean[~mask] + basis[~mask] @ z
     return GapFillResult(filled, mask, n_miss, z)
+
+
+@dataclass(frozen=True)
+class BlockGapFillResult:
+    """Outcome of patching a ``(k, d)`` block.
+
+    Attributes
+    ----------
+    filled:
+        The completed block (fresh array; the input is untouched).
+    mask:
+        ``(k, d)`` boolean mask of originally observed entries.
+    n_filled_per_row:
+        Number of patched entries per row, shape ``(k,)``.
+    gappy_rows:
+        Indices of rows that had at least one gap.
+    """
+
+    filled: np.ndarray
+    mask: np.ndarray
+    n_filled_per_row: np.ndarray
+    gappy_rows: np.ndarray
+
+    @property
+    def n_filled(self) -> int:
+        """Total entries patched across the block."""
+        return int(self.n_filled_per_row.sum())
+
+
+def fill_block_from_basis(
+    x: np.ndarray,
+    mean: np.ndarray,
+    basis: np.ndarray,
+    *,
+    ridge: float = 1e-8,
+) -> BlockGapFillResult:
+    """Patch missing entries of a ``(k, d)`` block with the eigenbasis.
+
+    Complete rows are passed through untouched (one vectorized copy);
+    each gappy row solves its own masked ridge least-squares problem via
+    :func:`fill_from_basis` — the masked normal equations differ per row,
+    so this inner loop runs only over the gappy subset, which for
+    astrophysical streams is typically a small fraction of the block.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError(f"expected (k, d) block, got shape {x.shape}")
+    mask = np.isfinite(x)
+    gappy = np.nonzero(~mask.all(axis=1))[0]
+    filled = x.copy()
+    n_filled_per_row = np.zeros(x.shape[0], dtype=np.int64)
+    for i in gappy:
+        result = fill_from_basis(x[i], mean, basis, ridge=ridge)
+        filled[i] = result.filled
+        n_filled_per_row[i] = result.n_filled
+    return BlockGapFillResult(
+        filled=filled,
+        mask=mask,
+        n_filled_per_row=n_filled_per_row,
+        gappy_rows=gappy,
+    )
 
 
 class GapFiller:

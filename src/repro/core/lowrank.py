@@ -25,6 +25,7 @@ __all__ = [
     "build_update_factor",
     "build_merge_factor",
     "rank_one_update",
+    "rank_k_update",
 ]
 
 #: Relative threshold below which factor singular values are treated as 0.
@@ -176,6 +177,144 @@ def build_merge_factor(
             raise ValueError("mean_columns dimension mismatch")
         cols.append(mean_columns)
     return np.concatenate(cols, axis=1)
+
+
+def rank_k_update(
+    basis: np.ndarray,
+    eigenvalues: np.ndarray,
+    block: np.ndarray,
+    gamma: float,
+    weights: np.ndarray,
+    p: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Block (mini-batch) covariance update: ``k`` observations at once.
+
+    Computes the top-``p`` eigensystem of
+
+    .. math::
+
+        C = \\gamma\\, E \\Lambda E^T + \\sum_{i=1}^{k} c_i\\, y_i y_i^T ,
+
+    where the rows of ``block`` are the (centered) observations ``y_i``
+    and ``weights`` carries the non-negative coefficients ``c_i``.  This
+    is the sequential Karhunen–Loève block recursion (Ross et al. 2008;
+    sklearn's ``IncrementalPCA`` uses the same structure): the eigensolve
+    is amortized over the whole block instead of paid per observation.
+
+    Algorithm — QR-augmentation via the Gram trick:
+
+    1. split the weighted block ``Y_w`` into its component inside the
+       current basis, ``Z = E^T Y_w``, and the residual ``R = Y_w - E Z``;
+    2. compress the residual subspace with the eigensystem of the small
+       Gram matrix ``R^T R`` (rank ``q <= k``), giving an orthonormal
+       augmentation ``Q`` with ``R = Q S``;
+    3. assemble the ``(p+q) x (p+q)`` projection of ``C`` onto the
+       augmented frame ``[E, Q]`` — since ``S S^T`` is diagonal by
+       construction this is two small products — and solve the small
+       symmetric eigenproblem;
+    4. rotate back, truncate to ``p``, and defensively re-orthonormalize.
+
+    Per block this costs ``O(d·k·(p+k) + (p+k)^3)`` — the same flop
+    order as ``k`` rank-one updates, but spent in a handful of large
+    GEMMs instead of ``O(k)`` skinny operations, which is where the
+    measured speedup comes from (see ``benchmarks/bench_core_update.py``).
+
+    Rows with zero weight are dropped before any algebra (rejected
+    outliers are free, as in the rank-one path).
+
+    Returns
+    -------
+    (E, lam):
+        As :func:`eigensystem_of_factor`: basis ``(d, p_eff)`` and
+        eigenvalues ``(p_eff,)``, descending.
+    """
+    basis = np.asarray(basis, dtype=np.float64)
+    eigenvalues = np.asarray(eigenvalues, dtype=np.float64)
+    block = np.asarray(block, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if block.ndim != 2:
+        raise ValueError(f"block must be 2-D (k, d), got shape {block.shape}")
+    if basis.ndim != 2 or basis.shape[0] != block.shape[1]:
+        raise ValueError(
+            f"basis shape {basis.shape} does not match block dimension "
+            f"{block.shape[1]}"
+        )
+    if eigenvalues.shape != (basis.shape[1],):
+        raise ValueError(
+            f"eigenvalues shape {eigenvalues.shape} does not match basis "
+            f"with {basis.shape[1]} columns"
+        )
+    if weights.shape != (block.shape[0],):
+        raise ValueError(
+            f"weights shape {weights.shape} does not match block with "
+            f"{block.shape[0]} rows"
+        )
+    if gamma < 0.0:
+        raise ValueError("gamma must be non-negative")
+    if np.any(weights < 0.0):
+        raise ValueError("block weights must be non-negative")
+
+    live = weights > 0.0
+    if not np.all(live):
+        block = block[live]
+        weights = weights[live]
+    if block.shape[0] == 0:
+        # Pure decay: eigenvectors unchanged, eigenvalues scaled.
+        return basis.copy(), gamma * np.clip(eigenvalues, 0.0, None)
+
+    lam = np.clip(eigenvalues, 0.0, None)
+    yw = block.T * np.sqrt(weights)  # (d, k)
+    m = basis.shape[1]
+    if m == 0 or gamma == 0.0:
+        return eigensystem_of_factor(yw, p)
+
+    z = basis.T @ yw              # (m, k) in-basis coefficients
+    r = yw - basis @ z            # (d, k) residual of the block
+    gram_r = r.T @ r              # (k, k)
+    w, v = np.linalg.eigh(gram_r)
+    w = np.clip(w[::-1], 0.0, None)
+    v = v[:, ::-1]
+    # Residual rank cut relative to the update's overall energy scale, so
+    # a block living entirely inside span(E) contributes no junk columns.
+    ref = max(float(w[0]) if w.size else 0.0, gamma * float(lam[0]) if lam.size else 0.0)
+    if ref > 0.0:
+        q_rank = int(np.count_nonzero(w > ref * _RELATIVE_RANK_TOL))
+    else:
+        q_rank = 0
+
+    if q_rank == 0:
+        # Block is (numerically) inside the current subspace: small
+        # m x m eigenproblem only.
+        small = np.diag(gamma * lam) + z @ z.T
+        aug = basis
+    else:
+        wq = w[:q_rank]
+        vq = v[:, :q_rank]
+        q_cols = (r @ vq) / np.sqrt(wq)          # (d, q) orthonormal
+        s = np.sqrt(wq)[:, None] * vq.T          # (q, k): R = Q S
+        zs = z @ s.T                             # (p, q)
+        small = np.empty((m + q_rank, m + q_rank))
+        small[:m, :m] = np.diag(gamma * lam) + z @ z.T
+        small[:m, m:] = zs
+        small[m:, :m] = zs.T
+        small[m:, m:] = np.diag(wq)              # S Sᵀ is diagonal
+        aug = np.concatenate([basis, q_cols], axis=1)
+
+    ew, ev = np.linalg.eigh(small)
+    ew = np.clip(ew[::-1], 0.0, None)
+    ev = ev[:, ::-1]
+    if ew.size and ew[0] > 0.0:
+        keep = int(np.count_nonzero(ew > ew[0] * _RELATIVE_RANK_TOL))
+    else:
+        keep = 0
+    k_out = min(p, keep)
+    if k_out == 0:
+        d = basis.shape[0]
+        return np.zeros((d, 0)), np.zeros(0)
+    e_new = aug @ ev[:, :k_out]
+    # Defensive re-orthonormalization, mirroring eigensystem_of_factor.
+    e_new, _ = np.linalg.qr(e_new)
+    return e_new, ew[:k_out]
 
 
 def rank_one_update(

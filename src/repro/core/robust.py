@@ -29,18 +29,22 @@ outliers are nearly free.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 
 from .calibration import calibrate_c2
 from .eigensystem import Eigensystem
+from .exceptions import NotFittedError
 from .gaps import (
     GAP_RESIDUAL_MODES,
     GapFillResult,
     estimate_residual_norm2,
+    fill_block_from_basis,
     fill_from_basis,
 )
-from .incremental import UpdateResult
-from .lowrank import rank_one_update
+from .incremental import BlockUpdateResult, UpdateResult, _WarmupBuffer
+from .lowrank import rank_k_update, rank_one_update
 from .rho import RhoFunction, make_rho
 
 __all__ = ["RobustIncrementalPCA", "RobustEigenvalueEstimator"]
@@ -148,7 +152,7 @@ class RobustIncrementalPCA:
         )
         self._outlier_t = outlier_t
 
-        self._buffer: list[np.ndarray] = []
+        self._buffer = _WarmupBuffer(self.init_size)
         self._state: Eigensystem | None = None
         self.n_outliers = 0
         self.n_skipped = 0
@@ -161,9 +165,10 @@ class RobustIncrementalPCA:
     def state(self) -> Eigensystem:
         """Full internal eigensystem (``p + q`` components)."""
         if self._state is None:
-            raise RuntimeError(
+            raise NotFittedError(
                 "eigensystem not initialized yet: "
-                f"{len(self._buffer)}/{self.init_size} warm-up vectors seen"
+                f"{self._buffer.count}/{self.init_size} warm-up vectors "
+                "seen — feed more observations before querying the fit"
             )
         return self._state
 
@@ -176,7 +181,10 @@ class RobustIncrementalPCA:
     def rho(self) -> RhoFunction:
         """The rho-function in use (calibrated lazily at initialization)."""
         if self._rho is None:
-            raise RuntimeError("rho is calibrated at initialization time")
+            raise NotFittedError(
+                "rho is not calibrated yet: it is fixed at initialization "
+                "time (after the warm-up buffer fills)"
+            )
         return self._rho
 
     @property
@@ -184,7 +192,7 @@ class RobustIncrementalPCA:
         """Total observations consumed (including warm-up and outliers)."""
         if self._state is not None:
             return self._state.n_seen
-        return len(self._buffer)
+        return self._buffer.count
 
     @property
     def effective_window(self) -> float:
@@ -252,16 +260,89 @@ class RobustIncrementalPCA:
             return None
         return self._update_initialized(x)
 
-    def partial_fit(self, x: np.ndarray) -> "RobustIncrementalPCA":
-        """Consume a block of observations of shape ``(n, d)``."""
+    def update_block(self, x: np.ndarray) -> BlockUpdateResult:
+        """Consume a ``(k, d)`` block through the vectorized block kernel.
+
+        Warm-up rows are buffered per row (gap patching needs the running
+        column medians); every post-initialization row is processed by
+        rank-``k`` block updates — vectorized gap filling, residuals,
+        robust weighting, and a single eigensolve per block.  For
+        ``α < 1`` very large blocks are chunked so the per-block
+        forgetting approximation stays within the documented contract
+        (see docs/performance.md).
+        """
         x = np.asarray(x, dtype=np.float64)
         if x.ndim == 1:
             x = x[None, :]
-        for row in x:
-            self.update(row)
+        if x.ndim != 2:
+            raise ValueError(f"update_block expects (k, d), got {x.shape}")
+        n_buffered = 0
+        i = 0
+        while self._state is None and i < x.shape[0]:
+            skipped_before = self.n_skipped
+            self._buffer_warmup(x[i])
+            i += 1
+            if self.n_skipped == skipped_before:
+                n_buffered += 1
+        warm_skipped = i - n_buffered
+        x = x[i:]
+        if x.shape[0] == 0 or self._state is None:
+            return BlockUpdateResult.empty(
+                n_buffered=n_buffered, n_skipped=warm_skipped
+            )
+        parts = []
+        offset = i
+        for chunk in self._iter_chunks(x):
+            part = self._update_block_initialized(chunk)
+            if part.indices is not None:
+                part = replace(part, indices=part.indices + offset)
+            offset += chunk.shape[0]
+            parts.append(part)
+        result = BlockUpdateResult.concat(parts)
+        if n_buffered or warm_skipped:
+            result = replace(
+                result,
+                n_buffered=result.n_buffered + n_buffered,
+                n_skipped=result.n_skipped + warm_skipped,
+            )
+        return result
+
+    def partial_fit(self, x: np.ndarray) -> "RobustIncrementalPCA":
+        """Consume a block of observations of shape ``(n, d)``.
+
+        Routes through :meth:`update_block` — one vectorized rank-``k``
+        eigensolve per block instead of a Python loop of rank-one
+        updates per row.
+        """
+        self.update_block(x)
         return self
 
     fit = partial_fit
+
+    def _chunk_limit(self) -> int:
+        """Cap on rows per rank-``k`` eigensolve.
+
+        The block path evaluates residuals/weights against the
+        block-start state and applies forgetting per block rather than
+        per row; chunking to a fraction of the effective window
+        ``N = 1/(1-α)`` (and to an absolute cap that keeps the basis
+        fresh) keeps that approximation mild regardless of upstream
+        batch size.
+        """
+        from .incremental import _MAX_BLOCK_ROWS
+
+        if self.alpha >= 1.0:
+            return _MAX_BLOCK_ROWS
+        window_cap = max(1, int(0.25 / (1.0 - self.alpha)))
+        return min(_MAX_BLOCK_ROWS, window_cap)
+
+    def _iter_chunks(self, x: np.ndarray):
+        limit = self._chunk_limit()
+        if x.shape[0] <= limit:
+            yield x
+            return
+        for start in range(0, x.shape[0], limit):
+            yield x[start : start + limit]
 
     def _buffer_warmup(self, x: np.ndarray) -> None:
         mask = np.isfinite(x)
@@ -271,23 +352,20 @@ class RobustIncrementalPCA:
             return
         if not np.all(mask):
             # No basis yet: patch warm-up gaps with the column median of
-            # the buffered observed values (falls back to 0).
+            # the buffered observed values (falls back to 0).  Buffered
+            # rows are themselves already patched, hence finite.
             x = x.copy()
-            if self._buffer:
-                stack = np.asarray(self._buffer)
-                col_med = np.nanmedian(
-                    np.where(np.isfinite(stack), stack, np.nan), axis=0
-                )
-                col_med = np.where(np.isfinite(col_med), col_med, 0.0)
+            if self._buffer.count:
+                col_med = np.median(self._buffer.view(), axis=0)
             else:
                 col_med = np.zeros_like(x)
             x[~mask] = col_med[~mask]
         self._buffer.append(np.asarray(x, dtype=np.float64))
-        if len(self._buffer) >= self.init_size:
+        if self._buffer.is_full:
             self._initialize()
 
     def _initialize(self) -> None:
-        batch = np.asarray(self._buffer)
+        batch = self._buffer.view()
         k = self.n_components + self.extra_components
         if self.robust_init:
             self._state = self._robust_batch_state(batch, k)
@@ -436,6 +514,122 @@ class RobustIncrementalPCA:
             residual_norm2=r2,
             is_outlier=is_outlier,
             n_filled=n_filled,
+        )
+
+    def _update_block_initialized(self, x: np.ndarray) -> BlockUpdateResult:
+        """One rank-``k`` robust update over a block.
+
+        Unrolls the running sums of eqs. 12–14 in closed form (per-row
+        decay weights ``α^{k-j}``), vectorizes gap filling, residual
+        computation, and the ρ-weighting, and performs a single
+        rank-``k`` eigensolve.  Residuals/weights are evaluated against
+        the block-*start* state and the mean/covariance are blended once
+        per block — the per-block forgetting approximation documented in
+        docs/performance.md (exact in the α=1, no-truncation-loss limit).
+        """
+        st = self._state
+        rho = self._rho
+        assert st is not None and rho is not None
+        if x.shape[1] != st.dim:
+            raise ValueError(
+                f"expected vectors of dim {st.dim}, got dim {x.shape[1]}"
+            )
+
+        p = self.n_components
+        basis_p = st.basis[:, :p]
+        basis_extra = st.basis[:, p:]
+
+        # --- gap handling (vectorized; per-row solve only for gappy rows)
+        mask = np.isfinite(x)
+        n_skipped = 0
+        n_filled_per_row = np.zeros(x.shape[0], dtype=np.int64)
+        gappy_rows = np.zeros(0, dtype=np.int64)
+        kept_idx = np.arange(x.shape[0], dtype=np.int64)
+        if not mask.all():
+            if not self.handle_gaps:
+                raise ValueError(
+                    "observation contains NaN but handle_gaps=False"
+                )
+            frac = mask.sum(axis=1) / x.shape[1]
+            keep = frac >= max(self.min_observed_fraction, 1e-12)
+            n_skipped = int(np.count_nonzero(~keep))
+            if n_skipped:
+                self.n_skipped += n_skipped
+                x = x[keep]
+                mask = mask[keep]
+                kept_idx = kept_idx[keep]
+                if x.shape[0] == 0:
+                    return BlockUpdateResult.empty(n_skipped=n_skipped)
+            fill = fill_block_from_basis(x, st.mean, basis_p)
+            x = fill.filled
+            n_filled_per_row = fill.n_filled_per_row
+            gappy_rows = fill.gappy_rows
+        k = x.shape[0]
+
+        # --- residuals and robust weights (against the block-start state)
+        y_prev = x - st.mean
+        proj = y_prev @ basis_p
+        resid = y_prev - proj @ basis_p.T
+        r2 = np.einsum("ij,ij->i", resid, resid)
+        for i in gappy_rows:
+            r2[i] = estimate_residual_norm2(
+                y_prev[i], mask[i], basis_p, basis_extra,
+                self.gap_residual_mode,
+            )
+        scale_prev = st.scale if st.scale > 0 else 1.0
+        t = r2 / scale_prev
+        w = np.asarray(rho.weight(t), dtype=np.float64)
+        wstar = np.asarray(rho.wstar(t), dtype=np.float64)
+        is_outlier = t >= self._outlier_threshold()
+        self.n_outliers += int(np.count_nonzero(is_outlier))
+
+        # --- running sums, unrolled in closed form (eqs. 12-14) -----------
+        a = self.alpha
+        j = np.arange(1, k + 1, dtype=np.float64)
+        if a >= 1.0:
+            pw = np.ones(k)
+            decay_k = 1.0
+        else:
+            pw = a ** (k - j)
+            decay_k = float(a ** k)
+        u_new = decay_k * st.sum_count + float(pw.sum())
+        v_new = decay_k * st.sum_weight + float(pw @ w)
+        q_new = decay_k * st.sum_weighted_r2 + float(pw @ (w * r2))
+        gamma3 = decay_k * st.sum_count / u_new
+
+        # --- location (block form of eq. 9) -------------------------------
+        if v_new > 0.0:
+            st.mean = st.mean + ((pw * w) @ (x - st.mean)) / v_new
+
+        # --- covariance (eq. 10, one rank-k eigensolve) --------------------
+        if q_new > 0.0 and np.any(w * r2 > 0.0):
+            gamma2 = decay_k * st.sum_weighted_r2 / q_new
+            coeff = pw * w * scale_prev / q_new
+            y = x - st.mean
+            k_tot = p + self.extra_components
+            st.basis, st.eigenvalues = rank_k_update(
+                st.basis, st.eigenvalues, y, gamma2, coeff, k_tot
+            )
+
+        # --- scale (eq. 11, unrolled) --------------------------------------
+        st.scale = gamma3 * st.scale + float(pw @ (wstar * r2)) / (
+            u_new * self.delta
+        )
+
+        st.sum_count = u_new
+        st.sum_weight = v_new
+        st.sum_weighted_r2 = q_new
+        st.n_seen += k
+        st.n_since_sync += k
+        return BlockUpdateResult(
+            weights=w,
+            scaled_residuals=t,
+            residual_norm2=r2,
+            is_outlier=is_outlier,
+            n_processed=k,
+            n_skipped=n_skipped,
+            n_filled=int(n_filled_per_row.sum()),
+            indices=kept_idx,
         )
 
     def _outlier_threshold(self) -> float:

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from ..core.robust import RobustIncrementalPCA
 from ..data.streams import VectorStream
 from ..io.checkpoint import CheckpointStore
+from ..streams.batcher import Batcher
 from ..streams.graph import Graph
 from ..streams.sinks import CollectingSink
 from ..streams.sources import VectorSource
@@ -62,6 +63,7 @@ class ParallelPCAApp:
     controller: SyncController
     engines: list[StreamingPCAOperator] = field(default_factory=list)
     diag_sink: CollectingSink | None = None
+    batcher: Batcher | None = None
 
 
 def build_parallel_pca_graph(
@@ -76,6 +78,8 @@ def build_parallel_pca_graph(
     min_sync_interval: int = 0,
     collect_diagnostics: bool = True,
     snapshot_every: int = 0,
+    batch_size: int = 0,
+    batch_timeout_s: float | None = None,
 ) -> ParallelPCAApp:
     """Build the Fig. 2 graph.
 
@@ -101,6 +105,16 @@ def build_parallel_pca_graph(
         Attach a sink collecting per-observation diagnostics.
     snapshot_every:
         Periodic eigensystem snapshots on the diagnostics stream.
+    batch_size:
+        When > 1, insert a :class:`~repro.streams.batcher.Batcher`
+        between the source and the split so the engines consume
+        ``(k, d)`` blocks through the vectorized block kernel.  The
+        block becomes the routing unit of the load balancer — each
+        block lands on one engine (see docs/performance.md for the
+        trade-off).  0 or 1 keeps the seed per-tuple path.
+    batch_timeout_s:
+        Optional timeout flush for the batcher (lazily checked; see
+        :class:`~repro.streams.batcher.Batcher`).
     """
     if n_engines < 1:
         raise ValueError(f"n_engines must be >= 1, got {n_engines}")
@@ -118,7 +132,19 @@ def build_parallel_pca_graph(
             min_interval=min_sync_interval,
         )
     )
-    graph.connect(source, split)
+    batcher: Batcher | None = None
+    if batch_size and batch_size > 1:
+        batcher = graph.add(
+            Batcher(
+                "batcher",
+                batch_size=batch_size,
+                timeout_s=batch_timeout_s,
+            )
+        )
+        graph.connect(source, batcher)
+        graph.connect(batcher, split)
+    else:
+        graph.connect(source, split)
 
     engines: list[StreamingPCAOperator] = []
     diag_sink = (
@@ -138,6 +164,8 @@ def build_parallel_pca_graph(
                 "update", "public_state", "replace_state",
                 "ready_to_sync", "is_initialized", "state", "n_seen",
             )
+            if batcher is not None:
+                required = required + ("update_block",)
             missing = [a for a in required if not hasattr(estimator, a)]
             if missing:
                 raise TypeError(
@@ -167,6 +195,7 @@ def build_parallel_pca_graph(
         controller=controller,
         engines=engines,
         diag_sink=diag_sink,
+        batcher=batcher,
     )
 
 

@@ -32,6 +32,8 @@ from __future__ import annotations
 
 from typing import Any
 
+import numpy as np
+
 from ..core.eigensystem import Eigensystem
 from ..core.merge import merge_eigensystems
 from ..core.robust import RobustIncrementalPCA
@@ -88,6 +90,9 @@ class StreamingPCAOperator(Operator):
         self.n_syncs_received = 0
         self.n_states_shared = 0
         self.n_data_tuples = 0
+        #: Rows consumed, counting every row of a block tuple (equals
+        #: ``n_data_tuples`` on an unbatched stream).
+        self.n_data_rows = 0
         self._ready_announced = False
 
     # ------------------------------------------------------------------
@@ -100,6 +105,10 @@ class StreamingPCAOperator(Operator):
 
     def _process_data(self, tup: StreamTuple) -> None:
         self.n_data_tuples += 1
+        if "xs" in tup.payload:
+            self._process_block(tup)
+            return
+        self.n_data_rows += 1
         result = self.estimator.update(tup["x"])
         if result is not None and self.emit_diagnostics:
             self.submit(
@@ -112,11 +121,54 @@ class StreamingPCAOperator(Operator):
                 ),
                 port=1,
             )
-        if (
-            self.snapshot_every
-            and self.estimator.is_initialized
-            and self.estimator.n_seen % self.snapshot_every == 0
-        ):
+        self._maybe_snapshot(before=self.estimator.n_seen - 1)
+        self._maybe_announce_ready()
+
+    def _process_block(self, tup: StreamTuple) -> None:
+        """Consume one ``(k, d)`` block tuple from an upstream Batcher.
+
+        The whole block goes through the estimator's vectorized
+        :meth:`update_block`; per-row diagnostics (when enabled) are
+        re-expanded afterwards using the result's row-index map, so the
+        diagnostics stream is identical to the unbatched one.
+        """
+        xs = np.asarray(tup["xs"], dtype=np.float64)
+        n_before = self.estimator.n_seen
+        result = self.estimator.update_block(xs)
+        self.n_data_rows += xs.shape[0]
+        if self.emit_diagnostics and result.n_processed:
+            seqs = tup.get("seqs")
+            indices = result.indices
+            for j in range(result.n_processed):
+                if seqs is not None and indices is not None:
+                    seq = int(seqs[int(indices[j])])
+                else:
+                    seq = -1
+                self.submit(
+                    StreamTuple.data(
+                        seq=seq,
+                        weight=float(result.weights[j]),
+                        r2=float(result.residual_norm2[j]),
+                        is_outlier=bool(result.is_outlier[j]),
+                        engine=self.engine_id,
+                    ),
+                    port=1,
+                )
+        self._maybe_snapshot(before=n_before)
+        self._maybe_announce_ready()
+
+    def _maybe_snapshot(self, *, before: int) -> None:
+        """Emit a snapshot when a block crossed a snapshot boundary.
+
+        The sequential path emitted at every exact multiple of
+        ``snapshot_every``; a block can jump past several multiples at
+        once, so the check is "did ``n_seen // snapshot_every``
+        advance" — one snapshot per crossing, never zero.
+        """
+        if not (self.snapshot_every and self.estimator.is_initialized):
+            return
+        after = self.estimator.n_seen
+        if after // self.snapshot_every > max(before, 0) // self.snapshot_every:
             self.submit(
                 StreamTuple.data(
                     state=self.estimator.public_state(),
@@ -125,6 +177,8 @@ class StreamingPCAOperator(Operator):
                 ),
                 port=1,
             )
+
+    def _maybe_announce_ready(self) -> None:
         if (
             not self._ready_announced
             and self.estimator.ready_to_sync(self.sync_gate_factor)
@@ -217,6 +271,8 @@ class StreamingPCAOperator(Operator):
             "engine": self.engine_id,
             # Tuples this operator itself consumed.
             "n_local": self.n_data_tuples,
+            # Rows consumed (each block tuple counts all its rows).
+            "n_local_rows": self.n_data_rows,
             # Pooled count of the current state: merges add the remote
             # engines' counts (the paper: synchronization "significantly
             # increases its weight"), so this exceeds n_local after syncs.

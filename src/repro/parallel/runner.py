@@ -97,8 +97,10 @@ class ParallelStreamingPCA:
         operator its own thread — the distributed analog) or ``"fused"``
         (all PCA work on one thread — the single-node analog).
     sync_gate_factor / min_sync_interval / split_strategy / split_seed /
-    collect_diagnostics / snapshot_every:
-        See :func:`repro.parallel.app.build_parallel_pca_graph`.
+    collect_diagnostics / snapshot_every / batch_size / batch_timeout_s:
+        See :func:`repro.parallel.app.build_parallel_pca_graph`;
+        ``batch_size > 1`` switches the engines to the vectorized
+        micro-batch hot path.
     supervisor:
         Optional :class:`~repro.streams.supervision.Supervisor` applying
         per-operator failure policies (see
@@ -136,6 +138,8 @@ class ParallelStreamingPCA:
         split_seed: int = 0,
         collect_diagnostics: bool = True,
         snapshot_every: int = 0,
+        batch_size: int = 0,
+        batch_timeout_s: float | None = None,
         timeout_s: float = 300.0,
         supervisor: Supervisor | None = None,
         stall_timeout_s: float | None = None,
@@ -163,6 +167,8 @@ class ParallelStreamingPCA:
         self.split_seed = split_seed
         self.collect_diagnostics = collect_diagnostics
         self.snapshot_every = snapshot_every
+        self.batch_size = batch_size
+        self.batch_timeout_s = batch_timeout_s
         self.timeout_s = timeout_s
         self.supervisor = supervisor
         self.stall_timeout_s = stall_timeout_s
@@ -188,6 +194,8 @@ class ParallelStreamingPCA:
             min_sync_interval=self.min_sync_interval,
             collect_diagnostics=self.collect_diagnostics,
             snapshot_every=self.snapshot_every,
+            batch_size=self.batch_size,
+            batch_timeout_s=self.batch_timeout_s,
         )
 
     def run(self, stream: VectorStream) -> ParallelRunResult:

@@ -7,6 +7,7 @@ synchronous engine and a threaded engine with bounded queues and
 backpressure.
 """
 
+from .batcher import BLOCK_SCHEMA, FLUSH_REASONS, Batcher, Unbatcher
 from .engine import RunStats, SynchronousEngine, ThreadedEngine
 from .fusion import FusionPlan, ProcessingElement, optimize_fusion
 from .graph import Edge, Graph, GraphError
@@ -59,8 +60,11 @@ from .throttle import Throttle
 from .tuples import FieldType, SchemaError, StreamSchema, StreamTuple, TupleKind
 
 __all__ = [
+    "BLOCK_SCHEMA",
     "BackpressureSampler",
+    "Batcher",
     "Counter",
+    "FLUSH_REASONS",
     "CSVFileSource",
     "CSVSink",
     "CallbackSink",
@@ -114,6 +118,7 @@ __all__ = [
     "ThreadedEngine",
     "Throttle",
     "TupleKind",
+    "Unbatcher",
     "Union",
     "Watchdog",
     "load_events",

@@ -1,0 +1,220 @@
+"""Micro-batching operators — amortize per-tuple overhead on the hot path.
+
+The engine's per-tuple dispatch costs a few microseconds of Python per
+hop, which dominates once the numerical kernel is vectorized.  The
+:class:`Batcher` coalesces consecutive observation tuples into one
+``(k, d)`` block tuple so every downstream hop — queue transfer, dispatch,
+and above all the PCA update itself — runs once per *block* instead of
+once per row.  :class:`Unbatcher` restores a per-row stream for consumers
+that need one.
+
+Flush policy (all punctuation- and control-aware):
+
+* **size** — the buffer reached ``batch_size`` rows;
+* **timeout** — the oldest buffered row has waited longer than
+  ``timeout_s`` (checked lazily on the next arrival: the engines are
+  event-driven, so an idle stream flushes at the next tuple or at
+  end-of-stream rather than on a wall-clock timer);
+* **punctuation** — end-of-stream flushes the remainder, then forwards
+  the punctuation (no tuple is ever dropped at shutdown);
+* **control** — control tuples (e.g. sync messages) flush the buffer
+  first and are then forwarded, preserving their ordering relative to
+  the data they follow.
+
+Batch-size tuning guidance lives in ``docs/performance.md``; achieved
+batch sizes and flush reasons are exported by the telemetry collector
+(``repro_batch_achieved_size``, ``repro_batch_flush_total``; see
+``docs/telemetry.md``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+from .operators import Operator
+from .tuples import FieldType, StreamSchema, StreamTuple
+
+__all__ = ["BLOCK_SCHEMA", "Batcher", "Unbatcher", "FLUSH_REASONS"]
+
+#: Schema of the block tuples a :class:`Batcher` emits: the ``(k, d)``
+#: observation block, the per-row source sequence numbers, and the row
+#: count.
+BLOCK_SCHEMA = StreamSchema(
+    {
+        "xs": FieldType.MATRIX,
+        "seqs": FieldType.VECTOR,
+        "count": FieldType.INT,
+    }
+)
+
+#: Flush reasons, in the order they appear in telemetry labels.
+FLUSH_REASONS = ("size", "timeout", "punctuation", "control")
+
+
+class Batcher(Operator):
+    """Coalesce observation tuples into ``(k, d)`` block tuples.
+
+    Parameters
+    ----------
+    name:
+        Operator name.
+    batch_size:
+        Rows per full block (the size-based flush threshold).
+    timeout_s:
+        Maximum age of the oldest buffered row before a flush is forced
+        (``None`` disables the timeout).  Checked lazily at the next
+        arrival — see the module docstring.
+    field:
+        Payload field carrying the per-row vector (default ``"x"``).
+    seq_field:
+        Payload field carrying the per-row sequence number (default
+        ``"seq"``; rows without it get ``-1``).
+    clock:
+        Time source for the timeout (injectable for tests).
+
+    Notes
+    -----
+    The row buffer is a preallocated ``(batch_size, d)`` array filled in
+    place (allocated lazily once the first row reveals ``d``); each flush
+    copies out only the filled prefix.  Tuples without the ``field`` key
+    (and all control tuples) flush the buffer and are forwarded
+    unchanged, so heterogeneous streams keep their relative order.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        batch_size: int = 64,
+        timeout_s: float | None = None,
+        field: str = "x",
+        seq_field: str = "seq",
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError(f"timeout_s must be > 0, got {timeout_s}")
+        super().__init__(name, n_inputs=1, n_outputs=1)
+        self.batch_size = int(batch_size)
+        self.timeout_s = timeout_s
+        self.field = field
+        self.seq_field = seq_field
+        self._clock = clock
+        self._rows: np.ndarray | None = None
+        self._seqs = np.empty(self.batch_size, dtype=np.int64)
+        self._count = 0
+        self._oldest_at: float | None = None
+        #: rows buffered in, blocks flushed out
+        self.rows_in = 0
+        self.batches_out = 0
+        #: flush counts by reason — exported as
+        #: ``repro_batch_flush_total{reason=...}``.
+        self.flush_counts: dict[str, int] = {r: 0 for r in FLUSH_REASONS}
+        self._size_sum = 0
+
+    # -- statistics -----------------------------------------------------
+
+    def achieved_batch_size(self) -> float:
+        """Mean rows per emitted block (0.0 before the first flush)."""
+        if self.batches_out == 0:
+            return 0.0
+        return self._size_sum / self.batches_out
+
+    # -- operator lifecycle ----------------------------------------------
+
+    def process(self, tup: StreamTuple, port: int) -> None:
+        if tup.is_control or self.field not in tup.payload:
+            # Flush-then-forward keeps control/sync ordering intact.
+            self._flush("control")
+            self.submit(tup)
+            return
+        now = self._clock()
+        if (
+            self.timeout_s is not None
+            and self._count > 0
+            and self._oldest_at is not None
+            and now - self._oldest_at >= self.timeout_s
+        ):
+            self._flush("timeout")
+        x = np.asarray(tup[self.field], dtype=np.float64)
+        if x.ndim != 1:
+            raise ValueError(
+                f"Batcher {self.name!r} expected a vector in field "
+                f"{self.field!r}, got shape {x.shape}"
+            )
+        if self._rows is None:
+            self._rows = np.empty((self.batch_size, x.shape[0]))
+        elif x.shape[0] != self._rows.shape[1]:
+            raise ValueError(
+                f"Batcher {self.name!r}: row dim changed from "
+                f"{self._rows.shape[1]} to {x.shape[0]}"
+            )
+        if self._count == 0:
+            self._oldest_at = now
+        self._rows[self._count] = x
+        self._seqs[self._count] = int(tup.get(self.seq_field, -1))
+        self._count += 1
+        self.rows_in += 1
+        if self._count >= self.batch_size:
+            self._flush("size")
+
+    def on_punctuation(self, port: int) -> None:
+        self._flush("punctuation")
+
+    def _flush(self, reason: str) -> None:
+        if self._count == 0:
+            return
+        k = self._count
+        assert self._rows is not None
+        block = self._rows[:k].copy()
+        seqs = self._seqs[:k].copy()
+        self._count = 0
+        self._oldest_at = None
+        self.batches_out += 1
+        self._size_sum += k
+        self.flush_counts[reason] += 1
+        self.submit(
+            StreamTuple.data(BLOCK_SCHEMA, xs=block, seqs=seqs, count=k)
+        )
+
+
+class Unbatcher(Operator):
+    """Expand ``(k, d)`` block tuples back into per-row tuples.
+
+    The inverse of :class:`Batcher` for consumers that need a row
+    stream.  Tuples without the block field pass through unchanged.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        field: str = "xs",
+        out_field: str = "x",
+        seq_field: str = "seq",
+        schema: StreamSchema | None = None,
+    ) -> None:
+        super().__init__(name, n_inputs=1, n_outputs=1)
+        self.field = field
+        self.out_field = out_field
+        self.seq_field = seq_field
+        self.schema = schema
+
+    def process(self, tup: StreamTuple, port: int) -> None:
+        if tup.is_control or self.field not in tup.payload:
+            self.submit(tup)
+            return
+        block = np.asarray(tup[self.field], dtype=np.float64)
+        seqs = tup.get("seqs")
+        for i in range(block.shape[0]):
+            seq = int(seqs[i]) if seqs is not None else -1
+            self.submit(
+                StreamTuple.data(
+                    self.schema,
+                    **{self.out_field: block[i].copy(), self.seq_field: seq},
+                )
+            )

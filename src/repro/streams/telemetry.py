@@ -759,6 +759,7 @@ class Telemetry:
         telemetry-aware operators (``bind_telemetry`` hook, e.g. the
         sync controller) a reference to this object.
         """
+        from .batcher import Batcher
         from .operators import Source
         from .split import Split
         from .throttle import Throttle
@@ -791,6 +792,12 @@ class Telemetry:
                            labels, op.n_dropped)
                     yield ("repro_throttle_achieved_hz", "gauge",
                            labels, op.achieved_rate_hz())
+                if isinstance(op, Batcher):
+                    yield ("repro_batch_achieved_size", "gauge",
+                           labels, op.achieved_batch_size())
+                    for reason, n in op.flush_counts.items():
+                        yield ("repro_batch_flush_total", "counter",
+                               dict(labels, reason=reason), int(n))
 
         if self.config.metrics:
             self.metrics.register_collector(collect)

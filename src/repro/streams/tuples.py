@@ -34,6 +34,7 @@ class FieldType(enum.Enum):
     INT = "int"
     STRING = "str"
     VECTOR = "vector"  # 1-D float64 numpy array
+    MATRIX = "matrix"  # 2-D float64 numpy array (a (k, d) micro-batch)
     OBJECT = "object"  # opaque payload (e.g. a serialized eigensystem)
 
     def check(self, value: Any) -> bool:
@@ -48,6 +49,8 @@ class FieldType(enum.Enum):
             return isinstance(value, str)
         if self is FieldType.VECTOR:
             return isinstance(value, np.ndarray) and value.ndim == 1
+        if self is FieldType.MATRIX:
+            return isinstance(value, np.ndarray) and value.ndim == 2
         return True  # OBJECT
 
 
