@@ -7,10 +7,18 @@ machine, BLAS, and Python, so the ratio cancels hardware out.  The check
 therefore fails only when a speedup ratio regresses by more than the
 tolerance (default 20%) relative to the baseline's ratio.
 
+Absolute floors are also supported: ``--min-speedup NAME:VALUE``
+(repeatable) fails when the named case's speedup in the *current*
+payload is below VALUE.  Because an absolute floor like "process beats
+thread 2x" is only meaningful with real CPU parallelism, these gates
+are skipped (with a message) when the current payload records
+``n_cpus`` < 4.
+
 Usage::
 
     python benchmarks/check_regression.py CURRENT.json \
-        --baseline BENCH_core_update.json [--tolerance 0.2]
+        --baseline BENCH_core_update.json [--tolerance 0.2] \
+        [--min-speedup process_vs_thread_e4:2.0]
 """
 
 from __future__ import annotations
@@ -54,6 +62,44 @@ def check(current: dict, baseline: dict, tolerance: float) -> list[str]:
     return failures
 
 
+def check_min_speedups(
+    current: dict, floors: dict[str, float], min_cpus: int = 4
+) -> tuple[list[str], str | None]:
+    """Absolute speedup floors against the current payload only.
+
+    Returns ``(failures, skip_reason)``; a non-``None`` skip reason means
+    the gates were not evaluated (too few CPUs for the floor to be
+    physically achievable).
+    """
+    if not floors:
+        return [], None
+    n_cpus = int(current.get("n_cpus", 0) or 0)
+    if n_cpus < min_cpus:
+        return [], (
+            f"current payload records n_cpus={n_cpus} < {min_cpus}: "
+            f"absolute speedup floors skipped (no CPU parallelism to gate)"
+        )
+    cur = _ratios(current)
+    failures = []
+    for key, floor in floors.items():
+        if key not in cur:
+            failures.append(f"{key}: named by --min-speedup but not measured")
+        elif cur[key] < floor:
+            failures.append(
+                f"{key}: speedup {cur[key]:.2f}x < required {floor:.2f}x"
+            )
+    return failures, None
+
+
+def _parse_floor(spec: str) -> tuple[str, float]:
+    name, sep, value = spec.rpartition(":")
+    if not sep or not name:
+        raise argparse.ArgumentTypeError(
+            f"--min-speedup wants NAME:VALUE, got {spec!r}"
+        )
+    return name, float(value)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Fail when benchmark speedups regress vs a baseline"
@@ -61,6 +107,12 @@ def main(argv=None) -> int:
     parser.add_argument("current", type=Path)
     parser.add_argument("--baseline", type=Path, required=True)
     parser.add_argument("--tolerance", type=float, default=0.2)
+    parser.add_argument(
+        "--min-speedup", action="append", default=[], type=_parse_floor,
+        metavar="NAME:VALUE",
+        help="absolute speedup floor for one named case (repeatable); "
+        "skipped when the current payload has n_cpus < 4",
+    )
     args = parser.parse_args(argv)
 
     current = json.loads(args.current.read_text())
@@ -73,7 +125,13 @@ def main(argv=None) -> int:
         return 2
 
     failures = check(current, baseline, args.tolerance)
+    floor_failures, skip_reason = check_min_speedups(
+        current, dict(args.min_speedup)
+    )
+    failures += floor_failures
     name = current.get("benchmark", "?")
+    if skip_reason:
+        print(f"{name}: {skip_reason}")
     if failures:
         print(f"{name}: {len(failures)} speedup regression(s):")
         for msg in failures:
@@ -84,6 +142,8 @@ def main(argv=None) -> int:
         f"{name}: all {n} shared speedup ratios within "
         f"{args.tolerance:.0%} of baseline"
     )
+    if args.min_speedup and not skip_reason:
+        print(f"{name}: {len(args.min_speedup)} absolute floor(s) met")
     return 0
 
 

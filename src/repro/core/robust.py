@@ -372,17 +372,40 @@ class RobustIncrementalPCA:
         else:
             self._state = Eigensystem.from_batch(batch, k)
         self._buffer.clear()
-        if self._rho is None:
-            dof = max(self._state.dim - self.n_components, 1)
-            family = (
-                self._rho_spec if isinstance(self._rho_spec, str) else "bisquare"
-            )
-            c2 = (
-                self._rho_c2
-                if self._rho_c2 is not None
-                else calibrate_c2(self.delta, dof, family)
-            )
-            self._rho = make_rho(family, c2=c2)
+        self._calibrate_rho(self._state.dim)
+
+    def _calibrate_rho(self, dim: int) -> None:
+        """Fix the rho-function for dimensionality ``dim`` (idempotent)."""
+        if self._rho is not None:
+            return
+        dof = max(dim - self.n_components, 1)
+        family = (
+            self._rho_spec if isinstance(self._rho_spec, str) else "bisquare"
+        )
+        c2 = (
+            self._rho_c2
+            if self._rho_c2 is not None
+            else calibrate_c2(self.delta, dof, family)
+        )
+        self._rho = make_rho(family, c2=c2)
+
+    def adopt_state(self, state: Eigensystem) -> None:
+        """Install ``state`` on a *fresh* (uninitialized) estimator.
+
+        The cross-process restart path: a respawned worker holds a brand
+        new estimator and a checkpointed eigensystem.  Unlike
+        :meth:`replace_state` (which requires prior initialization), this
+        performs the initialization side effects itself — calibrating the
+        rho-function for the state's dimensionality and discarding any
+        partial warm-up buffer — so streaming resumes exactly where the
+        snapshot left off.
+        """
+        if self._state is not None:
+            self.replace_state(state)
+            return
+        self._state = state.copy()
+        self._buffer.clear()
+        self._calibrate_rho(self._state.dim)
 
     def _robust_batch_state(self, batch: np.ndarray, k: int) -> Eigensystem:
         """Maronna batch-robust warm start (see ``robust_init``)."""

@@ -8,6 +8,7 @@ directory of them *is* the convergence history of a run.
 
 from __future__ import annotations
 
+import os
 import pathlib
 import re
 
@@ -21,10 +22,16 @@ _CKPT_RE = re.compile(r"^eigensystem-(\d+)\.npz$")
 
 
 def save_eigensystem(path: str | pathlib.Path, state: Eigensystem) -> None:
-    """Write one eigensystem to an ``.npz`` file."""
+    """Write one eigensystem to an ``.npz`` file, atomically.
+
+    Written via a temp file + :func:`os.replace` so a reader (or a
+    process killed mid-write — e.g. a SIGKILLed worker that restarts
+    from this very store) never observes a truncated archive.
+    """
     path = pathlib.Path(path)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp.npz")
     np.savez(
-        path,
+        tmp,
         mean=state.mean,
         basis=state.basis,
         eigenvalues=state.eigenvalues,
@@ -39,6 +46,7 @@ def save_eigensystem(path: str | pathlib.Path, state: Eigensystem) -> None:
             ]
         ),
     )
+    os.replace(tmp, path)
 
 
 def load_eigensystem(path: str | pathlib.Path) -> Eigensystem:
@@ -131,11 +139,18 @@ class CheckpointStore:
         return sorted(out)
 
     def load_latest(self) -> Eigensystem | None:
-        """The most recent snapshot, or ``None`` if the store is empty."""
-        snaps = self.list()
-        if not snaps:
-            return None
-        return load_eigensystem(snaps[-1][1])
+        """The most recent *readable* snapshot (``None`` if none).
+
+        Snapshots written by current code are atomic, but a store may
+        hold a truncated archive from an older writer or a torn copy;
+        fall back to the next-newest rather than fail the restart.
+        """
+        for _, path in reversed(self.list()):
+            try:
+                return load_eigensystem(path)
+            except (OSError, EOFError, ValueError, KeyError):
+                continue
+        return None
 
     def load_history(self) -> list[tuple[int, Eigensystem]]:
         """Every snapshot — the convergence history."""

@@ -242,9 +242,16 @@ class StreamingPCAOperator(Operator):
         """Roll the estimator back to a snapshot taken by
         :meth:`snapshot_state`; re-arms the sync gate so the recovered
         engine can resynchronize promptly."""
-        if state is None or not self.estimator.is_initialized:
-            # Warm-up crash with nothing to roll back to: the estimator's
-            # own buffer machinery restarts cleanly on the next tuple.
+        if state is None:
+            return
+        if not self.estimator.is_initialized:
+            # A respawned worker process holds a fresh estimator: adopt
+            # the checkpoint outright (estimators without adopt_state
+            # keep the old semantics — restart from a clean warm-up).
+            adopt = getattr(self.estimator, "adopt_state", None)
+            if adopt is not None:
+                adopt(state)
+                self._ready_announced = False
             return
         self.estimator.replace_state(state)
         self._ready_announced = False

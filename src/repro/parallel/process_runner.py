@@ -1,12 +1,20 @@
-"""Process-parallel streaming PCA — engines in separate OS processes.
+"""Process-parallel streaming PCA — a minimal, graph-free runner.
 
-The threaded runtime shares one interpreter; for CPU-bound Python
-operators that caps real parallelism.  This runner executes the same
-application semantics — random split, independent robust engines, the
-1.5·N data-driven gate, ring state exchange, final merge — with each PCA
-engine in its own **worker process**, communicating over bounded
-``multiprocessing`` queues exactly like the paper's engines communicate
-over network connectors:
+.. note::
+   The full operator graph now runs across processes natively via
+   :class:`~repro.streams.procengine.ProcessEngine`
+   (``ParallelStreamingPCA(runtime="process")``), which adds
+   shared-memory block transport, supervision with worker restart, and
+   telemetry.  This module remains as the *minimal* process-parallel
+   baseline: no operator graph, no batching — just queues and
+   estimators.  Prefer the graph runtime for applications; use this for
+   apples-to-apples protocol experiments.
+
+This runner executes the same application semantics — random split,
+independent robust engines, the 1.5·N data-driven gate, ring state
+exchange, final merge — with each PCA engine in its own **worker
+process**, communicating over bounded ``multiprocessing`` queues exactly
+like the paper's engines communicate over network connectors:
 
 * main process = source + load balancer + sync controller;
 * worker ``i`` = one :class:`~repro.core.robust.RobustIncrementalPCA`;
@@ -23,6 +31,8 @@ Protocol messages to workers: ``("data", x)``, ``("merge", state_dict)``,
 from __future__ import annotations
 
 import multiprocessing as mp
+import queue
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -32,6 +42,7 @@ from ..core.eigensystem import Eigensystem
 from ..core.merge import merge_eigensystems
 from ..core.robust import RobustIncrementalPCA
 from ..data.streams import VectorStream
+from ..streams.shm import safe_mp_context
 from .sync import SyncStrategy, make_strategy
 
 __all__ = ["ProcessRunResult", "ProcessParallelStreamingPCA"]
@@ -114,6 +125,15 @@ class ProcessParallelStreamingPCA:
     round-trips interleave with the stream just as in the graph runtimes;
     exact interleaving depends on OS scheduling, hence results are
     reproducible only statistically (like the paper's real deployment).
+
+    Every queue is bounded: worker inboxes at ``queue_size`` and the
+    shared feedback queue at ``4 * queue_size`` (workers block instead
+    of growing an unbounded pickle backlog).  The main process keeps
+    draining feedback *while* blocked on a full inbox, so the cycle
+    "main blocked on inbox put ⇄ worker blocked on feedback put" cannot
+    deadlock.  ``mp_context=None`` picks a spawn-safe start method via
+    :func:`~repro.streams.shm.safe_mp_context` — never ``fork`` while
+    other threads (e.g. a live ThreadedEngine) are running.
     """
 
     def __init__(
@@ -128,7 +148,7 @@ class ProcessParallelStreamingPCA:
         sync_gate_factor: float = 1.5,
         split_seed: int = 0,
         queue_size: int = 256,
-        mp_context: str = "fork",
+        mp_context: str | None = None,
     ) -> None:
         if n_components < 1:
             raise ValueError(f"n_components must be >= 1, got {n_components}")
@@ -155,11 +175,11 @@ class ProcessParallelStreamingPCA:
 
     def run(self, stream: VectorStream) -> ProcessRunResult:
         """Stream every observation through the worker fleet and merge."""
-        ctx = mp.get_context(self.mp_context)
+        ctx = safe_mp_context(self.mp_context)
         inboxes = [
             ctx.Queue(maxsize=self.queue_size) for _ in range(self.n_engines)
         ]
-        feedback: "mp.Queue" = ctx.Queue()
+        feedback: "mp.Queue" = ctx.Queue(maxsize=4 * self.queue_size)
         workers = [
             ctx.Process(
                 target=_worker,
@@ -181,55 +201,73 @@ class ProcessParallelStreamingPCA:
         rng = np.random.default_rng(self.split_seed)
         n_merges = 0
         n_routed = 0
+        _finals: list[tuple] = []
+        pending: deque = deque()
 
-        def drain_feedback() -> bool:
-            """Handle pending controller traffic; True if something came."""
-            import queue as _queue
-
-            nonlocal n_merges, n_routed
-            handled = False
+        def pump() -> None:
+            """Move every available feedback message into ``pending``."""
             while True:
                 try:
-                    msg = feedback.get_nowait()
-                except _queue.Empty:
-                    return handled
-                handled = True
+                    pending.append(feedback.get_nowait())
+                except queue.Empty:
+                    return
+
+        def put_cmd(target: int, msg: tuple) -> None:
+            """Blocking inbox put that keeps the feedback queue flowing.
+
+            With both directions bounded, "main blocked on a full inbox
+            while that worker is blocked on a full feedback queue" is a
+            deadlock; pumping feedback while waiting breaks the cycle.
+            """
+            while True:
+                try:
+                    inboxes[target].put(msg, timeout=0.05)
+                    return
+                except queue.Full:
+                    pump()
+
+        def drain_feedback() -> None:
+            """Handle all pending controller traffic."""
+            nonlocal n_merges, n_routed
+            pump()
+            while pending:
+                msg = pending.popleft()
                 if msg[0] == "ready":
-                    inboxes[msg[1]].put(("share",))
+                    put_cmd(msg[1], ("share",))
                 elif msg[0] == "state":
                     n_routed += 1
                     for target in self.strategy.targets(
                         msg[1], self.n_engines
                     ):
                         n_merges += 1
-                        inboxes[target].put(("merge", msg[2]))
+                        put_cmd(target, ("merge", msg[2]))
                 elif msg[0] == "final":
                     # Shouldn't occur mid-stream; stash for completeness.
                     _finals.append(msg)
 
-        _finals: list[tuple] = []
         try:
             for x in stream:
                 target = int(rng.integers(self.n_engines))
-                inboxes[target].put(
-                    ("data", np.asarray(x, dtype=np.float64))
-                )
+                put_cmd(target, ("data", np.asarray(x, dtype=np.float64)))
                 drain_feedback()
 
-            for inbox in inboxes:
-                inbox.put(("stop",))
+            for i in range(self.n_engines):
+                put_cmd(i, ("stop",))
 
             states: dict[int, Eigensystem] = {}
             reports: list[dict[str, Any]] = []
-            pending = self.n_engines - len(_finals)
+            pump()
+            _finals.extend(m for m in pending if m[0] == "final")
+            pending.clear()
+            remaining = self.n_engines - len(_finals)
             for msg in _finals:
                 if msg[2] is not None:
                     states[msg[1]] = Eigensystem.from_dict(msg[2])
                 reports.append(msg[3])
-            while pending > 0:
+            while remaining > 0:
                 msg = feedback.get(timeout=60.0)
                 if msg[0] == "final":
-                    pending -= 1
+                    remaining -= 1
                     if msg[2] is not None:
                         states[msg[1]] = Eigensystem.from_dict(msg[2])
                     reports.append(msg[3])

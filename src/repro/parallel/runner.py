@@ -17,6 +17,7 @@ from ..core.robust import RobustIncrementalPCA
 from ..data.streams import VectorStream
 from ..streams.engine import RunStats, SynchronousEngine, ThreadedEngine
 from ..streams.fusion import FusionPlan
+from ..streams.procengine import ProcessEngine
 from ..streams.supervision import Supervisor
 from .app import ParallelPCAApp, build_parallel_pca_graph
 from .sync import SyncStats, SyncStrategy
@@ -91,7 +92,11 @@ class ParallelStreamingPCA:
         Sync topology: ``"ring"`` (default), ``"broadcast"``, ``"group"``,
         ``"p2p"`` or a :class:`SyncStrategy`.
     runtime:
-        ``"synchronous"`` (deterministic) or ``"threaded"``.
+        ``"synchronous"`` (deterministic), ``"threaded"`` (one thread
+        per PE, shared GIL), or ``"process"`` (each PCA engine in its
+        own worker process with shared-memory block transport — the
+        only runtime with real CPU parallelism; see
+        :class:`~repro.streams.procengine.ProcessEngine`).
     fusion:
         For the threaded runtime: ``"per-operator"`` (default, every
         operator its own thread — the distributed analog) or ``"fused"``
@@ -110,6 +115,14 @@ class ParallelStreamingPCA:
     stall_timeout_s:
         Threaded runtime only: arm the deadlock/stall watchdog (see
         :class:`~repro.streams.engine.ThreadedEngine`).
+    mp_context:
+        Process runtime only: multiprocessing start method (``"fork"``,
+        ``"forkserver"``, ``"spawn"``) or ``None`` for
+        :func:`~repro.streams.shm.safe_mp_context`.
+    ring_slots:
+        Process runtime only: shared-memory ring slots per transport
+        edge (the per-edge backpressure window; slot rows follow
+        ``batch_size``).
 
     Example
     -------
@@ -143,10 +156,13 @@ class ParallelStreamingPCA:
         timeout_s: float = 300.0,
         supervisor: Supervisor | None = None,
         stall_timeout_s: float | None = None,
+        mp_context: str | None = None,
+        ring_slots: int = 8,
     ) -> None:
-        if runtime not in ("synchronous", "threaded"):
+        if runtime not in ("synchronous", "threaded", "process"):
             raise ValueError(
-                f"runtime must be 'synchronous' or 'threaded', got {runtime!r}"
+                f"runtime must be 'synchronous', 'threaded' or 'process', "
+                f"got {runtime!r}"
             )
         if fusion not in ("per-operator", "fused", "chains"):
             raise ValueError(
@@ -172,6 +188,8 @@ class ParallelStreamingPCA:
         self.timeout_s = timeout_s
         self.supervisor = supervisor
         self.stall_timeout_s = stall_timeout_s
+        self.mp_context = mp_context
+        self.ring_slots = ring_slots
 
     def _make_estimator(self, engine_id: int) -> RobustIncrementalPCA:
         return RobustIncrementalPCA(
@@ -205,6 +223,21 @@ class ParallelStreamingPCA:
             stats = SynchronousEngine(
                 app.graph, supervisor=self.supervisor
             ).run()
+        elif self.runtime == "process":
+            # Pin the coordination plane (split, batcher, controller) to
+            # the main process; each PCA engine becomes its own worker.
+            # Source and diagnostics sink are pinned automatically.
+            main_ops = {app.split.name, app.controller.name}
+            if app.batcher is not None:
+                main_ops.add(app.batcher.name)
+            stats = ProcessEngine(
+                app.graph,
+                main_ops=main_ops,
+                mp_context=self.mp_context,
+                ring_slots=self.ring_slots,
+                ring_slot_rows=max(self.batch_size, 64),
+                supervisor=self.supervisor,
+            ).run(timeout_s=self.timeout_s)
         else:
             if self.fusion == "fused":
                 plan = FusionPlan.fused(app.graph)

@@ -2,9 +2,10 @@
 
 Typed tuples, operators with ports and lifecycle, a dataflow graph that
 allows the cyclic control topologies of the paper's sync pattern, operator
-fusion into processing elements, and two runtimes: a deterministic
-synchronous engine and a threaded engine with bounded queues and
-backpressure.
+fusion into processing elements, and three runtimes: a deterministic
+synchronous engine, a threaded engine with bounded queues and
+backpressure, and a multi-process engine with shared-memory block
+transport.
 """
 
 from .batcher import BLOCK_SCHEMA, FLUSH_REASONS, Batcher, Unbatcher
@@ -18,6 +19,8 @@ from .network_sources import (
     serve_vectors,
 )
 from .operators import FilterOperator, Functor, Operator, Sink, Source, Union
+from .procengine import ProcessEngine
+from .shm import BlockRing, RingFull, RingItem, safe_mp_context
 from .sinks import CallbackSink, CheckpointSink, CollectingSink, CSVSink, RateProbe
 from .sources import (
     OBSERVATION_SCHEMA,
@@ -57,7 +60,20 @@ from .telemetry import (
 )
 from .telemetry_report import render_report
 from .throttle import Throttle
-from .tuples import FieldType, SchemaError, StreamSchema, StreamTuple, TupleKind
+from .tuples import (
+    FieldType,
+    SchemaError,
+    StreamSchema,
+    StreamTuple,
+    TupleKind,
+    from_wire,
+    lookup_schema,
+    register_schema,
+    reseed_sequence,
+    schema_name,
+    to_wire,
+    wire_stats,
+)
 
 __all__ = [
     "BLOCK_SCHEMA",
@@ -89,14 +105,18 @@ __all__ = [
     "Histogram",
     "InjectedFault",
     "MetricsRegistry",
+    "BlockRing",
     "OBSERVATION_SCHEMA",
     "Operator",
     "OperatorFailure",
     "optimize_fusion",
+    "ProcessEngine",
     "ProcessingElement",
     "RateProbe",
     "RestartFromCheckpoint",
     "Retry",
+    "RingFull",
+    "RingItem",
     "RunStats",
     "SchemaError",
     "Sink",
@@ -121,7 +141,15 @@ __all__ = [
     "Unbatcher",
     "Union",
     "Watchdog",
+    "from_wire",
     "load_events",
+    "lookup_schema",
+    "register_schema",
     "render_report",
+    "reseed_sequence",
+    "safe_mp_context",
+    "schema_name",
     "serve_vectors",
+    "to_wire",
+    "wire_stats",
 ]

@@ -35,19 +35,23 @@ from typing import Callable
 import numpy as np
 
 from .operators import Operator
-from .tuples import FieldType, StreamSchema, StreamTuple
+from .tuples import FieldType, StreamSchema, StreamTuple, register_schema
 
 __all__ = ["BLOCK_SCHEMA", "Batcher", "Unbatcher", "FLUSH_REASONS"]
 
 #: Schema of the block tuples a :class:`Batcher` emits: the ``(k, d)``
 #: observation block, the per-row source sequence numbers, and the row
-#: count.
-BLOCK_SCHEMA = StreamSchema(
-    {
-        "xs": FieldType.MATRIX,
-        "seqs": FieldType.VECTOR,
-        "count": FieldType.INT,
-    }
+#: count.  Registered for wire round-tripping: block tuples are the
+#: shared-memory hot path of the multi-process runtime.
+BLOCK_SCHEMA = register_schema(
+    "block",
+    StreamSchema(
+        {
+            "xs": FieldType.MATRIX,
+            "seqs": FieldType.VECTOR,
+            "count": FieldType.INT,
+        }
+    ),
 )
 
 #: Flush reasons, in the order they appear in telemetry labels.

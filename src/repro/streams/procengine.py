@@ -1,0 +1,1347 @@
+"""ProcessEngine: a multi-process runtime completing the engine trilogy.
+
+The paper's PEs run as separate OS processes placed across a cluster;
+our :class:`~repro.streams.engine.ThreadedEngine` shares one GIL-bound
+interpreter, so CPU-bound operators (robust PCA updates at large ``d``)
+cannot scale past one core.  :class:`ProcessEngine` runs the same
+operator graph with compute PEs in **worker processes** behind the same
+``run()``/drain-shutdown contract as the other two engines.
+
+Placement model (hybrid, like the paper's coordinator + compute nodes)
+----------------------------------------------------------------------
+Processing elements that contain a ``Source`` or ``Sink``, or any
+operator named in ``main_ops``, execute in the **coordinator process**
+on threads (reusing the threaded engine's PE runners); every other PE
+becomes a worker process.  For the parallel-PCA application this puts
+the source, batcher, split, sync controller, and diagnostics sink in the
+coordinator and each PCA engine in its own process — blocks make
+exactly one process hop, and run results (controller state, collected
+diagnostics, operator counters) are read from coordinator-side objects
+exactly as with the other runtimes.
+
+Transport (see :mod:`repro.streams.shm`)
+----------------------------------------
+* ``BLOCK_SCHEMA`` data tuples cross on **shared-memory rings**: one
+  bounded SPSC ring per (producer process → consumer process) edge,
+  created lazily when the first block reveals ``d`` and announced over
+  the destination's command queue.  The consumer dispatches numpy views
+  into the mapped slot — block payloads are never pickled.
+* Everything else (scalar/control tuples, punctuation, engine control)
+  crosses on bounded ``multiprocessing`` queues as explicit wire dicts
+  (:func:`repro.streams.tuples.to_wire`), with blocking backpressure.
+
+Ordering is FIFO *per transport*.  A producer's queue traffic can
+overtake its in-flight ring blocks (and vice versa) — harmless for the
+PCA sync protocol, whose control messages are order-tolerant — with one
+exception that is **not** tolerable: punctuation.  A channel's
+punctuation is therefore held back by the consumer until that
+producer's ring has drained (the producer always publishes its blocks
+before emitting punctuation, so the holdback is sufficient).
+
+Shutdown and fault tolerance
+----------------------------
+The two-phase drain protocol matches the threaded engine: a shared
+in-flight counter covers every cross-process message; the coordinator
+raises ``finish`` only when sources are done, every PE (thread or
+process) has quiesced, and nothing is in flight.  Workers then drain
+their inboxes, ship final operator state (plus their per-process
+metrics shard and transport counters) back to the coordinator, and
+exit; the coordinator folds worker state into the graph's own operator
+objects so ``RunStats`` and application-level result collection are
+runtime-agnostic.
+
+A worker that dies mid-run is detected by the coordinator.  If the
+attached :class:`~repro.streams.supervision.Supervisor` gives any of the
+worker's operators a
+:class:`~repro.streams.supervision.RestartFromCheckpoint` policy, the
+worker is respawned with ``resume=True`` — operators reload their last
+snapshot from the policy's on-disk
+:class:`~repro.io.checkpoint.CheckpointStore`, the unread contents of
+the command queue and ring survive (both are process-external), and the
+coordinator re-announces rings and re-sends any punctuation the dead
+worker had already received.  Loss is bounded to tuples that were being
+dispatched at the instant of death plus operator state since the last
+checkpoint.  Without a restart policy a worker death aborts the run
+with :class:`~repro.streams.supervision.OperatorFailure`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue
+import threading
+import time
+import traceback
+import uuid
+from copy import copy as _shallow_copy
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from .batcher import BLOCK_SCHEMA
+from .engine import RunStats, _PERunner, _SourceRunner
+from .fusion import FusionPlan, ProcessingElement
+from .graph import Graph
+from .operators import Operator, Sink, Source
+from .split import Split
+from .supervision import (
+    EngineAborted,
+    OperatorFailure,
+    RestartFromCheckpoint,
+    Supervisor,
+)
+from .telemetry import (
+    BackpressureSampler,
+    Telemetry,
+    operator_metric_samples,
+)
+from .tuples import (
+    StreamTuple,
+    TupleKind,
+    from_wire,
+    reseed_sequence,
+    to_wire,
+    tuple_from_fields,
+)
+from .shm import (
+    BlockRing,
+    RingFull,
+    ensure_shared_tracker,
+    ring_name,
+    safe_mp_context,
+)
+
+__all__ = ["ProcessEngine"]
+
+#: Attributes never shipped across the process boundary: runtime wiring
+#: (closures), telemetry objects (hold locks), and probe callables.
+_UNPICKLABLE_ATTRS = ("_emit", "_load_probe", "_latency_hist", "_telemetry")
+
+_MAIN = "main"
+
+
+def _loc_str(loc: Any) -> str:
+    return _MAIN if loc == _MAIN else f"w{loc}"
+
+
+def _sanitize(op: Operator) -> Operator:
+    """A shallow copy of ``op`` safe to pickle into a worker."""
+    clone = _shallow_copy(op)
+    for attr in _UNPICKLABLE_ATTRS:
+        if hasattr(clone, attr):
+            setattr(clone, attr, None)
+    return clone
+
+
+def _strip_payload(state: dict[str, Any]) -> dict[str, Any]:
+    for attr in _UNPICKLABLE_ATTRS:
+        state.pop(attr, None)
+    return state
+
+
+def _unlink_segment(name: str) -> None:
+    from multiprocessing import shared_memory
+
+    try:
+        seg = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return
+    try:
+        seg.close()
+        seg.unlink()
+    except FileNotFoundError:  # pragma: no cover - raced with another unlink
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Transport sender (used by the coordinator and by every worker)
+# ---------------------------------------------------------------------------
+
+
+class _TransportSender:
+    """Routes outgoing tuples onto the right transport.
+
+    ``BLOCK_SCHEMA`` data tuples that fit a ring slot go to the lazily
+    created shared-memory ring for their destination process (announced
+    over the destination's queue before first use); everything else is
+    wire-encoded onto the destination's bounded queue.  Every message
+    increments the shared in-flight counter before it is made visible.
+    """
+
+    def __init__(
+        self,
+        src_loc: Any,
+        run_id: str,
+        queues: Mapping[Any, Any],
+        inflight,
+        stop_check,
+        op_index: Mapping[str, int],
+        *,
+        ring_slots: int,
+        slot_rows: int,
+        disown_rings: bool,
+    ) -> None:
+        self.src_loc = src_loc
+        self.run_id = run_id
+        self.queues = dict(queues)
+        self.inflight = inflight
+        self.stop_check = stop_check
+        self.op_index = op_index
+        self.ring_slots = ring_slots
+        self.slot_rows = slot_rows
+        self.disown_rings = disown_rings
+        self.rings: dict[Any, BlockRing] = {}
+        self.counters = {
+            "blocks_ring": 0,
+            "blocks_queue": 0,
+            "tuples_queue": 0,
+        }
+
+    # -- in-flight helpers ----------------------------------------------
+
+    def _inc(self) -> None:
+        with self.inflight.get_lock():
+            self.inflight.value += 1
+
+    def _dec(self) -> None:
+        with self.inflight.get_lock():
+            self.inflight.value -= 1
+
+    # -- queue path -----------------------------------------------------
+
+    def _qput(self, dst_loc: Any, msg: dict) -> None:
+        q = self.queues[dst_loc]
+        while True:
+            try:
+                q.put(msg, timeout=0.05)
+                return
+            except queue.Full:
+                if self.stop_check():
+                    raise EngineAborted from None
+
+    def send_raw(self, dst_loc: Any, msg: dict) -> None:
+        """Send a non-tuple control message (no in-flight accounting)."""
+        self._qput(dst_loc, msg)
+
+    # -- ring path ------------------------------------------------------
+
+    def _ring_for(self, dst_loc: Any, dim: int) -> BlockRing | None:
+        ring = self.rings.get(dst_loc)
+        if ring is not None:
+            return ring if ring.dim == dim else None
+        name = ring_name(
+            self.run_id, _loc_str(self.src_loc), _loc_str(dst_loc)
+        )
+        ring = BlockRing(
+            name,
+            slots=self.ring_slots,
+            slot_rows=self.slot_rows,
+            dim=dim,
+            create=True,
+        )
+        if self.disown_rings:
+            ring.disown()
+        self.rings[dst_loc] = ring
+        self.announce(dst_loc)
+        return ring
+
+    def announce(self, dst_loc: Any) -> None:
+        """(Re-)announce the ring for ``dst_loc`` on its queue."""
+        ring = self.rings.get(dst_loc)
+        if ring is None:
+            return
+        self.send_raw(dst_loc, {
+            "t": "ring",
+            "src": self.src_loc,
+            "name": ring.name,
+            "slots": ring.slots,
+            "rows": ring.slot_rows,
+            "dim": ring.dim,
+        })
+
+    # -- the one entry point --------------------------------------------
+
+    def send(
+        self, dst_loc: Any, dst_name: str, dst_port: int, tup: StreamTuple
+    ) -> None:
+        if tup.is_data and tup.schema is BLOCK_SCHEMA:
+            xs = tup.payload["xs"]
+            if (
+                isinstance(xs, np.ndarray)
+                and xs.ndim == 2
+                and xs.shape[0] <= self.slot_rows
+            ):
+                ring = self._ring_for(dst_loc, xs.shape[1])
+                if ring is not None:
+                    self._inc()
+                    try:
+                        ring.put(
+                            self.op_index[dst_name],
+                            dst_port,
+                            xs,
+                            tup.payload.get("seqs"),
+                            tup.seq,
+                            should_abort=self.stop_check,
+                            timeout_s=120.0,
+                        )
+                    except RingFull:
+                        self._dec()
+                        if self.stop_check():
+                            raise EngineAborted from None
+                        raise
+                    self.counters["blocks_ring"] += 1
+                    return
+            # Oversized block or dimension change: visible fallback.
+            self.counters["blocks_queue"] += 1
+        else:
+            self.counters["tuples_queue"] += 1
+        msg = {
+            "t": "tuple",
+            "src": self.src_loc,
+            "dst": dst_name,
+            "port": dst_port,
+            "wire": to_wire(tup),
+        }
+        self._inc()
+        try:
+            self._qput(dst_loc, msg)
+        except EngineAborted:
+            self._dec()
+            raise
+
+    def close(self, *, unlink: bool) -> None:
+        for ring in self.rings.values():
+            ring.close()
+            if unlink:
+                ring.unlink()
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _WorkerSpec:
+    """Everything a worker process needs, picklable under any start method."""
+
+    worker_id: int
+    label: str
+    ops: list[Operator]
+    op_index: dict[str, int]
+    idx_names: list[str]
+    #: op name -> out port -> [(dst_loc, dst_name, dst_port)]
+    routes: dict[str, dict[int, list[tuple[Any, str, int]]]]
+    cmd_q: Any
+    main_q: Any
+    peer_qs: dict[int, Any]
+    inflight: Any
+    stop_ev: Any
+    finish_ev: Any
+    run_id: str
+    queue_size: int
+    ring_slots: int
+    slot_rows: int
+    policies: dict[str, Any] = field(default_factory=dict)
+    metrics: bool = True
+    resume: bool = False
+
+
+def _dec_inflight(spec: _WorkerSpec) -> None:
+    with spec.inflight.get_lock():
+        spec.inflight.value -= 1
+
+
+def _worker_main(spec: _WorkerSpec) -> None:
+    """Worker process entry point (top-level: importable under spawn)."""
+    try:
+        _worker_loop(spec)
+    except EngineAborted:
+        pass
+    except BaseException as exc:  # ship the failure to the coordinator
+        try:
+            spec.main_q.put(
+                {
+                    "t": "error",
+                    "w": spec.worker_id,
+                    "error": repr(exc),
+                    "traceback": traceback.format_exc(),
+                },
+                timeout=5.0,
+            )
+        except Exception:
+            pass
+        spec.stop_ev.set()
+
+
+def _worker_loop(spec: _WorkerSpec) -> None:
+    reseed_sequence(spec.worker_id + 1)
+    wid = spec.worker_id
+    ops_by_name = {op.name: op for op in spec.ops}
+    supervisor = Supervisor(policies=spec.policies) if spec.policies else None
+
+    queues: dict[Any, Any] = {_MAIN: spec.main_q}
+    queues.update(spec.peer_qs)
+    sender = _TransportSender(
+        wid,
+        spec.run_id,
+        queues,
+        spec.inflight,
+        spec.stop_ev.is_set,
+        spec.op_index,
+        ring_slots=spec.ring_slots,
+        slot_rows=spec.slot_rows,
+        disown_rings=True,
+    )
+
+    def deliver(op: Operator, tup: StreamTuple, port: int) -> None:
+        if supervisor is not None:
+            supervisor.dispatch(op, tup, port)
+        else:
+            op._dispatch(tup, port)
+
+    for op in spec.ops:
+        op_routes = spec.routes.get(op.name, {})
+
+        def emit(
+            tup: StreamTuple,
+            port: int,
+            _routes: dict = op_routes,
+        ) -> None:
+            for dst_loc, dst_name, dst_port in _routes.get(port, ()):
+                if dst_loc == wid:
+                    deliver(ops_by_name[dst_name], tup, dst_port)
+                else:
+                    sender.send(dst_loc, dst_name, dst_port, tup)
+
+        op.bind(emit)
+
+    # Checkpoint resume: a restarted worker reloads each restartable
+    # operator's last persisted snapshot before opening it.
+    if spec.resume:
+        for name, policy in spec.policies.items():
+            if not isinstance(policy, RestartFromCheckpoint):
+                continue
+            if policy.store is None:
+                continue
+            op = ops_by_name.get(name)
+            if op is None or not hasattr(op, "restore_state"):
+                continue
+            snap = policy.store.load_latest()
+            if snap is not None:
+                op.restore_state(snap)
+
+    for op in spec.ops:
+        op.open()
+
+    # Inbound rings, keyed by segment name (a restarted producer creates
+    # a *new* segment for the same source, and both must keep draining),
+    # with a source → rings view for punctuation holdback.
+    rings: dict[str, BlockRing] = {}
+    rings_of: dict[Any, list[BlockRing]] = {}
+    held: list[tuple[Any, str, int, StreamTuple]] = []
+    quiesced_sent = False
+
+    def src_has_blocks(src: Any) -> bool:
+        return any(r.depth() > 0 for r in rings_of.get(src, ()))
+
+    def drain_rings() -> bool:
+        progressed = False
+        for ring in rings.values():
+            while True:
+                item = ring.get()
+                if item is None:
+                    break
+                _dec_inflight(spec)
+                name = spec.idx_names[item.dst_idx]
+                tup = tuple_from_fields(
+                    {
+                        "xs": item.xs,
+                        "seqs": item.seqs,
+                        "count": int(item.xs.shape[0]),
+                    },
+                    TupleKind.DATA,
+                    BLOCK_SCHEMA,
+                    item.tuple_seq,
+                )
+                try:
+                    # The payload views into the ring slot are valid only
+                    # during this dispatch; the slot is released after.
+                    deliver(ops_by_name[name], tup, item.dst_port)
+                finally:
+                    ring.release()
+                progressed = True
+        return progressed
+
+    def release_held() -> bool:
+        progressed = False
+        remaining = []
+        for src, name, port, tup in held:
+            if src_has_blocks(src):
+                remaining.append((src, name, port, tup))
+                continue
+            deliver(ops_by_name[name], tup, port)
+            progressed = True
+        held[:] = remaining
+        return progressed
+
+    def handle(msg: dict) -> bool:
+        kind = msg["t"]
+        if kind == "tuple":
+            _dec_inflight(spec)
+            tup = from_wire(msg["wire"])
+            src = msg["src"]
+            if tup.is_punctuation and src_has_blocks(src):
+                # Punctuation holdback: this producer's blocks are still
+                # in its ring; dispatching end-of-stream now would lose
+                # them.  Deliver once the ring drains.
+                held.append((src, msg["dst"], msg["port"], tup))
+                return True
+            deliver(ops_by_name[msg["dst"]], tup, msg["port"])
+            return True
+        if kind == "ring":
+            if msg["name"] not in rings:
+                ring = BlockRing(
+                    msg["name"],
+                    slots=msg["slots"],
+                    slot_rows=msg["rows"],
+                    dim=msg["dim"],
+                    create=False,
+                )
+                rings[msg["name"]] = ring
+                rings_of.setdefault(msg["src"], []).append(ring)
+            return True
+        return False  # "finish" wake-up sentinel
+
+    while True:
+        if spec.stop_ev.is_set():
+            break
+        progressed = drain_rings()
+        try:
+            msg = spec.cmd_q.get(timeout=0.002)
+        except queue.Empty:
+            msg = None
+        if msg is not None:
+            progressed = handle(msg) or progressed
+        if held:
+            progressed = release_held() or progressed
+        if not quiesced_sent and all(op.is_closed for op in spec.ops):
+            spec.main_q.put({"t": "quiesced", "w": wid})
+            quiesced_sent = True
+        if (
+            spec.finish_ev.is_set()
+            and not progressed
+            and not held
+            and all(r.depth() == 0 for r in rings.values())
+        ):
+            break
+
+    if spec.stop_ev.is_set():
+        for ring in rings.values():
+            ring.close()
+        sender.close(unlink=False)
+        return
+
+    # Ship final operator state, the metrics shard, supervision stats and
+    # transport counters back to the coordinator.
+    payloads = {
+        op.name: _strip_payload(dict(op.__dict__)) for op in spec.ops
+    }
+    shard = (
+        [
+            (name, kind, dict(labels), float(value))
+            for name, kind, labels, value in operator_metric_samples(spec.ops)
+        ]
+        if spec.metrics
+        else []
+    )
+    sup_stats = None
+    if supervisor is not None:
+        s = supervisor.stats
+        sup_stats = {
+            "failures": dict(s.failures),
+            "retries": dict(s.retries),
+            "skipped_tuples": dict(s.skipped_tuples),
+            "restarts": dict(s.restarts),
+            "recovery_time_s": dict(s.recovery_time_s),
+        }
+    transport = dict(sender.counters)
+    transport["blocks_ring_in"] = sum(r.blocks_out for r in rings.values())
+    spec.main_q.put({
+        "t": "done",
+        "w": wid,
+        "ops": payloads,
+        "metrics": shard,
+        "sup": sup_stats,
+        "transport": transport,
+        "rings": [r.name for r in sender.rings.values()]
+        + [r.name for r in rings.values()],
+    })
+    for ring in rings.values():
+        ring.close()
+    sender.close(unlink=False)
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+
+class ProcessEngine:
+    """Multi-process runtime with shared-memory block transport.
+
+    Parameters
+    ----------
+    graph:
+        The application graph — unchanged operator code runs under all
+        three engines.
+    fusion:
+        PE assignment; default :meth:`FusionPlan.per_operator`.
+    main_ops:
+        Names of operators pinned to the coordinator process (sources
+        and sinks are always pinned).  PEs containing only unpinned
+        non-source/sink operators become worker processes.
+    queue_size:
+        Bound of each cross-process command queue (backpressure).
+    ring_slots / ring_slot_rows:
+        Shared-memory ring geometry per transport edge: ``ring_slots``
+        blocks of up to ``ring_slot_rows`` rows each.  Keep
+        ``ring_slot_rows`` ≥ the upstream batch size or blocks fall back
+        to the (pickled, counted) queue path.  See
+        ``docs/performance.md``.
+    mp_context:
+        Start-method name (``"fork"``/``"forkserver"``/``"spawn"``) or
+        ``None`` for :func:`repro.streams.shm.safe_mp_context`.  When a
+        supervisor carries ``RestartFromCheckpoint`` policies the
+        default prefers ``forkserver``: restarts fork from a clean
+        server instead of the by-then multi-threaded coordinator.
+    supervisor:
+        Coordinator-side supervisor.  Its *policies* (not the object —
+        it holds locks) are shipped to workers, which run their own
+        in-process supervisor; worker stats merge back at shutdown.
+        ``RestartFromCheckpoint`` policies additionally enable worker
+        respawn on process death.
+    telemetry:
+        Coordinator telemetry.  Metrics and backpressure sampling work
+        across processes (worker registries merge back as
+        ``process``-labelled shards); span tracing does not propagate
+        across the process boundary and is ignored.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        fusion: FusionPlan | None = None,
+        main_ops: Iterable[str] = (),
+        queue_size: int = 256,
+        ring_slots: int = 8,
+        ring_slot_rows: int = 64,
+        mp_context: str | None = None,
+        supervisor: Supervisor | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        graph.validate()
+        self.graph = graph
+        self.fusion = fusion or FusionPlan.per_operator(graph)
+        self.fusion.validate(graph)
+        if queue_size < 1:
+            raise ValueError(f"queue_size must be >= 1, got {queue_size}")
+        self.queue_size = queue_size
+        self.ring_slots = ring_slots
+        self.ring_slot_rows = ring_slot_rows
+        self.supervisor = supervisor
+        self.telemetry = telemetry
+        self._tracer = None  # tracing is not propagated across processes
+        if telemetry is not None:
+            telemetry.attach_graph(graph, fusion=self.fusion)
+            if supervisor is not None:
+                telemetry.attach_supervisor(supervisor)
+
+        known = {op.name for op in graph}
+        self.main_ops = set(main_ops)
+        unknown = self.main_ops - known
+        if unknown:
+            raise ValueError(
+                f"main_ops name unknown operators: {sorted(unknown)}"
+            )
+
+        if mp_context is None and supervisor is not None and any(
+            isinstance(p, RestartFromCheckpoint)
+            for p in supervisor.policies.values()
+        ):
+            # Worker respawn happens while coordinator threads are live;
+            # forking the coordinator then is unsafe.
+            if "forkserver" in mp.get_all_start_methods():
+                mp_context = "forkserver"
+        self._ctx = safe_mp_context(mp_context)
+
+        self._ops_by_name: dict[str, Operator] = {
+            op.name: op for op in graph
+        }
+        self._op_index = {op.name: i for i, op in enumerate(graph.operators)}
+        self._idx_names = [op.name for op in graph.operators]
+
+        # Placement: worker PEs vs coordinator PEs.
+        self._worker_pes: dict[int, ProcessingElement] = {}
+        self._main_pes: list[ProcessingElement] = []
+        next_wid = 0
+        for pe in self.fusion.pes:
+            if self._pinned(pe):
+                self._main_pes.append(pe)
+            else:
+                self._worker_pes[next_wid] = pe
+                next_wid += 1
+        self._loc_of: dict[str, Any] = {}
+        for pe in self._main_pes:
+            for op in pe.operators:
+                self._loc_of[op.name] = _MAIN
+        for wid, pe in self._worker_pes.items():
+            for op in pe.operators:
+                self._loc_of[op.name] = wid
+
+        # Coordinator-side threading state (mirrors ThreadedEngine).
+        self._inboxes: dict[int, queue.Queue] = {}
+        self._pe_of: dict[int, ProcessingElement] = {}
+        self._stop = threading.Event()
+        self._finish = threading.Event()
+        self._errors: list[BaseException] = []
+        self._local_inflight = 0
+        self._local_lock = threading.Lock()
+
+        # Cross-process state, populated by run().
+        self._procs: dict[int, Any] = {}
+        self._specs: dict[int, _WorkerSpec] = {}
+        self._cmd_qs: dict[int, Any] = {}
+        self._quiesced: set[int] = set()
+        self._done: dict[int, dict] = {}
+        self._worker_deaths = 0
+        self._death_grace: dict[int, float] = {}
+        self._sent_puncts: dict[int, set[tuple[str, int]]] = {}
+        self._main_rings: dict[str, BlockRing] = {}
+        self._main_rings_of: dict[Any, list[BlockRing]] = {}
+        self._held: list[tuple[Any, str, int, StreamTuple]] = []
+        self._worker_ring_names: set[str] = set()
+        self._sender: _TransportSender | None = None
+        #: Aggregated transport counters, merged from every process at
+        #: shutdown.  ``blocks_queue`` staying 0 verifies the zero-copy
+        #: hot path.
+        self.transport_stats: dict[str, int] = {}
+
+    # -- placement -------------------------------------------------------
+
+    def _pinned(self, pe: ProcessingElement) -> bool:
+        return any(
+            isinstance(op, (Source, Sink)) or op.name in self.main_ops
+            for op in pe.operators
+        )
+
+    @property
+    def n_workers(self) -> int:
+        """Worker processes this graph will run with."""
+        return len(self._worker_pes)
+
+    # -- in-flight accounting (coordinator local + shared) --------------
+
+    def _tuple_enqueued(self) -> None:
+        with self._local_lock:
+            self._local_inflight += 1
+
+    def _tuple_done(self) -> None:
+        with self._local_lock:
+            self._local_inflight -= 1
+
+    def _dec_shared(self) -> None:
+        with self._inflight.get_lock():
+            self._inflight.value -= 1
+
+    # -- dispatch (coordinator threads) ----------------------------------
+
+    def _deliver(self, dst: Operator, tup: StreamTuple, port: int) -> None:
+        if self.supervisor is not None:
+            self.supervisor.dispatch(dst, tup, port)
+        else:
+            dst._dispatch(tup, port)
+
+    _dispatch = _deliver  # _PERunner calls engine._dispatch
+
+    def _local_put(self, pe_id: int, item) -> None:
+        inbox = self._inboxes[pe_id]
+        self._tuple_enqueued()
+        while True:
+            try:
+                inbox.put(item, timeout=0.05)
+                return
+            except queue.Full:
+                if self._stop.is_set():
+                    with self._local_lock:
+                        self._local_inflight -= 1
+                    raise EngineAborted from None
+
+    # -- wiring ----------------------------------------------------------
+
+    def _routes_for(
+        self, op: Operator
+    ) -> dict[int, list[tuple[Any, str, int]]]:
+        routes: dict[int, list[tuple[Any, str, int]]] = {}
+        for port in range(op.n_outputs):
+            entries = [
+                (self._loc_of[dst.name], dst.name, in_port)
+                for dst, in_port in self.graph.successors(op, port)
+            ]
+            if entries:
+                routes[port] = entries
+        return routes
+
+    def _wire_main(self) -> None:
+        for pe in self._main_pes:
+            inbox: queue.Queue = queue.Queue(maxsize=self.queue_size)
+            self._inboxes[pe.pe_id] = inbox
+            for op in pe.operators:
+                self._pe_of[id(op)] = pe
+
+        for pe in self._main_pes:
+            for op in pe.operators:
+                routes = self._routes_for(op)
+
+                def emit(
+                    tup: StreamTuple,
+                    port: int,
+                    _routes: dict = routes,
+                    _my_pe: ProcessingElement = pe,
+                ) -> None:
+                    for dst_loc, dst_name, dst_port in _routes.get(port, ()):
+                        if dst_loc == _MAIN:
+                            dst = self._ops_by_name[dst_name]
+                            dst_pe = self._pe_of[id(dst)]
+                            if dst_pe is _my_pe:
+                                self._dispatch(dst, tup, dst_port)
+                            else:
+                                self._local_put(
+                                    dst_pe.pe_id, (dst, dst_port, tup)
+                                )
+                        else:
+                            if tup.is_punctuation:
+                                self._sent_puncts.setdefault(
+                                    dst_loc, set()
+                                ).add((dst_name, dst_port))
+                            self._sender.send(
+                                dst_loc, dst_name, dst_port, tup
+                            )
+
+                op.bind(emit)
+                if isinstance(op, Split):
+                    op.set_load_probe(self._make_probe(op))
+
+    def _make_probe(self, split: Split):
+        def probe(port: int) -> int:
+            succ = self.graph.successors(split, port)
+            if not succ:
+                return 0
+            dst = succ[0][0]
+            loc = self._loc_of[dst.name]
+            if loc == _MAIN:
+                dst_pe = self._pe_of[id(dst)]
+                if dst_pe is self._pe_of.get(id(split)):
+                    return 0
+                return self._inboxes[dst_pe.pe_id].qsize()
+            return self._transport_depth(loc)
+
+        return probe
+
+    def _transport_depth(self, wid: int) -> int:
+        depth = 0
+        try:
+            depth += self._cmd_qs[wid].qsize()
+        except (NotImplementedError, OSError):  # pragma: no cover - macOS
+            pass
+        if self._sender is not None:
+            ring = self._sender.rings.get(wid)
+            if ring is not None:
+                depth += ring.depth()
+        return depth
+
+    # -- worker lifecycle ------------------------------------------------
+
+    def _worker_policies(self, pe: ProcessingElement) -> dict[str, Any]:
+        if self.supervisor is None:
+            return {}
+        return {
+            op.name: self.supervisor.policies[op.name]
+            for op in pe.operators
+            if op.name in self.supervisor.policies
+        }
+
+    def _build_spec(self, wid: int, pe: ProcessingElement) -> _WorkerSpec:
+        return _WorkerSpec(
+            worker_id=wid,
+            label=pe.label(),
+            ops=[_sanitize(op) for op in pe.operators],
+            op_index=self._op_index,
+            idx_names=self._idx_names,
+            routes={
+                op.name: self._routes_for(op) for op in pe.operators
+            },
+            cmd_q=self._cmd_qs[wid],
+            main_q=self._main_q,
+            peer_qs={
+                w: q for w, q in self._cmd_qs.items() if w != wid
+            },
+            inflight=self._inflight,
+            stop_ev=self._stop_ev,
+            finish_ev=self._finish_ev,
+            run_id=self._run_id,
+            queue_size=self.queue_size,
+            ring_slots=self.ring_slots,
+            slot_rows=self.ring_slot_rows,
+            policies=self._worker_policies(pe),
+            metrics=(
+                self.telemetry is not None and self.telemetry.config.metrics
+            ),
+        )
+
+    def _start_worker(self, wid: int) -> None:
+        spec = self._specs[wid]
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(spec,),
+            name=f"repro-{spec.label}",
+            daemon=True,
+        )
+        proc.start()
+        self._procs[wid] = proc
+
+    def _restartable(self, wid: int) -> bool:
+        if self.supervisor is None:
+            return False
+        pe = self._worker_pes[wid]
+        for op in pe.operators:
+            policy = self.supervisor.policies.get(op.name)
+            if isinstance(policy, RestartFromCheckpoint):
+                n = self.supervisor.stats.restarts.get(op.name, 0)
+                if policy.max_restarts is None or n < policy.max_restarts:
+                    return True
+        return False
+
+    def _check_workers(self) -> None:
+        for wid, proc in list(self._procs.items()):
+            if wid in self._done or proc.is_alive():
+                self._death_grace.pop(wid, None)
+                continue
+            if proc.exitcode == 0:
+                # Clean exit: the final "done" message may still be in
+                # transit to the receiver; give it a grace window before
+                # declaring the worker dead.
+                first_seen = self._death_grace.setdefault(
+                    wid, time.perf_counter()
+                )
+                if time.perf_counter() - first_seen < 5.0:
+                    continue
+            self._death_grace.pop(wid, None)
+            # Worker process died before reporting done.
+            self._worker_deaths += 1
+            pe = self._worker_pes[wid]
+            if not self._restartable(wid):
+                raise OperatorFailure(
+                    pe.label(),
+                    RuntimeError(
+                        f"worker process exited with code {proc.exitcode}"
+                    ),
+                    "no RestartFromCheckpoint policy covers this PE",
+                )
+            for op in pe.operators:
+                if isinstance(
+                    self.supervisor.policies.get(op.name),
+                    RestartFromCheckpoint,
+                ):
+                    stats = self.supervisor.stats
+                    stats.restarts[op.name] = (
+                        stats.restarts.get(op.name, 0) + 1
+                    )
+            self._quiesced.discard(wid)
+            spec = self._specs[wid]
+            spec.resume = True
+            self._start_worker(wid)
+            # The new worker re-attaches the surviving queue/ring state;
+            # re-announce coordinator rings and re-send punctuation the
+            # dead worker had already consumed into local memory.
+            if self._sender is not None:
+                self._sender.announce(wid)
+            for dst_name, dst_port in sorted(
+                self._sent_puncts.get(wid, ())
+            ):
+                self._sender.send(
+                    wid, dst_name, dst_port, StreamTuple.punctuation()
+                )
+
+    # -- receiver thread -------------------------------------------------
+
+    def _route_to_main(
+        self, dst_name: str, tup: StreamTuple, port: int
+    ) -> None:
+        dst = self._ops_by_name[dst_name]
+        self._local_put(self._pe_of[id(dst)].pe_id, (dst, port, tup))
+
+    def _src_has_blocks(self, src: Any) -> bool:
+        return any(
+            r.depth() > 0 for r in self._main_rings_of.get(src, ())
+        )
+
+    def _drain_main_rings(self) -> bool:
+        progressed = False
+        for ring in self._main_rings.values():
+            while True:
+                item = ring.get()
+                if item is None:
+                    break
+                self._dec_shared()
+                name = self._idx_names[item.dst_idx]
+                # Copy out of the slot: delivery is asynchronous (via a
+                # PE inbox), so views into the ring cannot outlive the
+                # release.  Still no pickling — one memcpy.
+                tup = tuple_from_fields(
+                    {
+                        "xs": np.array(item.xs, copy=True),
+                        "seqs": np.array(item.seqs, copy=True),
+                        "count": int(item.xs.shape[0]),
+                    },
+                    TupleKind.DATA,
+                    BLOCK_SCHEMA,
+                    item.tuple_seq,
+                )
+                ring.release()
+                self._route_to_main(name, tup, item.dst_port)
+                progressed = True
+        return progressed
+
+    def _release_held(self) -> None:
+        remaining = []
+        for src, name, port, tup in self._held:
+            if self._src_has_blocks(src):
+                remaining.append((src, name, port, tup))
+                continue
+            self._route_to_main(name, tup, port)
+        self._held[:] = remaining
+
+    def _handle_main_msg(self, msg: dict) -> None:
+        kind = msg["t"]
+        if kind == "tuple":
+            self._dec_shared()
+            tup = from_wire(msg["wire"])
+            src = msg["src"]
+            if tup.is_punctuation and self._src_has_blocks(src):
+                self._held.append((src, msg["dst"], msg["port"], tup))
+                return
+            self._route_to_main(msg["dst"], tup, msg["port"])
+        elif kind == "ring":
+            if msg["name"] not in self._main_rings:
+                ring = BlockRing(
+                    msg["name"],
+                    slots=msg["slots"],
+                    slot_rows=msg["rows"],
+                    dim=msg["dim"],
+                    create=False,
+                )
+                self._main_rings[msg["name"]] = ring
+                self._main_rings_of.setdefault(msg["src"], []).append(ring)
+                self._worker_ring_names.add(msg["name"])
+        elif kind == "quiesced":
+            self._quiesced.add(msg["w"])
+        elif kind == "done":
+            self._done[msg["w"]] = msg
+            self._quiesced.add(msg["w"])
+            self._worker_ring_names.update(msg.get("rings", ()))
+        elif kind == "error":
+            self._errors.append(
+                OperatorFailure(
+                    self._worker_pes[msg["w"]].label(),
+                    RuntimeError(msg["error"]),
+                    msg.get("traceback", ""),
+                )
+            )
+            self._stop.set()
+            self._stop_ev.set()
+
+    def _receiver_loop(self) -> None:
+        try:
+            while True:
+                progressed = self._drain_main_rings()
+                try:
+                    msg = self._main_q.get(timeout=0.005)
+                except queue.Empty:
+                    msg = None
+                if msg is not None:
+                    self._handle_main_msg(msg)
+                    progressed = True
+                if self._held:
+                    self._release_held()
+                if self._recv_halt.is_set() and not progressed:
+                    return
+                if self._stop.is_set() and not progressed:
+                    # Keep draining while workers are still alive so their
+                    # final puts cannot block the abort path.
+                    if all(not p.is_alive() for p in self._procs.values()):
+                        return
+        except EngineAborted:
+            pass
+        except BaseException as exc:  # pragma: no cover - defensive
+            self._errors.append(exc)
+            self._stop.set()
+            self._stop_ev.set()
+
+    # -- run -------------------------------------------------------------
+
+    def run(self, *, timeout_s: float = 300.0) -> RunStats:
+        """Execute to completion; raises on worker/operator failure.
+
+        Follows the same quiesce → drain → finish protocol as the
+        threaded engine, extended with worker processes: completion
+        requires every source thread done, every coordinator PE and
+        every worker quiesced, and both in-flight counters (local thread
+        hops, cross-process messages) at zero.
+        """
+        ctx = self._ctx
+        ensure_shared_tracker()
+        self._run_id = uuid.uuid4().hex[:8]
+        self._stop_ev = ctx.Event()
+        self._finish_ev = ctx.Event()
+        self._inflight = ctx.Value("q", 0)
+        self._main_q = ctx.Queue(maxsize=max(self.queue_size * 4, 1024))
+        self._cmd_qs = {
+            wid: ctx.Queue(maxsize=self.queue_size)
+            for wid in self._worker_pes
+        }
+        self._recv_halt = threading.Event()
+        self._sender = _TransportSender(
+            _MAIN,
+            self._run_id,
+            self._cmd_qs,
+            self._inflight,
+            self._stop.is_set,
+            self._op_index,
+            ring_slots=self.ring_slots,
+            slot_rows=self.ring_slot_rows,
+            disown_rings=False,
+        )
+
+        if self.telemetry is not None:
+            self.telemetry.run_started(
+                engine="process", graph=self.graph.name
+            )
+
+        # Specs are built (and, under spawn/forkserver, pickled) before
+        # any coordinator thread starts: worker startup is spawn-safe by
+        # construction.
+        self._specs = {
+            wid: self._build_spec(wid, pe)
+            for wid, pe in self._worker_pes.items()
+        }
+        start = time.perf_counter()
+        for wid in self._worker_pes:
+            self._start_worker(wid)
+
+        self._wire_main()
+        for pe in self._main_pes:
+            for op in pe.operators:
+                op.open()
+
+        pe_runners = []
+        for pe in self._main_pes:
+            if all(isinstance(op, Source) for op in pe.operators):
+                continue
+            pe_runners.append(_PERunner(pe, self._inboxes[pe.pe_id], self))
+        src_threads = [
+            _SourceRunner(src, self._errors, self._stop)
+            for src in self.graph.sources
+        ]
+        receiver = threading.Thread(
+            target=self._receiver_loop, name="proc-receiver", daemon=True
+        )
+        sampler = self._start_sampler()
+        for t in src_threads + pe_runners:
+            t.start()
+        receiver.start()
+
+        deadline = start + timeout_s
+        inflight_stable_since: tuple[float, int] | None = None
+        try:
+            while True:
+                if self._errors:
+                    raise self._errors[0]
+                self._check_workers()
+                shared = self._inflight.value
+                quiet = (
+                    all(not t.is_alive() for t in src_threads)
+                    and all(r.quiesced.is_set() for r in pe_runners)
+                    and set(self._worker_pes)
+                    <= (self._quiesced | set(self._done))
+                    and self._local_inflight == 0
+                )
+                if quiet and shared <= 0:
+                    break
+                if quiet and self._worker_deaths:
+                    # A crash can leak in-flight counts for messages that
+                    # died inside the worker; once everything is quiesced
+                    # and the count has been frozen for a grace period,
+                    # treat the residue as the (bounded) crash loss.
+                    now = time.perf_counter()
+                    if inflight_stable_since is None:
+                        inflight_stable_since = (now, shared)
+                    elif inflight_stable_since[1] != shared:
+                        inflight_stable_since = (now, shared)
+                    elif now - inflight_stable_since[0] > 2.0:
+                        break
+                else:
+                    inflight_stable_since = None
+                if time.perf_counter() > deadline:
+                    alive = [
+                        f"w{w}" for w, p in self._procs.items()
+                        if p.is_alive()
+                    ] + [t.name for t in src_threads + pe_runners
+                         if t.is_alive()]
+                    raise RuntimeError(
+                        f"graph {self.graph.name!r} did not finish within "
+                        f"{timeout_s}s (still running: {alive})"
+                    )
+                time.sleep(0.002)
+
+            # Global quiescence: raise finish everywhere, collect workers.
+            self._finish.set()
+            self._finish_ev.set()
+            for wid, q in self._cmd_qs.items():
+                try:
+                    q.put_nowait({"t": "finish"})
+                except queue.Full:
+                    pass
+            done_deadline = time.perf_counter() + 60.0
+            while set(self._worker_pes) - set(self._done):
+                if self._errors:
+                    raise self._errors[0]
+                self._check_workers()
+                if time.perf_counter() > done_deadline:
+                    missing = sorted(set(self._worker_pes) - set(self._done))
+                    raise RuntimeError(
+                        f"workers {missing} did not report final state"
+                    )
+                time.sleep(0.002)
+            for t in pe_runners:
+                t.join(timeout=5.0)
+            if self._errors:
+                raise self._errors[0]
+        finally:
+            self._finish.set()
+            self._finish_ev.set()
+            self._stop.set()
+            self._stop_ev.set()
+            self._recv_halt.set()
+            for t in src_threads + pe_runners:
+                t.join(timeout=1.0)
+            for proc in self._procs.values():
+                proc.join(timeout=5.0)
+                if proc.is_alive():  # pragma: no cover - hung worker
+                    proc.terminate()
+            receiver.join(timeout=5.0)
+            if sampler is not None:
+                sampler.stop()
+            self._cleanup_transport()
+
+        self._apply_done()
+        stats = RunStats.collect(
+            self.graph, time.perf_counter() - start, self.supervisor
+        )
+        if self.telemetry is not None:
+            self.telemetry.run_finished(stats)
+        return stats
+
+    # -- shutdown bookkeeping --------------------------------------------
+
+    def _apply_done(self) -> None:
+        """Fold worker results back into coordinator-side objects."""
+        totals: dict[str, int] = {
+            "blocks_ring": 0,
+            "blocks_queue": 0,
+            "tuples_queue": 0,
+            "blocks_ring_in": 0,
+        }
+        if self._sender is not None:
+            for key, value in self._sender.counters.items():
+                totals[key] += value
+            totals["blocks_ring_in"] += sum(
+                r.blocks_out for r in self._main_rings.values()
+            )
+        for wid, msg in self._done.items():
+            for name, payload in msg["ops"].items():
+                op = self._ops_by_name.get(name)
+                if op is not None:
+                    op.__dict__.update(_strip_payload(dict(payload)))
+            if self.telemetry is not None and msg.get("metrics"):
+                self.telemetry.merge_shard(f"w{wid}", msg["metrics"])
+            sup = msg.get("sup")
+            if sup and self.supervisor is not None:
+                stats = self.supervisor.stats
+                for field_name in (
+                    "failures", "retries", "skipped_tuples", "restarts",
+                ):
+                    table = getattr(stats, field_name)
+                    for name, n in sup[field_name].items():
+                        table[name] = table.get(name, 0) + n
+                for name, s in sup["recovery_time_s"].items():
+                    stats.recovery_time_s[name] = (
+                        stats.recovery_time_s.get(name, 0.0) + s
+                    )
+            for key, value in msg.get("transport", {}).items():
+                totals[key] = totals.get(key, 0) + value
+        self.transport_stats = totals
+
+    def _cleanup_transport(self) -> None:
+        if self._sender is not None:
+            self._sender.close(unlink=True)
+        for ring in self._main_rings.values():
+            ring.close()
+        for name in self._worker_ring_names:
+            _unlink_segment(name)
+        for q in list(self._cmd_qs.values()) + [self._main_q]:
+            try:
+                q.cancel_join_thread()
+                q.close()
+            except Exception:  # pragma: no cover - platform quirks
+                pass
+
+    # -- sampler ---------------------------------------------------------
+
+    def _start_sampler(self) -> BackpressureSampler | None:
+        tel = self.telemetry
+        if tel is None or tel.config.sampler_interval_s is None:
+            return None
+
+        def probe():
+            per_pe = [
+                (
+                    pe.label(),
+                    self._inboxes[pe.pe_id].qsize(),
+                    self.queue_size,
+                )
+                for pe in self._main_pes
+            ]
+            per_pe += [
+                (
+                    f"w{wid}:{pe.label()}",
+                    self._transport_depth(wid),
+                    self.queue_size + self.ring_slots,
+                )
+                for wid, pe in self._worker_pes.items()
+            ]
+            inflight = self._local_inflight + max(self._inflight.value, 0)
+            dispatched = sum(
+                op.tuples_in
+                for pe in self._main_pes
+                for op in pe.operators
+            )
+            return per_pe, inflight, dispatched
+
+        sampler = BackpressureSampler(
+            tel, probe, interval_s=tel.config.sampler_interval_s
+        )
+        sampler.start()
+        return sampler

@@ -1,0 +1,356 @@
+"""Shared-memory block transport for the multi-process runtime.
+
+The paper's PEs exchange tuples over InfoSphere network connectors; our
+:class:`~repro.streams.procengine.ProcessEngine` exchanges them over two
+transports with very different cost profiles:
+
+* **Block ring** (:class:`BlockRing`) — a bounded single-producer /
+  single-consumer ring buffer living in POSIX shared memory.  Each slot
+  holds one :data:`~repro.streams.batcher.BLOCK_SCHEMA` matrix tuple
+  (a ``(k, d)`` observation block plus its per-row sequence numbers).
+  The producer copies the block *once* into the mapped slot; the
+  consumer dispatches a **numpy view straight into the shared mapping**
+  — no pickling, no second copy — and releases the slot after the
+  dispatch returns.  This is the hot path: with the
+  :class:`~repro.streams.batcher.Batcher` upstream, virtually all data
+  bytes cross process boundaries through rings.
+* **Wire queue** — a bounded ``multiprocessing.Queue`` carrying
+  explicitly serialized control/scalar tuples
+  (:func:`repro.streams.tuples.to_wire`).  Low rate, pickled, ordered.
+
+Ring design notes
+-----------------
+Rings are SPSC by construction (one ring per producer-process →
+consumer-process pair), so the only synchronization is a pair of
+monotonically increasing 64-bit cursors (``write_idx``, ``read_idx``)
+stored in the mapping itself, each written *only by its own side* as a
+single aligned store, which x86-TSO (and the GIL on each side) makes
+safely visible in order: the producer fills the slot *then* publishes
+``write_idx``; the consumer reads the slot *then* publishes
+``read_idx``.  Full/empty waits
+are short polls (no semaphores), which keeps the ring state fully
+crash-recoverable: a consumer that dies mid-dispatch and is restarted
+re-attaches and resumes from the last *committed* ``read_idx`` — the one
+in-flight slot is re-delivered rather than lost.
+
+Sizing guidance lives in ``docs/performance.md`` (§ shm transport
+tuning): ``slots × slot_rows`` bounds the in-flight rows per edge (the
+backpressure window), ``slot_rows`` should be ≥ the upstream batch size
+or blocks fall back to the pickled queue path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import struct
+import threading
+import time
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "BlockRing",
+    "RingFull",
+    "RingItem",
+    "ensure_shared_tracker",
+    "safe_mp_context",
+]
+
+
+def ensure_shared_tracker() -> None:
+    """Start the resource-tracker daemon *before* any worker forks.
+
+    Every process that creates or attaches a shared-memory segment
+    registers it with :mod:`multiprocessing.resource_tracker`.  When the
+    daemon is already running at fork time, all children inherit its fd
+    and the registrations land in one shared cache (a set, so
+    create-side and attach-side registrations collapse and a single
+    unlink balances them).  If instead each child lazily starts its own
+    tracker, a worker's attach registration outlives the coordinator's
+    unlink and the orphan tracker prints spurious leak warnings at exit.
+    """
+    try:  # pragma: no cover - interpreter internals
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+    except Exception:
+        pass
+
+_CTRL = struct.Struct("<qq")  # write_idx, read_idx
+#: Single-cursor view: each side commits ONLY its own cursor (producer at
+#: offset 0, consumer at offset 8).  Writing both as a pair would race —
+#: a producer's put could overwrite the consumer's just-committed
+#: read_idx with a stale value, re-delivering (duplicating) a block.
+_CURSOR = struct.Struct("<q")
+_META = struct.Struct("<qqqq")  # dst_idx, dst_port, count, tuple_seq
+
+
+class RingFull(RuntimeError):
+    """A blocking ring put timed out or was aborted."""
+
+
+def safe_mp_context(prefer: str | None = None):
+    """A :mod:`multiprocessing` context that is safe to start *now*.
+
+    ``fork`` is the cheapest start method but forking a multi-threaded
+    process can deadlock the child on locks held by threads that do not
+    survive the fork (the classic reason one must never fork while
+    :class:`~repro.streams.engine.ThreadedEngine` threads are live).
+    This helper picks ``fork`` only when the calling process is
+    single-threaded, otherwise falls back to ``forkserver`` (children
+    fork from a clean single-threaded server) and finally ``spawn``.
+
+    Pass ``prefer`` to force a specific method (validated by
+    :func:`multiprocessing.get_context`).
+    """
+    if prefer is not None:
+        return mp.get_context(prefer)
+    methods = mp.get_all_start_methods()
+    if "fork" in methods and threading.active_count() == 1:
+        return mp.get_context("fork")
+    for method in ("forkserver", "spawn"):
+        if method in methods:
+            return mp.get_context(method)
+    return mp.get_context()  # pragma: no cover - exotic platforms
+
+
+class RingItem:
+    """One block read from a ring — **views into shared memory**.
+
+    ``xs`` and ``seqs`` alias the ring slot; they are valid only until
+    :meth:`BlockRing.release` commits the read cursor.  Consumers that
+    retain block payloads beyond the dispatch must copy.
+    """
+
+    __slots__ = ("dst_idx", "dst_port", "xs", "seqs", "tuple_seq")
+
+    def __init__(self, dst_idx, dst_port, xs, seqs, tuple_seq):
+        self.dst_idx = int(dst_idx)
+        self.dst_port = int(dst_port)
+        self.xs = xs
+        self.seqs = seqs
+        self.tuple_seq = int(tuple_seq)
+
+
+class BlockRing:
+    """Bounded SPSC ring of fixed-capacity block slots in shared memory.
+
+    Parameters
+    ----------
+    name:
+        Shared-memory segment name (``create=True`` makes it).
+    slots:
+        Number of block slots (the backpressure bound of this edge).
+    slot_rows:
+        Maximum rows per block; larger blocks must use the queue path.
+    dim:
+        Row dimensionality ``d`` (fixed per ring; rings are created
+        lazily once the first block reveals it).
+    create:
+        Create the segment (producer side) vs attach (consumer side).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        slots: int,
+        slot_rows: int,
+        dim: int,
+        create: bool = False,
+    ) -> None:
+        from multiprocessing import shared_memory
+
+        if slots < 1:
+            raise ValueError(f"slots must be >= 1, got {slots}")
+        if slot_rows < 1:
+            raise ValueError(f"slot_rows must be >= 1, got {slot_rows}")
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        self.name = name
+        self.slots = int(slots)
+        self.slot_rows = int(slot_rows)
+        self.dim = int(dim)
+        self._seqs_bytes = 8 * self.slot_rows
+        self._xs_bytes = 8 * self.slot_rows * self.dim
+        self._slot_bytes = _META.size + self._seqs_bytes + self._xs_bytes
+        total = _CTRL.size + self.slots * self._slot_bytes
+        self._shm = shared_memory.SharedMemory(
+            name=name, create=create, size=total
+        )
+        self._owner = create
+        if create:
+            _CTRL.pack_into(self._shm.buf, 0, 0, 0)
+        #: Blocks written / read through this handle (local counters).
+        self.blocks_in = 0
+        self.blocks_out = 0
+        self._pending_release = False
+
+    # -- cursors ---------------------------------------------------------
+
+    def _cursors(self) -> tuple[int, int]:
+        return _CTRL.unpack_from(self._shm.buf, 0)
+
+    def depth(self) -> int:
+        """Blocks currently buffered (published but unread)."""
+        w, r = self._cursors()
+        return max(int(w - r), 0)
+
+    def _slot_offset(self, idx: int) -> int:
+        return _CTRL.size + (idx % self.slots) * self._slot_bytes
+
+    # -- producer --------------------------------------------------------
+
+    def try_put(
+        self,
+        dst_idx: int,
+        dst_port: int,
+        xs: np.ndarray,
+        seqs: np.ndarray | None,
+        tuple_seq: int,
+    ) -> bool:
+        """Publish one block; ``False`` when the ring is full.
+
+        ``xs`` must be ``(k, d)`` with ``k <= slot_rows`` and matching
+        ``dim`` — callers route oversized blocks through the queue
+        fallback instead.
+        """
+        k = xs.shape[0]
+        if k > self.slot_rows or xs.shape[1] != self.dim:
+            raise ValueError(
+                f"block shape {xs.shape} does not fit ring slots "
+                f"({self.slot_rows} x {self.dim})"
+            )
+        w, r = self._cursors()
+        if w - r >= self.slots:
+            return False
+        off = self._slot_offset(w)
+        _META.pack_into(
+            self._shm.buf, off, dst_idx, dst_port, k, tuple_seq
+        )
+        seq_view = np.frombuffer(
+            self._shm.buf, dtype=np.int64, count=self.slot_rows,
+            offset=off + _META.size,
+        )
+        if seqs is not None:
+            seq_view[:k] = np.asarray(seqs, dtype=np.int64)
+        else:
+            seq_view[:k] = -1
+        xs_view = np.frombuffer(
+            self._shm.buf, dtype=np.float64,
+            count=self.slot_rows * self.dim,
+            offset=off + _META.size + self._seqs_bytes,
+        ).reshape(self.slot_rows, self.dim)
+        # The single producer-side copy: source array -> mapped slot.
+        np.copyto(xs_view[:k], xs, casting="same_kind")
+        # Publish *after* the slot is fully written (own cursor only).
+        _CURSOR.pack_into(self._shm.buf, 0, w + 1)
+        self.blocks_in += 1
+        return True
+
+    def put(
+        self,
+        dst_idx: int,
+        dst_port: int,
+        xs: np.ndarray,
+        seqs: np.ndarray | None,
+        tuple_seq: int,
+        *,
+        timeout_s: float = 60.0,
+        poll_s: float = 0.0005,
+        should_abort: Callable[[], bool] | None = None,
+    ) -> None:
+        """Blocking put with backpressure; raises :class:`RingFull` on
+        timeout and :class:`RingFull` (aborted) when ``should_abort``."""
+        deadline = time.monotonic() + timeout_s
+        while not self.try_put(dst_idx, dst_port, xs, seqs, tuple_seq):
+            if should_abort is not None and should_abort():
+                raise RingFull(f"ring {self.name} put aborted")
+            if time.monotonic() > deadline:
+                raise RingFull(
+                    f"ring {self.name} full for {timeout_s}s "
+                    f"(depth {self.depth()}/{self.slots})"
+                )
+            time.sleep(poll_s)
+
+    # -- consumer --------------------------------------------------------
+
+    def get(self) -> RingItem | None:
+        """The oldest unread block as shared-memory views, or ``None``.
+
+        The slot stays reserved until :meth:`release`; exactly one item
+        may be outstanding at a time (SPSC discipline).
+        """
+        if self._pending_release:
+            raise RuntimeError(
+                "previous RingItem not released before next get()"
+            )
+        w, r = self._cursors()
+        if r >= w:
+            return None
+        off = self._slot_offset(r)
+        dst_idx, dst_port, count, tuple_seq = _META.unpack_from(
+            self._shm.buf, off
+        )
+        seqs = np.frombuffer(
+            self._shm.buf, dtype=np.int64, count=self.slot_rows,
+            offset=off + _META.size,
+        )[:count]
+        xs = np.frombuffer(
+            self._shm.buf, dtype=np.float64,
+            count=self.slot_rows * self.dim,
+            offset=off + _META.size + self._seqs_bytes,
+        ).reshape(self.slot_rows, self.dim)[:count]
+        self._pending_release = True
+        return RingItem(dst_idx, dst_port, xs, seqs, tuple_seq)
+
+    def release(self) -> None:
+        """Commit the read cursor: the slot becomes writable again."""
+        if not self._pending_release:
+            return
+        _, r = self._cursors()
+        _CURSOR.pack_into(self._shm.buf, _CURSOR.size, r + 1)
+        self._pending_release = False
+        self.blocks_out += 1
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Unmap this handle (consumer views may pin it; best-effort)."""
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - live views at teardown
+            pass
+
+    def unlink(self) -> None:
+        """Remove the backing segment (idempotent)."""
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def disown(self) -> None:
+        """Hand unlink responsibility to another process.
+
+        The Python resource tracker unlinks any segment its creating
+        process did not explicitly release, printing a spurious leak
+        warning when the coordinator unlinks it later.  A worker that
+        creates a ring and ships its name to the coordinator calls this
+        to unregister the segment from its local tracker.
+        """
+        if not self._owner:
+            return
+        try:  # pragma: no cover - depends on interpreter internals
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(self._shm._name, "shared_memory")
+        except Exception:
+            pass
+        self._owner = False
+
+
+def ring_name(run_id: str, src: str, dst: str) -> str:
+    """A unique, filesystem-safe segment name for one transport edge."""
+    return f"repro-{run_id}-{os.getpid()}-{src}-{dst}"

@@ -25,7 +25,7 @@ import numpy as np
 from ..data.streams import VectorStream
 from ..io.csvio import read_vectors_csv
 from .operators import Source
-from .tuples import FieldType, StreamSchema, StreamTuple
+from .tuples import FieldType, StreamSchema, StreamTuple, register_schema
 
 __all__ = [
     "OBSERVATION_SCHEMA",
@@ -36,8 +36,10 @@ __all__ = [
 ]
 
 #: The observation stream schema: a flux/feature vector plus arrival index.
-OBSERVATION_SCHEMA = StreamSchema(
-    {"x": FieldType.VECTOR, "seq": FieldType.INT}
+#: Registered so observation tuples round-trip across process boundaries.
+OBSERVATION_SCHEMA = register_schema(
+    "observation",
+    StreamSchema({"x": FieldType.VECTOR, "seq": FieldType.INT}),
 )
 
 

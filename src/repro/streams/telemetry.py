@@ -69,6 +69,7 @@ __all__ = [
     "Telemetry",
     "load_events",
     "operator_counter_snapshot",
+    "operator_metric_samples",
     "DEFAULT_LATENCY_BUCKETS",
 ]
 
@@ -759,10 +760,7 @@ class Telemetry:
         telemetry-aware operators (``bind_telemetry`` hook, e.g. the
         sync controller) a reference to this object.
         """
-        from .batcher import Batcher
         from .operators import Source
-        from .split import Split
-        from .throttle import Throttle
 
         pe_of: dict[str, str] = {}
         if fusion is not None:
@@ -773,31 +771,7 @@ class Telemetry:
         operators = list(graph)
 
         def collect() -> Iterator[tuple]:
-            for op in operators:
-                labels = {"operator": op.name}
-                if op.name in pe_of:
-                    labels["pe"] = pe_of[op.name]
-                yield ("repro_tuples_in_total", "counter", labels, op.tuples_in)
-                yield ("repro_tuples_out_total", "counter", labels, op.tuples_out)
-                yield ("repro_punct_out_total", "counter", labels, op.punct_out)
-                if op._profiled:
-                    yield ("repro_exclusive_seconds_total", "counter",
-                           labels, op.processing_time_s)
-                if isinstance(op, Split):
-                    for t, n in enumerate(op.sent_per_target):
-                        yield ("repro_split_sent_total", "counter",
-                               dict(labels, target=str(t)), int(n))
-                if isinstance(op, Throttle):
-                    yield ("repro_throttle_dropped_total", "counter",
-                           labels, op.n_dropped)
-                    yield ("repro_throttle_achieved_hz", "gauge",
-                           labels, op.achieved_rate_hz())
-                if isinstance(op, Batcher):
-                    yield ("repro_batch_achieved_size", "gauge",
-                           labels, op.achieved_batch_size())
-                    for reason, n in op.flush_counts.items():
-                        yield ("repro_batch_flush_total", "counter",
-                               dict(labels, reason=reason), int(n))
+            return operator_metric_samples(operators, pe_of)
 
         if self.config.metrics:
             self.metrics.register_collector(collect)
@@ -834,6 +808,30 @@ class Telemetry:
 
         if self.config.metrics:
             self.metrics.register_collector(collect)
+
+    def merge_shard(
+        self,
+        process_label: str,
+        samples: Iterable[tuple],
+    ) -> None:
+        """Merge a per-process metrics shard into this registry.
+
+        The multi-process engine's workers each run their own
+        :class:`MetricsRegistry`; at shutdown every worker ships
+        ``registry → collect → (name, kind, labels, value)`` rows back to
+        the coordinator, which re-exposes them here with a
+        ``process=<label>`` label.  The shard is a *labelled breakdown*
+        of the run totals (the coordinator's own operator collector
+        reports the authoritative per-operator totals after worker state
+        is merged back) — aggregations across processes should filter on
+        the ``process`` label rather than sum both views.
+        """
+        frozen = [
+            (name, kind, dict(labels, process=process_label), value)
+            for name, kind, labels, value in samples
+        ]
+        if self.config.metrics and frozen:
+            self.metrics.register_collector(lambda: iter(frozen))
 
     # -- run lifecycle ---------------------------------------------------
 
@@ -908,6 +906,50 @@ def load_events(path) -> list[dict[str, Any]]:
 # ---------------------------------------------------------------------------
 # Shared counter snapshot (RunStats is a thin view over this)
 # ---------------------------------------------------------------------------
+
+
+def operator_metric_samples(
+    operators: Iterable["Operator"],
+    pe_of: Mapping[str, str] | None = None,
+) -> Iterator[tuple]:
+    """Metric samples for a set of operators: the one collector body.
+
+    Yields ``(name, kind, labels, value)`` rows for every operator's own
+    counters (plus the Split/Throttle/Batcher specials).  Used both by
+    :meth:`Telemetry.attach_graph` (coordinator-side collector) and by
+    multi-process workers building their per-process metrics shard — the
+    sample schema is identical on both sides by construction.
+    """
+    from .batcher import Batcher
+    from .split import Split
+    from .throttle import Throttle
+
+    pe_of = pe_of or {}
+    for op in operators:
+        labels = {"operator": op.name}
+        if op.name in pe_of:
+            labels["pe"] = pe_of[op.name]
+        yield ("repro_tuples_in_total", "counter", labels, op.tuples_in)
+        yield ("repro_tuples_out_total", "counter", labels, op.tuples_out)
+        yield ("repro_punct_out_total", "counter", labels, op.punct_out)
+        if op._profiled:
+            yield ("repro_exclusive_seconds_total", "counter",
+                   labels, op.processing_time_s)
+        if isinstance(op, Split):
+            for t, n in enumerate(op.sent_per_target):
+                yield ("repro_split_sent_total", "counter",
+                       dict(labels, target=str(t)), int(n))
+        if isinstance(op, Throttle):
+            yield ("repro_throttle_dropped_total", "counter",
+                   labels, op.n_dropped)
+            yield ("repro_throttle_achieved_hz", "gauge",
+                   labels, op.achieved_rate_hz())
+        if isinstance(op, Batcher):
+            yield ("repro_batch_achieved_size", "gauge",
+                   labels, op.achieved_batch_size())
+            for reason, n in op.flush_counts.items():
+                yield ("repro_batch_flush_total", "counter",
+                       dict(labels, reason=reason), int(n))
 
 
 def operator_counter_snapshot(graph: "Graph") -> dict[str, dict[str, Any]]:

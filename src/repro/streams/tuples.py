@@ -18,9 +18,38 @@ from typing import Any, Mapping
 
 import numpy as np
 
-__all__ = ["FieldType", "StreamSchema", "TupleKind", "StreamTuple", "SchemaError"]
+__all__ = [
+    "FieldType",
+    "StreamSchema",
+    "TupleKind",
+    "StreamTuple",
+    "SchemaError",
+    "register_schema",
+    "lookup_schema",
+    "schema_name",
+    "to_wire",
+    "from_wire",
+    "reseed_sequence",
+    "wire_stats",
+    "reset_wire_stats",
+]
 
 _seq_counter = itertools.count()
+
+
+def reseed_sequence(namespace: int, stride: int = 1 << 40) -> None:
+    """Restart the global tuple-sequence counter in a disjoint band.
+
+    Each process assigns tuple ``seq`` ids from its own module-level
+    counter; without namespacing, a worker process and the coordinator
+    would mint colliding ids.  The multi-process runtime calls this once
+    per worker with its worker number, giving every process a private
+    ``stride``-wide band (2^40 ids is unreachable within a run).
+    """
+    global _seq_counter
+    if namespace < 0:
+        raise ValueError(f"namespace must be >= 0, got {namespace}")
+    _seq_counter = itertools.count(namespace * stride)
 
 
 class SchemaError(TypeError):
@@ -179,3 +208,157 @@ class StreamTuple:
             else:
                 total += 8 if isinstance(value, (int, float)) else 64
         return total
+
+
+# ---------------------------------------------------------------------------
+# Wire serialization: explicit cross-process round-tripping
+# ---------------------------------------------------------------------------
+#
+# Tuples that cross a process boundary must not rely on implicit pickling
+# of operator-attached payloads: schemas are interned singletons (pickling
+# one per tuple breaks identity checks and wastes bytes), Eigensystem
+# payloads carry numpy state with a documented dict form, and anything
+# falling back to raw pickle should be *visible* so tests can assert the
+# hot path never takes it.  ``to_wire``/``from_wire`` make every schema —
+# BLOCK_SCHEMA, OBSERVATION_SCHEMA, control and punctuation tuples —
+# round-trip explicitly.
+
+_SCHEMA_REGISTRY: dict[str, StreamSchema] = {}
+_SCHEMA_NAMES: dict[int, str] = {}
+
+#: Wire-level accounting, exposed so transports and tests can verify the
+#: hot path: ``pickled_payloads`` counts payload values that fell back to
+#: opaque pickling (must stay 0 for block traffic).
+_WIRE_STATS = {"tuples": 0, "pickled_payloads": 0}
+
+
+def register_schema(name: str, schema: StreamSchema) -> StreamSchema:
+    """Intern ``schema`` under ``name`` for wire round-tripping.
+
+    Registration is idempotent for the same object; re-registering a
+    *different* schema under an existing name is an error (the name is
+    the cross-process identity).
+    """
+    existing = _SCHEMA_REGISTRY.get(name)
+    if existing is not None and existing is not schema:
+        raise ValueError(f"schema name {name!r} already registered")
+    _SCHEMA_REGISTRY[name] = schema
+    _SCHEMA_NAMES[id(schema)] = name
+    return schema
+
+
+def lookup_schema(name: str) -> StreamSchema | None:
+    """The interned schema for ``name`` (``None`` when unknown)."""
+    return _SCHEMA_REGISTRY.get(name)
+
+
+def schema_name(schema: StreamSchema | None) -> str | None:
+    """The registered name of ``schema`` (``None`` when unregistered)."""
+    if schema is None:
+        return None
+    return _SCHEMA_NAMES.get(id(schema))
+
+
+def wire_stats() -> dict[str, int]:
+    """A snapshot of the wire-serialization counters."""
+    return dict(_WIRE_STATS)
+
+
+def reset_wire_stats() -> None:
+    """Zero the wire counters (test isolation)."""
+    for key in _WIRE_STATS:
+        _WIRE_STATS[key] = 0
+
+
+def _encode_value(value: Any) -> Any:
+    # numpy arrays and plain scalars ship as-is: multiprocessing's
+    # transport pickles them efficiently (arrays via buffer protocol).
+    if value is None or isinstance(
+        value, (bool, int, float, str, bytes, np.ndarray, np.generic)
+    ):
+        return value
+    to_dict = getattr(value, "to_dict", None)
+    if to_dict is not None and hasattr(type(value), "from_dict"):
+        cls = type(value)
+        return {
+            "__wire__": "dict",
+            "module": cls.__module__,
+            "qualname": cls.__qualname__,
+            "data": to_dict(),
+        }
+    import pickle
+
+    _WIRE_STATS["pickled_payloads"] += 1
+    return {"__wire__": "pickle", "data": pickle.dumps(value)}
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict) and "__wire__" in value:
+        if value["__wire__"] == "dict":
+            import importlib
+
+            cls: Any = importlib.import_module(value["module"])
+            for part in value["qualname"].split("."):
+                cls = getattr(cls, part)
+            return cls.from_dict(value["data"])
+        if value["__wire__"] == "pickle":
+            import pickle
+
+            return pickle.loads(value["data"])
+    return value
+
+
+def to_wire(tup: StreamTuple) -> dict[str, Any]:
+    """Encode ``tup`` as a transport-friendly plain dict.
+
+    The schema travels by registered *name* (interned on arrival), the
+    ``seq`` id is preserved exactly, and payload values are encoded via
+    :func:`_encode_value` — arrays/scalars pass through, ``to_dict``
+    -capable objects (e.g. :class:`~repro.core.eigensystem.Eigensystem`)
+    use their documented dict form, and anything else falls back to a
+    counted pickle.
+    """
+    _WIRE_STATS["tuples"] += 1
+    return {
+        "kind": tup.kind.value,
+        "seq": tup.seq,
+        "schema": schema_name(tup.schema),
+        "payload": {k: _encode_value(v) for k, v in tup.payload.items()},
+    }
+
+
+def from_wire(msg: Mapping[str, Any]) -> StreamTuple:
+    """Rebuild the :class:`StreamTuple` encoded by :func:`to_wire`.
+
+    Payloads were validated at origin, so reconstruction skips
+    re-validation (the frozen dataclass is built schema-less, then the
+    interned schema and original ``seq`` are restored in place).
+    """
+    payload = {k: _decode_value(v) for k, v in msg["payload"].items()}
+    tup = StreamTuple(payload=payload, kind=TupleKind(msg["kind"]))
+    name = msg.get("schema")
+    if name is not None:
+        schema = _SCHEMA_REGISTRY.get(name)
+        if schema is not None:
+            object.__setattr__(tup, "schema", schema)
+    object.__setattr__(tup, "seq", int(msg["seq"]))
+    return tup
+
+
+def tuple_from_fields(
+    payload: Mapping[str, Any],
+    kind: TupleKind,
+    schema: StreamSchema | None,
+    seq: int,
+) -> StreamTuple:
+    """Build a tuple with an explicit ``seq``, skipping validation.
+
+    Used by transports reconstructing tuples from already-validated
+    bytes (e.g. shared-memory ring slots) where re-validation would cost
+    a payload copy.
+    """
+    tup = StreamTuple(payload=payload, kind=kind)
+    if schema is not None:
+        object.__setattr__(tup, "schema", schema)
+    object.__setattr__(tup, "seq", int(seq))
+    return tup

@@ -1,0 +1,435 @@
+"""ProcessEngine: wire format, shm rings, parity, shutdown, restart."""
+
+import os
+import signal
+import threading
+import time
+import uuid
+
+import numpy as np
+import pytest
+
+from repro.core.eigensystem import Eigensystem
+from repro.data.streams import VectorStream
+from repro.parallel.app import engine_restart_supervisor
+from repro.parallel.runner import ParallelStreamingPCA
+from repro.streams import (
+    BlockRing,
+    CollectingSink,
+    Functor,
+    Graph,
+    ProcessEngine,
+    Sink,
+    StreamTuple,
+    SynchronousEngine,
+    TupleKind,
+    VectorSource,
+    from_wire,
+    to_wire,
+    wire_stats,
+)
+from repro.streams.batcher import BLOCK_SCHEMA
+from repro.streams.tuples import reset_wire_stats, tuple_from_fields
+
+# ---------------------------------------------------------------------------
+# Wire round-trips
+# ---------------------------------------------------------------------------
+
+
+class TestWireRoundTrip:
+    def test_scalar_data_tuple(self):
+        tup = StreamTuple.data(x=np.arange(3.0), label="a")
+        back = from_wire(to_wire(tup))
+        assert back.is_data
+        assert back.seq == tup.seq
+        assert back.payload["label"] == "a"
+        np.testing.assert_array_equal(back.payload["x"], tup.payload["x"])
+
+    def test_block_schema_travels_by_name(self):
+        xs = np.arange(12.0).reshape(3, 4)
+        seqs = np.array([5, 6, 7], dtype=np.int64)
+        tup = tuple_from_fields(
+            {"xs": xs, "seqs": seqs, "count": 3},
+            TupleKind.DATA,
+            BLOCK_SCHEMA,
+            123,
+        )
+        back = from_wire(to_wire(tup))
+        assert back.schema is BLOCK_SCHEMA  # interned by registered name
+        assert back.seq == 123
+        np.testing.assert_array_equal(back.payload["xs"], xs)
+        np.testing.assert_array_equal(back.payload["seqs"], seqs)
+
+    def test_punctuation_and_control(self):
+        punct = from_wire(to_wire(StreamTuple.punctuation()))
+        assert punct.is_punctuation
+        ctl = from_wire(to_wire(StreamTuple.control(type="share")))
+        assert ctl.is_control
+        assert ctl.payload["type"] == "share"
+
+    def test_eigensystem_ships_as_dict_not_pickle(self):
+        state = Eigensystem(
+            mean=np.zeros(4),
+            basis=np.eye(4, 2),
+            eigenvalues=np.array([2.0, 1.0]),
+            n_seen=10,
+        )
+        tup = StreamTuple.control(type="state", engine=0, state=state)
+        reset_wire_stats()
+        back = from_wire(to_wire(tup))
+        assert wire_stats()["pickled_payloads"] == 0
+        got = back.payload["state"]
+        assert isinstance(got, Eigensystem)
+        np.testing.assert_allclose(got.basis, state.basis)
+        np.testing.assert_allclose(got.eigenvalues, state.eigenvalues)
+
+    def test_opaque_payload_falls_back_to_counted_pickle(self):
+        tup = StreamTuple.data(weird={"a", "b"})
+        reset_wire_stats()
+        back = from_wire(to_wire(tup))
+        assert wire_stats()["pickled_payloads"] == 1
+        assert back.payload["weird"] == {"a", "b"}
+
+
+# ---------------------------------------------------------------------------
+# BlockRing
+# ---------------------------------------------------------------------------
+
+
+def _ring_name():
+    return f"repro-test-{uuid.uuid4().hex[:8]}"
+
+
+class TestBlockRing:
+    def test_fill_drain_wraparound(self):
+        name = _ring_name()
+        ring = BlockRing(name, slots=3, slot_rows=4, dim=2, create=True)
+        try:
+            for i in range(10):  # > slots: exercises cursor wraparound
+                xs = np.full((2, 2), float(i))
+                seqs = np.array([2 * i, 2 * i + 1])
+                assert ring.try_put(7, 1, xs, seqs, tuple_seq=100 + i)
+                item = ring.get()
+                assert item is not None
+                assert (item.dst_idx, item.dst_port) == (7, 1)
+                assert item.tuple_seq == 100 + i
+                np.testing.assert_array_equal(item.xs, xs)
+                np.testing.assert_array_equal(item.seqs, seqs)
+                ring.release()
+            assert ring.depth() == 0
+            assert ring.blocks_in == 10 and ring.blocks_out == 10
+        finally:
+            item = None  # drop the shared-memory views before unmapping
+            ring.close()
+            ring.unlink()
+
+    def test_full_ring_rejects_put(self):
+        ring = BlockRing(
+            _ring_name(), slots=2, slot_rows=2, dim=1, create=True
+        )
+        try:
+            xs = np.zeros((1, 1))
+            assert ring.try_put(0, 0, xs, None, 1)
+            assert ring.try_put(0, 0, xs, None, 2)
+            assert not ring.try_put(0, 0, xs, None, 3)
+            assert ring.depth() == 2
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_oversized_block_raises(self):
+        ring = BlockRing(
+            _ring_name(), slots=2, slot_rows=2, dim=3, create=True
+        )
+        try:
+            with pytest.raises(ValueError, match="does not fit"):
+                ring.try_put(0, 0, np.zeros((4, 3)), None, 1)
+            with pytest.raises(ValueError, match="does not fit"):
+                ring.try_put(0, 0, np.zeros((1, 2)), None, 1)
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_crashed_consumer_gets_redelivery(self):
+        # A consumer that dies between get() and release() never commits
+        # the read cursor: a re-attached consumer sees the same block.
+        name = _ring_name()
+        prod = BlockRing(name, slots=4, slot_rows=2, dim=2, create=True)
+        try:
+            a = np.array([[1.0, 2.0], [3.0, 4.0]])
+            b = np.array([[5.0, 6.0]])
+            assert prod.try_put(0, 0, a, None, 11)
+            assert prod.try_put(0, 0, b, None, 12)
+
+            dead = BlockRing(name, slots=4, slot_rows=2, dim=2)
+            item = dead.get()
+            assert item.tuple_seq == 11
+            dead.close()  # dies without release()
+
+            survivor = BlockRing(name, slots=4, slot_rows=2, dim=2)
+            item = survivor.get()  # re-delivered, not lost
+            assert item.tuple_seq == 11
+            np.testing.assert_array_equal(item.xs, a)
+            survivor.release()
+            item = survivor.get()
+            assert item.tuple_seq == 12
+            survivor.release()
+            assert survivor.get() is None
+            item = None  # drop the shared-memory views before unmapping
+            survivor.close()
+        finally:
+            prod.close()
+            prod.unlink()
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: parallel PCA on the process runtime
+# ---------------------------------------------------------------------------
+
+
+def _spectra(n=1200, d=24, seed=0):
+    rng = np.random.default_rng(seed)
+    basis = np.linalg.qr(rng.normal(size=(d, 4)))[0]
+    scales = np.array([8.0, 5.0, 3.0, 1.5])
+    return (
+        rng.normal(size=(n, 4)) @ (basis.T * scales[:, None])
+        + 0.1 * rng.normal(size=(n, d))
+    )
+
+
+def _pca_runner(runtime, **kw):
+    # sync_gate_factor inf => no mid-run syncs, so each engine's input
+    # subsequence (fixed by split_seed) fully determines its state and
+    # the runtimes must agree to floating-point identity.
+    return ParallelStreamingPCA(
+        n_components=4,
+        n_engines=2,
+        alpha=1.0,
+        runtime=runtime,
+        batch_size=8,
+        split_seed=7,
+        sync_gate_factor=1e9,
+        **kw,
+    )
+
+
+class TestProcessParity:
+    def test_matches_synchronous_engine(self):
+        X = _spectra()
+        ref = _pca_runner("synchronous").run(VectorStream.from_array(X))
+        got = _pca_runner("process", mp_context="fork").run(
+            VectorStream.from_array(X)
+        )
+
+        assert set(got.engine_states) == set(ref.engine_states)
+        for i, ref_state in ref.engine_states.items():
+            state = got.engine_states[i]
+            assert state.n_seen == ref_state.n_seen
+            np.testing.assert_allclose(
+                state.eigenvalues, ref_state.eigenvalues, rtol=1e-10
+            )
+            np.testing.assert_allclose(
+                state.mean, ref_state.mean, rtol=0, atol=1e-10
+            )
+            np.testing.assert_allclose(
+                state.basis, ref_state.basis, rtol=0, atol=1e-10
+            )
+        np.testing.assert_allclose(
+            got.eigenvalues, ref.eigenvalues, rtol=1e-10
+        )
+        np.testing.assert_array_equal(
+            got.outlier_seqs(), ref.outlier_seqs()
+        )
+        assert len(got.diagnostics) == len(ref.diagnostics)
+
+    def test_zero_copy_block_transport(self):
+        X = _spectra(n=800)
+        runner = _pca_runner("process")
+        app = runner.build(VectorStream.from_array(X))
+        main_ops = {app.split.name, app.controller.name, app.batcher.name}
+        reset_wire_stats()
+        engine = ProcessEngine(
+            app.graph, main_ops=main_ops, mp_context="fork"
+        )
+        engine.run(timeout_s=120)
+        stats = engine.transport_stats
+        assert stats["blocks_ring"] > 0
+        # The hot path never pickles a block payload:
+        assert stats["blocks_queue"] == 0
+        assert stats["blocks_ring_in"] == stats["blocks_ring"]
+        assert wire_stats()["pickled_payloads"] == 0
+        rows = sum(r["n_local_rows"] for r in [
+            op.diagnostics() for op in app.engines
+        ])
+        assert rows == X.shape[0]
+
+
+# ---------------------------------------------------------------------------
+# Shutdown drain across the process boundary (PR 1 race, reprised)
+# ---------------------------------------------------------------------------
+
+
+class _FinalOnClose(Functor):
+    """Forwards tuples slowly; ships a ``final`` control tuple at close
+    (module-level so worker processes can unpickle it)."""
+
+    def __init__(self, name, delay_s=0.001):
+        super().__init__(name, None)
+        self._delay_s = delay_s
+
+    def process(self, tup, port):
+        time.sleep(self._delay_s)
+        self.submit(tup)
+
+    def close(self):
+        self.submit(StreamTuple.control(type="final"))
+
+
+class _LooseCollector(Sink):
+    """Two-input sink completing as soon as port 0 punctuates — forcing
+    the close-vs-late-arrivals race on port 1."""
+
+    def __init__(self, name):
+        super().__init__(name, n_inputs=2)
+        self.punctuation_ports = {0}
+        self.port1_data = 0
+        self.finals = 0
+
+    def consume(self, tup, port):
+        if tup.is_control and tup.get("type") == "final":
+            self.finals += 1
+        elif port == 1:
+            self.port1_data += 1
+
+
+def _race_graph(n=5):
+    g = Graph("proc-race")
+    fast = g.add(
+        VectorSource("fast", VectorStream.from_array(np.zeros((n, 1))))
+    )
+    slow_src = g.add(
+        VectorSource("slow-src", VectorStream.from_array(np.ones((n, 1))))
+    )
+    slow = g.add(_FinalOnClose("slow"))  # the one worker-process PE
+    col = g.add(_LooseCollector("collector"))
+    g.connect(fast, col, in_port=0)
+    g.connect(slow_src, slow)
+    g.connect(slow, col, in_port=1)
+    return g, col
+
+
+class TestShutdownDrain:
+    def test_final_tuple_never_lost_in_shutdown_race(self):
+        for _ in range(8):
+            g, col = _race_graph(n=5)
+            engine = ProcessEngine(g, mp_context="fork")
+            assert engine.n_workers == 1
+            engine.run(timeout_s=60)
+            assert col.finals == 1
+            assert col.port1_data == 5
+
+    def test_synchronous_engine_same_semantics(self):
+        g, col = _race_graph(n=5)
+        SynchronousEngine(g).run()
+        assert col.finals == 1
+        assert col.port1_data == 5
+
+
+# ---------------------------------------------------------------------------
+# Worker death → restart from checkpoint
+# ---------------------------------------------------------------------------
+
+
+class TestWorkerRestart:
+    def test_sigkilled_worker_restarts_from_checkpoint(self, tmp_path):
+        X = _spectra(n=20000, d=32, seed=3)
+        runner = ParallelStreamingPCA(
+            n_components=4,
+            n_engines=2,
+            alpha=0.999,
+            runtime="process",
+            batch_size=8,
+            collect_diagnostics=False,
+        )
+        app = runner.build(VectorStream.from_array(X))
+        supervisor = engine_restart_supervisor(
+            app, directory=tmp_path, checkpoint_every=5
+        )
+        main_ops = {app.split.name, app.controller.name, app.batcher.name}
+        # mp_context defaults: restart policies auto-prefer forkserver.
+        engine = ProcessEngine(
+            app.graph, main_ops=main_ops, supervisor=supervisor
+        )
+        wid0 = next(
+            w
+            for w, pe in engine._worker_pes.items()
+            if any(op.name == "pca-0" for op in pe.operators)
+        )
+
+        errors: list[BaseException] = []
+        done = threading.Event()
+
+        def go():
+            try:
+                engine.run(timeout_s=180)
+            except BaseException as exc:  # noqa: BLE001 - reraised below
+                errors.append(exc)
+            finally:
+                done.set()
+
+        t = threading.Thread(target=go)
+        t.start()
+        try:
+            # Kill pca-0's process once it has persisted a checkpoint.
+            ckpt_dir = tmp_path / "pca-0"
+            deadline = time.time() + 120
+            killed = False
+            while not done.is_set() and time.time() < deadline:
+                proc = engine._procs.get(wid0)
+                if (
+                    proc is not None
+                    and proc.is_alive()
+                    and ckpt_dir.is_dir()
+                    # Ignore the hidden .tmp files save_eigensystem stages
+                    # before os.replace: kill only once a checkpoint has
+                    # actually been committed.
+                    and any(
+                        not p.name.startswith(".")
+                        for p in ckpt_dir.iterdir()
+                    )
+                ):
+                    os.kill(proc.pid, signal.SIGKILL)
+                    killed = True
+                    break
+                time.sleep(0.001)
+            assert killed, "run finished before a checkpoint appeared"
+            assert done.wait(timeout=180)
+        finally:
+            t.join(timeout=10)
+
+        assert not errors, errors
+        assert engine._worker_deaths >= 1
+        assert supervisor.stats.restarts.get("pca-0", 0) >= 1
+        # Both engines still handed their final state to the controller;
+        # the restarted one resumed from its checkpoint, so the global
+        # merge is computable and loss is bounded, not total.
+        assert set(app.controller.final_states) == {0, 1}
+        resumed = app.controller.final_states[0]
+        assert resumed.n_seen > 0
+        merged = app.controller.global_state(4)
+        assert merged.eigenvalues.shape == (4,)
+        # Bounded loss AND bounded duplication.  Rows since the last
+        # checkpoint are lost; but in-flight transport is at-least-once
+        # across a crash — the worker checkpoints during dispatch and
+        # releases its ring slot after, so a kill in between re-delivers
+        # blocks already captured in the checkpoint.  Either way the
+        # deviation is bounded by the per-edge backpressure window
+        # (ring_slots x ring_slot_rows), never the whole stream.
+        window = engine.ring_slots * engine.ring_slot_rows
+        ckpt_slack = 5 * 8  # checkpoint_every dispatches x batch_size rows
+        total_rows = sum(
+            op.diagnostics()["n_local_rows"] for op in app.engines
+        )
+        lo = X.shape[0] - window - ckpt_slack
+        hi = X.shape[0] + window
+        assert lo <= total_rows <= hi, (total_rows, lo, hi)
