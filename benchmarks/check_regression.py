@@ -111,7 +111,13 @@ def main(argv=None) -> int:
         "--min-speedup", action="append", default=[], type=_parse_floor,
         metavar="NAME:VALUE",
         help="absolute speedup floor for one named case (repeatable); "
-        "skipped when the current payload has n_cpus < 4",
+        "skipped when the current payload has n_cpus < --min-cpus",
+    )
+    parser.add_argument(
+        "--min-cpus", type=int, default=4,
+        help="CPUs the floors need to be meaningful (default 4: "
+        "multi-core scaling gates); use 1 for floors that do not "
+        "depend on CPU parallelism, e.g. overhead ratios",
     )
     args = parser.parse_args(argv)
 
@@ -126,7 +132,7 @@ def main(argv=None) -> int:
 
     failures = check(current, baseline, args.tolerance)
     floor_failures, skip_reason = check_min_speedups(
-        current, dict(args.min_speedup)
+        current, dict(args.min_speedup), min_cpus=args.min_cpus
     )
     failures += floor_failures
     name = current.get("benchmark", "?")

@@ -98,12 +98,69 @@ def telemetry_main(argv: list[str]) -> int:
     return 0
 
 
+def chaos_main(argv: list[str]) -> int:
+    """``python -m repro chaos`` — run the seeded chaos smoke suite."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description=(
+            "Run the scenario-driven chaos suite (kill-one-engine, "
+            "poison tuples, slow operator, queue stall) against a "
+            "runtime and report recovery/loss/affinity per scenario."
+        ),
+    )
+    parser.add_argument(
+        "--runtime",
+        choices=("synchronous", "threaded", "process"),
+        default="threaded",
+        help="runtime to torture (default threaded)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="scenario seed (default 0)"
+    )
+    parser.add_argument(
+        "--out", metavar="FILE",
+        help="append the reports to FILE as JSONL (the CI artifact)",
+    )
+    parser.add_argument(
+        "--flap", action="store_true",
+        help="also run the TCP network-flap scenario",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.streams.chaos import (
+        network_flap_scenario,
+        run_suite,
+        smoke_suite,
+        write_chaos_reports,
+    )
+
+    reports = run_suite(
+        smoke_suite(args.runtime, seed=args.seed),
+        out=args.out,
+        log=print,
+    )
+    if args.flap:
+        flap = network_flap_scenario(seed=args.seed)
+        status = "ok" if flap.ok else f"FAIL ({flap.error})"
+        print(
+            f"{flap.scenario} [{flap.runtime}] {status}: "
+            f"lost={flap.n_lost} dup={flap.n_duplicated} "
+            f"reconnects={flap.n_reconnects}"
+        )
+        reports.append(flap)
+        if args.out:
+            write_chaos_reports([flap], args.out)
+    return 0 if all(r.ok for r in reports) else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """Parse arguments and run the selected experiment(s)."""
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "telemetry":
         return telemetry_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        return chaos_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(
@@ -115,7 +172,9 @@ def main(argv: list[str] | None = None) -> int:
         + "\n".join(f"  {k:<10} {v}" for k, v in EXPERIMENTS.items())
         + "\n\nother commands:\n"
         "  telemetry  render a run report from a telemetry JSONL log\n"
-        "             (python -m repro telemetry <events.jsonl>)",
+        "             (python -m repro telemetry <events.jsonl>)\n"
+        "  chaos      run the fault-injection smoke suite\n"
+        "             (python -m repro chaos --runtime threaded)",
     )
     parser.add_argument(
         "experiment",

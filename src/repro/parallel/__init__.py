@@ -17,7 +17,9 @@ from .runner import ParallelRunResult, ParallelStreamingPCA
 from .sync import (
     BroadcastStrategy,
     GroupStrategy,
+    PeerStatus,
     PeerToPeerStrategy,
+    QuorumError,
     RingStrategy,
     SyncController,
     SyncStats,
@@ -32,9 +34,11 @@ __all__ = [
     "ParallelPCAApp",
     "ParallelRunResult",
     "ParallelStreamingPCA",
+    "PeerStatus",
     "PeerToPeerStrategy",
     "ProcessParallelStreamingPCA",
     "ProcessRunResult",
+    "QuorumError",
     "RingStrategy",
     "StreamingPCAOperator",
     "SyncController",

@@ -25,8 +25,9 @@ from ..data.streams import VectorStream
 from ..io.checkpoint import CheckpointStore
 from ..streams.batcher import Batcher
 from ..streams.graph import Graph
+from ..streams.resilience import DeadLetterQueue
 from ..streams.sinks import CollectingSink
-from ..streams.sources import VectorSource
+from ..streams.sources import GuardedVectorSource, VectorSource
 from ..streams.split import Split
 from ..streams.supervision import RestartFromCheckpoint, Supervisor
 from .pca_operator import StreamingPCAOperator
@@ -65,6 +66,16 @@ class ParallelPCAApp:
     diag_sink: CollectingSink | None = None
     batcher: Batcher | None = None
 
+    @property
+    def dlq(self) -> DeadLetterQueue | None:
+        """The dead-letter queue (``None`` without a quarantine guard)."""
+        return getattr(self.source, "dlq", None)
+
+    @property
+    def n_shed(self) -> int:
+        """Data tuples shed by the load valve (0 when it is not armed)."""
+        return getattr(self.source, "n_shed", 0)
+
 
 def build_parallel_pca_graph(
     stream: VectorStream,
@@ -80,6 +91,14 @@ def build_parallel_pca_graph(
     snapshot_every: int = 0,
     batch_size: int = 0,
     batch_timeout_s: float | None = None,
+    quarantine: bool = False,
+    dlq: DeadLetterQueue | None = None,
+    dead_letter_capacity: int = 1024,
+    shed_max_rate_hz: float | None = None,
+    shed_open_for_s: float = 0.5,
+    stale_after: int | None = None,
+    quorum: int | None = None,
+    heartbeat_every: int = 0,
 ) -> ParallelPCAApp:
     """Build the Fig. 2 graph.
 
@@ -115,12 +134,57 @@ def build_parallel_pca_graph(
     batch_timeout_s:
         Optional timeout flush for the batcher (lazily checked; see
         :class:`~repro.streams.batcher.Batcher`).
+    quarantine / dlq / dead_letter_capacity:
+        ``quarantine=True`` arms poison-tuple validation in the source
+        (:class:`~repro.streams.sources.GuardedVectorSource`): poison
+        tuples (wrong dimensionality, non-numeric, all-NaN) are
+        captured into the dead-letter queue (``dlq`` or a fresh one of
+        ``dead_letter_capacity``) instead of crashing an engine.
+        Validation runs *before* batching so a poison row can never
+        contaminate a block.
+    shed_max_rate_hz / shed_open_for_s:
+        When set, arms the source's load-shedding valve
+        (:class:`~repro.streams.resilience.LoadShedValve` semantics, as
+        in :class:`~repro.streams.resilience.CircuitBreaker`):
+        sustained input above the rate is shed instead of growing
+        queues without bound.
+    stale_after / quorum:
+        Controller membership: evict peers silent for ``stale_after``
+        controller messages and let :meth:`SyncController.global_state`
+        proceed with ``quorum`` live contributions (see
+        :class:`~repro.parallel.sync.SyncController`).
+    heartbeat_every:
+        Engines send a liveness heartbeat to the controller every this
+        many data tuples (feeds the membership tracking above).
     """
     if n_engines < 1:
         raise ValueError(f"n_engines must be >= 1, got {n_engines}")
 
     graph = Graph("parallel-streaming-pca")
-    source = graph.add(VectorSource("source", stream))
+    # Ingress guards ride the source's emit loop (GuardedVectorSource)
+    # rather than being separate graph stages: a dedicated stage costs a
+    # dispatch hop per tuple — a PE thread plus a queue transfer on the
+    # threaded runtime — while the guard work itself is sub-microsecond
+    # per row (see benchmarks/bench_chaos_overhead.py).
+    if quarantine or dlq is not None or shed_max_rate_hz is not None:
+        source = graph.add(
+            GuardedVectorSource(
+                "source",
+                stream,
+                quarantine=quarantine or dlq is not None,
+                dlq=dlq
+                if dlq is not None
+                else (
+                    DeadLetterQueue(capacity=dead_letter_capacity)
+                    if quarantine else None
+                ),
+                expected_dim=getattr(stream, "dim", None),
+                max_rate_hz=shed_max_rate_hz,
+                open_for_s=shed_open_for_s,
+            )
+        )
+    else:
+        source = graph.add(VectorSource("source", stream))
     split = graph.add(
         Split("split", n_engines, strategy=split_strategy, seed=split_seed)
     )
@@ -130,8 +194,11 @@ def build_parallel_pca_graph(
             n_engines,
             strategy=strategy,
             min_interval=min_sync_interval,
+            stale_after=stale_after,
+            quorum=quorum,
         )
     )
+    head = source
     batcher: Batcher | None = None
     if batch_size and batch_size > 1:
         batcher = graph.add(
@@ -141,10 +208,10 @@ def build_parallel_pca_graph(
                 timeout_s=batch_timeout_s,
             )
         )
-        graph.connect(source, batcher)
+        graph.connect(head, batcher)
         graph.connect(batcher, split)
     else:
-        graph.connect(source, split)
+        graph.connect(head, split)
 
     engines: list[StreamingPCAOperator] = []
     diag_sink = (
@@ -179,6 +246,7 @@ def build_parallel_pca_graph(
             sync_gate_factor=sync_gate_factor,
             snapshot_every=snapshot_every,
             emit_diagnostics=collect_diagnostics,
+            heartbeat_every=heartbeat_every,
         )
         graph.add(op)
         engines.append(op)

@@ -61,6 +61,12 @@ class StreamingPCAOperator(Operator):
     emit_diagnostics:
         Emit the per-observation diagnostics tuples (disable for pure
         throughput runs).
+    heartbeat_every:
+        Send a lightweight ``heartbeat`` control message to the sync
+        controller every this many data tuples (0 disables).  Heartbeats
+        give the controller's membership tracking a liveness signal even
+        while the sync gate is closed, so a silent-but-healthy engine is
+        never mistaken for a dead one.
     """
 
     def __init__(
@@ -72,6 +78,7 @@ class StreamingPCAOperator(Operator):
         sync_gate_factor: float = 1.5,
         snapshot_every: int = 0,
         emit_diagnostics: bool = True,
+        heartbeat_every: int = 0,
     ) -> None:
         super().__init__(
             name, n_inputs=2, n_outputs=2, punctuation_ports={0}
@@ -82,17 +89,22 @@ class StreamingPCAOperator(Operator):
             )
         if snapshot_every < 0:
             raise ValueError("snapshot_every must be >= 0")
+        if heartbeat_every < 0:
+            raise ValueError("heartbeat_every must be >= 0")
         self.engine_id = int(engine_id)
         self.estimator = estimator
         self.sync_gate_factor = float(sync_gate_factor)
         self.snapshot_every = int(snapshot_every)
         self.emit_diagnostics = bool(emit_diagnostics)
+        self.heartbeat_every = int(heartbeat_every)
         self.n_syncs_received = 0
         self.n_states_shared = 0
         self.n_data_tuples = 0
         #: Rows consumed, counting every row of a block tuple (equals
         #: ``n_data_tuples`` on an unbatched stream).
         self.n_data_rows = 0
+        self.n_heartbeats_sent = 0
+        self.n_reseeds = 0
         self._ready_announced = False
 
     # ------------------------------------------------------------------
@@ -122,6 +134,7 @@ class StreamingPCAOperator(Operator):
                 port=1,
             )
         self._maybe_snapshot(before=self.estimator.n_seen - 1)
+        self._maybe_heartbeat()
         self._maybe_announce_ready()
 
     def _process_block(self, tup: StreamTuple) -> None:
@@ -155,7 +168,21 @@ class StreamingPCAOperator(Operator):
                     port=1,
                 )
         self._maybe_snapshot(before=n_before)
+        self._maybe_heartbeat()
         self._maybe_announce_ready()
+
+    def _maybe_heartbeat(self) -> None:
+        if (
+            self.heartbeat_every
+            and self.n_data_tuples % self.heartbeat_every == 0
+        ):
+            self.n_heartbeats_sent += 1
+            self.submit(
+                StreamTuple.control(
+                    type="heartbeat", engine=self.engine_id
+                ),
+                port=0,
+            )
 
     def _maybe_snapshot(self, *, before: int) -> None:
         """Emit a snapshot when a block crossed a snapshot boundary.
@@ -194,7 +221,9 @@ class StreamingPCAOperator(Operator):
         if msg_type == "share":
             self._share_state()
         elif msg_type == "merge":
-            self._merge_state(tup["state"])
+            self._merge_state(
+                tup["state"], reseed=bool(tup.get("reseed", False))
+            )
         elif msg_type == "request_state":
             self._share_state()
         else:
@@ -215,18 +244,30 @@ class StreamingPCAOperator(Operator):
             port=0,
         )
 
-    def _merge_state(self, incoming: Eigensystem) -> None:
+    def _merge_state(
+        self, incoming: Eigensystem, *, reseed: bool = False
+    ) -> None:
         if not self.estimator.is_initialized:
-            # Nothing local yet: adopt the remote state outright. The
-            # estimator finishes warm-up with this head start... but its
-            # warm-up buffer machinery expects to initialize itself, so we
-            # simply drop the merge; the next sync round will cover us.
+            # Nothing local yet.  An ordinary merge is dropped (the
+            # warm-up buffer machinery expects to initialize itself and
+            # the next sync round will cover us), but a controller
+            # *re-seed* — sent to a restarted engine — is adopted
+            # outright so the rejoined peer starts from the ensemble's
+            # pooled view instead of a cold warm-up.
+            if reseed:
+                adopt = getattr(self.estimator, "adopt_state", None)
+                if adopt is not None:
+                    adopt(incoming)
+                    self.n_reseeds += 1
+                    self._ready_announced = False
             return
         local = self.estimator.state
         k = local.n_components
         merged = merge_eigensystems([local, incoming], max(k, 1))
         self.estimator.replace_state(merged)
         self.n_syncs_received += 1
+        if reseed:
+            self.n_reseeds += 1
         self._ready_announced = False
 
     # -- checkpoint/restart protocol (repro.streams.supervision) ---------
@@ -287,4 +328,6 @@ class StreamingPCAOperator(Operator):
             "n_outliers": getattr(self.estimator, "n_outliers", 0),
             "n_syncs_received": self.n_syncs_received,
             "n_states_shared": self.n_states_shared,
+            "n_heartbeats_sent": self.n_heartbeats_sent,
+            "n_reseeds": self.n_reseeds,
         }

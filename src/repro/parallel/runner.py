@@ -106,6 +106,12 @@ class ParallelStreamingPCA:
         See :func:`repro.parallel.app.build_parallel_pca_graph`;
         ``batch_size > 1`` switches the engines to the vectorized
         micro-batch hot path.
+    quarantine / shed_max_rate_hz / stale_after / quorum /
+    heartbeat_every:
+        Robustness hooks (poison-tuple quarantine, load shedding,
+        controller peer membership); see
+        :func:`repro.parallel.app.build_parallel_pca_graph` and
+        ``docs/robustness.md``.
     supervisor:
         Optional :class:`~repro.streams.supervision.Supervisor` applying
         per-operator failure policies (see
@@ -113,8 +119,11 @@ class ParallelStreamingPCA:
         common engines-restart-from-checkpoint configuration); without
         one, execution is fail-fast.
     stall_timeout_s:
-        Threaded runtime only: arm the deadlock/stall watchdog (see
-        :class:`~repro.streams.engine.ThreadedEngine`).
+        Threaded/process runtimes: arm the deadlock/stall watchdog (see
+        :class:`~repro.streams.engine.ThreadedEngine` and
+        :class:`~repro.streams.procengine.ProcessEngine`; on the process
+        runtime a wedged restartable worker is terminated and respawned
+        from its checkpoint).
     mp_context:
         Process runtime only: multiprocessing start method (``"fork"``,
         ``"forkserver"``, ``"spawn"``) or ``None`` for
@@ -153,6 +162,11 @@ class ParallelStreamingPCA:
         snapshot_every: int = 0,
         batch_size: int = 0,
         batch_timeout_s: float | None = None,
+        quarantine: bool = False,
+        shed_max_rate_hz: float | None = None,
+        stale_after: int | None = None,
+        quorum: int | None = None,
+        heartbeat_every: int = 0,
         timeout_s: float = 300.0,
         supervisor: Supervisor | None = None,
         stall_timeout_s: float | None = None,
@@ -185,6 +199,11 @@ class ParallelStreamingPCA:
         self.snapshot_every = snapshot_every
         self.batch_size = batch_size
         self.batch_timeout_s = batch_timeout_s
+        self.quarantine = quarantine
+        self.shed_max_rate_hz = shed_max_rate_hz
+        self.stale_after = stale_after
+        self.quorum = quorum
+        self.heartbeat_every = heartbeat_every
         self.timeout_s = timeout_s
         self.supervisor = supervisor
         self.stall_timeout_s = stall_timeout_s
@@ -214,6 +233,11 @@ class ParallelStreamingPCA:
             snapshot_every=self.snapshot_every,
             batch_size=self.batch_size,
             batch_timeout_s=self.batch_timeout_s,
+            quarantine=self.quarantine,
+            shed_max_rate_hz=self.shed_max_rate_hz,
+            stale_after=self.stale_after,
+            quorum=self.quorum,
+            heartbeat_every=self.heartbeat_every,
         )
 
     def run(self, stream: VectorStream) -> ParallelRunResult:
@@ -226,7 +250,8 @@ class ParallelStreamingPCA:
         elif self.runtime == "process":
             # Pin the coordination plane (split, batcher, controller) to
             # the main process; each PCA engine becomes its own worker.
-            # Source and diagnostics sink are pinned automatically.
+            # Source (with any ingress guards riding it) and the
+            # diagnostics sink are pinned automatically.
             main_ops = {app.split.name, app.controller.name}
             if app.batcher is not None:
                 main_ops.add(app.batcher.name)
@@ -237,6 +262,7 @@ class ParallelStreamingPCA:
                 ring_slots=self.ring_slots,
                 ring_slot_rows=max(self.batch_size, 64),
                 supervisor=self.supervisor,
+                stall_timeout_s=self.stall_timeout_s,
             ).run(timeout_s=self.timeout_s)
         else:
             if self.fusion == "fused":

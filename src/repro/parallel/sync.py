@@ -21,11 +21,27 @@ The controller also enforces a *logical throttle* (the SPL ``Throttle``
 of Section III-B): a minimum number of routed messages between granted
 syncs per engine, and it tracks the final states engines emit at close so
 the application can produce a single global answer.
+
+Fault tolerance (graceful degradation of the merge path)
+--------------------------------------------------------
+Distributed-PCA deployments treat partial contributions as the normal
+case, so the controller additionally keeps **peer membership**: every
+message from an engine refreshes its liveness, and a peer that stays
+silent for ``stale_after`` controller messages while its siblings keep
+talking is **evicted** — merge commands are rerouted around it instead of
+being dropped into a dead queue, and the final :meth:`global_state` merge
+proceeds with ``quorum``-many live contributions instead of waiting for
+everyone.  When an evicted engine speaks again (a restarted worker, a
+thread back from a blackout) it **rejoins** and is re-seeded with the
+controller's current global basis estimate so it does not drag the
+ensemble backwards while it re-warms.  Every eviction, rejoin, and
+re-seed is visible as a ``membership`` telemetry event.
 """
 
 from __future__ import annotations
 
 import abc
+import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -42,10 +58,16 @@ __all__ = [
     "BroadcastStrategy",
     "GroupStrategy",
     "PeerToPeerStrategy",
+    "PeerStatus",
+    "QuorumError",
     "SyncController",
     "SyncStats",
     "make_strategy",
 ]
+
+
+class QuorumError(RuntimeError):
+    """The global merge has fewer live contributions than the quorum."""
 
 
 class SyncStrategy(abc.ABC):
@@ -132,6 +154,29 @@ class SyncStats:
     n_merge_commands: int = 0
     n_throttled: int = 0
     per_engine_syncs: dict[int, int] = field(default_factory=dict)
+    n_heartbeats: int = 0
+    n_evictions: int = 0
+    n_rejoins: int = 0
+    n_reseeds: int = 0
+    n_rerouted: int = 0
+
+
+@dataclass
+class PeerStatus:
+    """Membership record for one engine under coordination.
+
+    A peer becomes *tracked* at its first message (engines are legitimately
+    silent during warm-up, before their sync gate first opens); from then
+    on, silence while siblings keep talking counts against it.
+    """
+
+    engine: int
+    alive: bool = True
+    last_seen_msg: int = 0     # controller message count at last contact
+    last_seen_ts: float = 0.0  # wall clock at last contact
+    n_messages: int = 0
+    n_evictions: int = 0
+    n_rejoins: int = 0
 
 
 class SyncController(Operator):
@@ -150,6 +195,15 @@ class SyncController(Operator):
         Logical throttle: after granting engine ``i`` a share, ignore its
         next ``ready`` messages until the controller has seen this many
         further messages overall.  0 disables throttling.
+    stale_after:
+        Membership staleness window, in controller messages: a tracked
+        peer that stays silent while this many messages arrive from its
+        siblings is evicted (merge traffic reroutes around it; its next
+        message triggers a rejoin + re-seed).  ``None`` (default)
+        disables membership tracking entirely — seed behaviour.
+    quorum:
+        Minimum number of contributions :meth:`global_state` requires
+        before merging (``None`` keeps the seed "at least one" rule).
     """
 
     def __init__(
@@ -159,11 +213,19 @@ class SyncController(Operator):
         *,
         strategy: SyncStrategy | str = "ring",
         min_interval: int = 0,
+        stale_after: int | None = None,
+        quorum: int | None = None,
     ) -> None:
         if n_engines < 1:
             raise ValueError(f"n_engines must be >= 1, got {n_engines}")
         if min_interval < 0:
             raise ValueError("min_interval must be >= 0")
+        if stale_after is not None and stale_after < 1:
+            raise ValueError(f"stale_after must be >= 1, got {stale_after}")
+        if quorum is not None and not (1 <= quorum <= n_engines):
+            raise ValueError(
+                f"quorum must be in [1, {n_engines}], got {quorum}"
+            )
         super().__init__(name, n_inputs=n_engines, n_outputs=n_engines)
         self.n_engines = n_engines
         self.strategy = (
@@ -171,11 +233,15 @@ class SyncController(Operator):
             else make_strategy(strategy)
         )
         self.min_interval = int(min_interval)
+        self.stale_after = stale_after
+        self.quorum = quorum
         self.stats = SyncStats()
         self._telemetry = None
         self.final_states: dict[int, Eigensystem] = {}
         #: Most recent state seen from each engine (share or final).
         self.last_states: dict[int, Eigensystem] = {}
+        #: Membership records, keyed by engine id (tracked peers only).
+        self.peers: dict[int, PeerStatus] = {}
         self._messages_seen = 0
         self._last_grant_at: dict[int, int] = {}
 
@@ -189,6 +255,8 @@ class SyncController(Operator):
         self._messages_seen += 1
         msg_type = tup.get("type")
         sender = int(tup.get("engine", port))
+        self._note_alive(sender)
+        self._sweep_stale(exempt=sender)
         if msg_type == "ready":
             self._handle_ready(sender)
         elif msg_type == "state":
@@ -197,10 +265,149 @@ class SyncController(Operator):
         elif msg_type == "final":
             self.final_states[sender] = tup["state"]
             self.last_states[sender] = tup["state"]
+        elif msg_type == "heartbeat":
+            self.stats.n_heartbeats += 1  # liveness noted above
         else:
             raise ValueError(
                 f"{self.name}: unknown control message type {msg_type!r}"
             )
+
+    # -- membership ------------------------------------------------------
+
+    def _emit_membership(self, event: str, engine: int, **extra) -> None:
+        tel = self._telemetry
+        if tel is None:
+            return
+        tel.events.append({
+            "ts": tel.now(), "kind": "membership", "op": self.name,
+            "event": event, "engine": engine, **extra,
+        })
+        tel.metrics.counter(
+            f"repro_peer_{event}_total", operator=self.name
+        ).inc()
+
+    def _note_alive(self, sender: int) -> None:
+        peer = self.peers.get(sender)
+        if peer is None:
+            peer = self.peers[sender] = PeerStatus(engine=sender)
+        rejoining = not peer.alive
+        peer.alive = True
+        peer.n_messages += 1
+        peer.last_seen_msg = self._messages_seen
+        peer.last_seen_ts = time.monotonic()
+        if rejoining:
+            peer.n_rejoins += 1
+            self.stats.n_rejoins += 1
+            self._emit_membership(
+                "rejoins", sender, n_rejoins=peer.n_rejoins
+            )
+            self._reseed(sender)
+
+    def _sweep_stale(self, *, exempt: int) -> None:
+        if self.stale_after is None:
+            return
+        for peer in self.peers.values():
+            if not peer.alive or peer.engine == exempt:
+                continue
+            if peer.engine in self.final_states:
+                # A finished engine is quiet, not dead: its final state
+                # is already banked, so eviction would only produce a
+                # spurious shutdown-time membership event.
+                continue
+            silent_for = self._messages_seen - peer.last_seen_msg
+            if silent_for > self.stale_after:
+                peer.alive = False
+                peer.n_evictions += 1
+                self.stats.n_evictions += 1
+                self._emit_membership(
+                    "evictions", peer.engine, silent_for=silent_for
+                )
+
+    def _reseed(self, sender: int) -> None:
+        """Ship the current global basis estimate to a rejoined engine.
+
+        A restarted worker re-enters with whatever its checkpoint held
+        (possibly nothing); merging the ensemble's pooled view in stops
+        it from dragging the global basis backwards while it re-warms.
+        The ``reseed`` flag lets a fresh estimator adopt the state
+        outright instead of merging.
+        """
+        states = [
+            s for e, s in self.last_states.items()
+            if e != sender or len(self.last_states) == 1
+        ]
+        if not states:
+            return
+        k = max(s.n_components for s in states)
+        seed_state = (
+            states[0] if len(states) == 1
+            else merge_eigensystems(states, k)
+        )
+        self.stats.n_reseeds += 1
+        self.submit(
+            StreamTuple.control(
+                type="merge", state=seed_state, sender=-1, reseed=True
+            ),
+            port=sender,
+        )
+        tel = self._telemetry
+        if tel is not None:
+            tel.events.append({
+                "ts": tel.now(), "kind": "membership", "op": self.name,
+                "event": "reseeds", "engine": sender,
+                "bytes": self._state_nbytes(seed_state),
+            })
+            tel.metrics.counter(
+                "repro_peer_reseeds_total", operator=self.name
+            ).inc()
+
+    def live_peers(self) -> list[int]:
+        """Tracked engines currently considered alive (sorted)."""
+        return sorted(p.engine for p in self.peers.values() if p.alive)
+
+    def membership(self) -> dict[int, dict]:
+        """Snapshot of the membership table for run reports."""
+        return {
+            e: {
+                "alive": p.alive,
+                "n_messages": p.n_messages,
+                "n_evictions": p.n_evictions,
+                "n_rejoins": p.n_rejoins,
+            }
+            for e, p in sorted(self.peers.items())
+        }
+
+    def _route_targets(self, sender: int) -> list[int]:
+        """Strategy targets with evicted peers routed around.
+
+        A merge command aimed at a dead engine would sit in a queue
+        nobody drains (or vanish with the worker); instead the ring
+        "heals" — the state goes to the next live engine in index order,
+        mirroring how the paper's ring would be re-wired on node loss.
+        Without membership tracking this is exactly the raw strategy.
+        """
+        raw = self.strategy.targets(sender, self.n_engines)
+        if self.stale_after is None:
+            return raw
+        dead = {p.engine for p in self.peers.values() if not p.alive}
+        if not dead:
+            return raw
+        out: list[int] = []
+        for target in raw:
+            if target not in dead:
+                if target not in out:
+                    out.append(target)
+                continue
+            # Walk the ring to the next live engine, skipping the sender.
+            for step in range(1, self.n_engines):
+                cand = (target + step) % self.n_engines
+                if cand == sender or cand in dead:
+                    continue
+                if cand not in out:
+                    out.append(cand)
+                    self.stats.n_rerouted += 1
+                break
+        return out
 
     def _handle_ready(self, sender: int) -> None:
         self.stats.n_ready += 1
@@ -239,7 +446,7 @@ class SyncController(Operator):
         self.stats.n_states_routed += 1
         tel = self._telemetry
         nbytes = self._state_nbytes(state) if tel is not None else 0
-        for target in self.strategy.targets(sender, self.n_engines):
+        for target in self._route_targets(sender):
             self.stats.n_merge_commands += 1
             self.stats.per_engine_syncs[target] = (
                 self.stats.per_engine_syncs.get(target, 0) + 1
@@ -295,15 +502,38 @@ class SyncController(Operator):
             scale_rtol=scale_rtol,
         )
 
-    def global_state(self, n_components: int) -> Eigensystem:
-        """Merge all final states into the single global answer.
+    def global_state(
+        self,
+        n_components: int,
+        *,
+        quorum: int | None = None,
+        include_stale: bool = True,
+    ) -> Eigensystem:
+        """Merge the engines' contributions into the single global answer.
 
         Available after the run completes (engines ship ``final`` states
-        as they close).
+        as they close).  An engine that died mid-run never ships a
+        ``final``; with ``include_stale`` (default) its most recent
+        *shared* state still contributes — its pre-death observations are
+        not thrown away — and the merge proceeds as long as at least
+        ``quorum`` engines contributed (constructor default, else "at
+        least one").  Raises :class:`QuorumError` when fewer
+        contributions than the quorum are available.
         """
-        if not self.final_states:
+        contributions = dict(self.final_states)
+        if include_stale:
+            for engine, state in self.last_states.items():
+                contributions.setdefault(engine, state)
+        if not contributions:
             raise RuntimeError(
                 "no final states collected; did the run complete?"
             )
-        ordered = [self.final_states[k] for k in sorted(self.final_states)]
+        need = quorum if quorum is not None else self.quorum
+        if need is not None and len(contributions) < need:
+            raise QuorumError(
+                f"{self.name}: only {len(contributions)} of "
+                f"{self.n_engines} engines contributed a state; "
+                f"quorum is {need}"
+            )
+        ordered = [contributions[k] for k in sorted(contributions)]
         return merge_eigensystems(ordered, n_components)

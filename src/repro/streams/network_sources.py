@@ -14,11 +14,25 @@ source of data."  The two live variants we rebuild:
   lines arrive or a terminator line / idle timeout ends the stream.
 
 Both emit the standard observation tuples (``x``, ``seq``).
+
+Robustness (heavy-traffic reality):
+
+* **Reconnect with backoff** — the network sources survive a peer reset
+  mid-stream: they reconnect with exponential backoff plus jitter, up to
+  a ``max_retries`` budget, counting every successful re-establishment
+  in ``n_reconnects`` (``repro_source_reconnects_total``).  A *clean*
+  close (EOF or the ``__END__`` terminator) still ends the stream.
+* **Dead-letter routing** — an unparsable CSV line no longer raises out
+  of the source thread and kills the pipeline; it is quarantined to the
+  source's :class:`~repro.streams.resilience.DeadLetterQueue` (payload
+  captured, ``repro_dlq_total`` counter) and the stream continues.
+  ``strict=True`` restores the raising behaviour.
 """
 
 from __future__ import annotations
 
 import pathlib
+import random
 import socket
 import threading
 import time
@@ -27,6 +41,7 @@ from typing import Iterator
 import numpy as np
 
 from .operators import Source
+from .resilience import DeadLetterQueue
 from .sources import OBSERVATION_SCHEMA
 from .tuples import StreamTuple
 
@@ -58,18 +73,98 @@ def _parse_csv_line(line: str, lineno: int, origin: str) -> np.ndarray | None:
         raise ValueError(f"{origin}:{lineno}: unparsable line ({exc})") from None
 
 
-class TCPVectorSource(Source):
+class _RetryBudget:
+    """Exponential backoff with jitter and a bounded retry budget.
+
+    ``wait()`` consumes one retry and sleeps ``base * 2**attempt`` capped
+    at ``cap_s``, stretched by up to ``jitter`` (fraction, seeded RNG so
+    tests are reproducible).  Returns ``False`` — without sleeping — once
+    the budget is exhausted.
+    """
+
+    def __init__(
+        self,
+        max_retries: int,
+        base_s: float,
+        cap_s: float,
+        jitter: float,
+        seed: int,
+    ) -> None:
+        self.left = int(max_retries)
+        self._delay = float(base_s)
+        self._cap = float(cap_s)
+        self._jitter = float(jitter)
+        self._rng = random.Random(seed)
+
+    def wait(self) -> bool:
+        if self.left <= 0:
+            return False
+        self.left -= 1
+        time.sleep(self._delay * (1.0 + self._jitter * self._rng.random()))
+        self._delay = min(self._delay * 2.0, self._cap)
+        return True
+
+
+class _ResilientCSVSource(Source):
+    """Shared malformed-line handling for the CSV-over-anything sources."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        dlq: DeadLetterQueue | None = None,
+        strict: bool = False,
+    ) -> None:
+        super().__init__(name)
+        #: Destination for unparsable lines (private queue by default).
+        self.dlq = dlq if dlq is not None else DeadLetterQueue()
+        self.strict = bool(strict)
+        self.n_quarantined = 0
+        self.n_reconnects = 0
+
+    def bind_telemetry(self, telemetry) -> None:
+        self.dlq.bind_telemetry(telemetry)
+
+    def _safe_parse(
+        self, line: str, lineno: int, origin: str
+    ) -> np.ndarray | None:
+        """Parse one line; poison goes to the DLQ instead of raising."""
+        try:
+            return _parse_csv_line(line, lineno, origin)
+        except ValueError as exc:
+            if self.strict:
+                raise
+            self.n_quarantined += 1
+            self.dlq.quarantine(
+                self.name, str(exc), payload=line.strip(), seq=lineno
+            )
+            return None
+
+
+class TCPVectorSource(_ResilientCSVSource):
     """Read newline-delimited CSV vectors from a TCP connection.
 
-    The stream ends when the peer closes the socket or sends the
-    ``__END__`` terminator line.
+    The stream ends when the peer *cleanly* closes the socket or sends
+    the ``__END__`` terminator line.  A connection *failure* — refused
+    connect, reset mid-stream — triggers reconnection with exponential
+    backoff + jitter until ``max_retries`` is exhausted, at which point
+    the last error propagates.  Sequence numbering continues across
+    reconnects (the feeder is expected to resume, not replay).
 
     Parameters
     ----------
     host / port:
         Peer to connect to.
     connect_timeout_s:
-        Time allowed for the TCP connect.
+        Time allowed for each TCP connect attempt.
+    max_retries:
+        Total reconnect budget (connect failures and mid-stream drops
+        share it).  0 restores the seed single-attempt behaviour.
+    backoff_base_s / backoff_cap_s / backoff_jitter / retry_seed:
+        Backoff schedule: ``base * 2**attempt`` capped at ``cap``, each
+        stretched by up to ``jitter`` (seeded, reproducible).
+    dlq / strict:
+        Unparsable-line routing (see module docstring).
     """
 
     def __init__(
@@ -79,29 +174,69 @@ class TCPVectorSource(Source):
         port: int,
         *,
         connect_timeout_s: float = 10.0,
+        max_retries: int = 5,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+        backoff_jitter: float = 0.5,
+        retry_seed: int = 0,
+        dlq: DeadLetterQueue | None = None,
+        strict: bool = False,
     ) -> None:
-        super().__init__(name)
+        super().__init__(name, dlq=dlq, strict=strict)
         self.host = host
         self.port = int(port)
         self.connect_timeout_s = float(connect_timeout_s)
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.max_retries = int(max_retries)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_cap_s = float(backoff_cap_s)
+        self.backoff_jitter = float(backoff_jitter)
+        self.retry_seed = int(retry_seed)
 
     def generate(self) -> Iterator[StreamTuple]:
-        with socket.create_connection(
-            (self.host, self.port), timeout=self.connect_timeout_s
-        ) as conn:
-            conn.settimeout(None)
-            reader = conn.makefile("r", encoding="utf-8")
-            seq = 0
-            for lineno, line in enumerate(reader, start=1):
-                if line.strip() == END_OF_STREAM:
-                    return
-                vec = _parse_csv_line(
-                    line, lineno, f"tcp://{self.host}:{self.port}"
+        budget = _RetryBudget(
+            self.max_retries, self.backoff_base_s, self.backoff_cap_s,
+            self.backoff_jitter, self.retry_seed,
+        )
+        origin = f"tcp://{self.host}:{self.port}"
+        seq = 0
+        lineno = 0
+        connected_before = False
+        while True:
+            try:
+                conn = socket.create_connection(
+                    (self.host, self.port), timeout=self.connect_timeout_s
                 )
-                if vec is None:
-                    continue
-                yield StreamTuple.data(OBSERVATION_SCHEMA, x=vec, seq=seq)
-                seq += 1
+            except OSError:
+                if not budget.wait():
+                    raise
+                continue
+            if connected_before:
+                self.n_reconnects += 1
+            connected_before = True
+            try:
+                conn.settimeout(None)
+                reader = conn.makefile("r", encoding="utf-8")
+                for line in reader:
+                    lineno += 1
+                    if line.strip() == END_OF_STREAM:
+                        return
+                    vec = self._safe_parse(line, lineno, origin)
+                    if vec is None:
+                        continue
+                    yield StreamTuple.data(
+                        OBSERVATION_SCHEMA, x=vec, seq=seq
+                    )
+                    seq += 1
+            except OSError:
+                # Network flap mid-stream: reconnect within budget.
+                conn.close()
+                if not budget.wait():
+                    raise
+                continue
+            conn.close()
+            return  # clean EOF from the peer
 
 
 def serve_vectors(
@@ -149,13 +284,14 @@ def serve_vectors(
     return bound_port, thread
 
 
-class TailingFileSource(Source):
+class TailingFileSource(_ResilientCSVSource):
     """Follow a growing CSV file — the "piped stream file" input.
 
     Reads vectors line by line; at EOF it *waits* for more data ("lock on
     the stream end until a new data is streamed through").  The stream
     ends on a ``__END__`` line, or after ``idle_timeout_s`` with no new
-    data (``None`` waits forever).
+    data (``None`` waits forever).  Unparsable lines go to the
+    dead-letter queue (see module docstring) unless ``strict=True``.
 
     Parameters
     ----------
@@ -175,8 +311,10 @@ class TailingFileSource(Source):
         *,
         poll_interval_s: float = 0.05,
         idle_timeout_s: float | None = 10.0,
+        dlq: DeadLetterQueue | None = None,
+        strict: bool = False,
     ) -> None:
-        super().__init__(name)
+        super().__init__(name, dlq=dlq, strict=strict)
         self.path = pathlib.Path(path)
         if not self.path.exists():
             raise FileNotFoundError(self.path)
@@ -213,44 +351,90 @@ class TailingFileSource(Source):
                 lineno += 1
                 if line.strip() == END_OF_STREAM:
                     return
-                vec = _parse_csv_line(line, lineno, str(self.path))
+                vec = self._safe_parse(line, lineno, str(self.path))
                 if vec is None:
                     continue
                 yield StreamTuple.data(OBSERVATION_SCHEMA, x=vec, seq=seq)
                 seq += 1
 
 
-class HTTPVectorSource(Source):
+class HTTPVectorSource(_ResilientCSVSource):
     """Fetch a CSV vector stream from an HTTP URL (§III-A.1).
 
     "Network TCP sockets and http URLs are also supported out of the box
     as a source of data."  The body is newline-delimited CSV, one
     observation per line; the stream ends at the end of the response (or
     an ``__END__`` line for chunked feeds).
+
+    Connection failures and mid-body drops are retried with exponential
+    backoff + jitter up to ``max_retries``.  Because a plain re-GET
+    replays the body from the start, the source skips the observations
+    it already delivered, so downstream sees no duplicates.
     """
 
     def __init__(
-        self, name: str, url: str, *, timeout_s: float = 30.0
+        self,
+        name: str,
+        url: str,
+        *,
+        timeout_s: float = 30.0,
+        max_retries: int = 5,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+        backoff_jitter: float = 0.5,
+        retry_seed: int = 0,
+        dlq: DeadLetterQueue | None = None,
+        strict: bool = False,
     ) -> None:
-        super().__init__(name)
+        super().__init__(name, dlq=dlq, strict=strict)
         if not url.startswith(("http://", "https://")):
             raise ValueError(f"not an http(s) URL: {url!r}")
         self.url = url
         self.timeout_s = float(timeout_s)
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.max_retries = int(max_retries)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_cap_s = float(backoff_cap_s)
+        self.backoff_jitter = float(backoff_jitter)
+        self.retry_seed = int(retry_seed)
 
     def generate(self) -> Iterator[StreamTuple]:
+        import http.client
         import urllib.request
 
+        budget = _RetryBudget(
+            self.max_retries, self.backoff_base_s, self.backoff_cap_s,
+            self.backoff_jitter, self.retry_seed,
+        )
         seq = 0
-        with urllib.request.urlopen(
-            self.url, timeout=self.timeout_s
-        ) as response:
-            for lineno, raw in enumerate(response, start=1):
-                line = raw.decode("utf-8")
-                if line.strip() == END_OF_STREAM:
-                    return
-                vec = _parse_csv_line(line, lineno, self.url)
-                if vec is None:
-                    continue
-                yield StreamTuple.data(OBSERVATION_SCHEMA, x=vec, seq=seq)
-                seq += 1
+        fetched_before = False
+        while True:
+            skip = seq  # rows already delivered from a previous attempt
+            try:
+                with urllib.request.urlopen(
+                    self.url, timeout=self.timeout_s
+                ) as response:
+                    if fetched_before:
+                        self.n_reconnects += 1
+                    fetched_before = True
+                    for lineno, raw in enumerate(response, start=1):
+                        line = raw.decode("utf-8")
+                        if line.strip() == END_OF_STREAM:
+                            return
+                        vec = self._safe_parse(line, lineno, self.url)
+                        if vec is None:
+                            continue
+                        if skip > 0:
+                            skip -= 1
+                            continue
+                        yield StreamTuple.data(
+                            OBSERVATION_SCHEMA, x=vec, seq=seq
+                        )
+                        seq += 1
+                return  # complete body read
+            except (OSError, http.client.HTTPException):
+                # URLError subclasses OSError; a dropped keep-alive body
+                # surfaces as http.client.IncompleteRead.
+                if not budget.wait():
+                    raise

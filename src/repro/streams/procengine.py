@@ -89,7 +89,9 @@ from .supervision import (
     EngineAborted,
     OperatorFailure,
     RestartFromCheckpoint,
+    StallDetected,
     Supervisor,
+    Watchdog,
 )
 from .telemetry import (
     BackpressureSampler,
@@ -627,6 +629,17 @@ class ProcessEngine:
         across processes (worker registries merge back as
         ``process``-labelled shards); span tracing does not propagate
         across the process boundary and is ignored.
+    stall_timeout_s:
+        Arm a :class:`~repro.streams.supervision.Watchdog` on
+        coordinator-visible progress (local dispatches, worker
+        messages, ring drains).  When progress stops for this long, a
+        *wedged* worker — alive but making no progress, e.g. stuck in a
+        hung syscall — covered by a ``RestartFromCheckpoint`` policy is
+        terminated and respawned from its checkpoint, exactly like a
+        crashed one; with no restartable worker to blame the run fails
+        fast with :class:`StallDetected` instead of hanging until
+        ``timeout_s``.  Must exceed the slowest single-tuple processing
+        time plus worker startup.
     """
 
     def __init__(
@@ -641,6 +654,7 @@ class ProcessEngine:
         mp_context: str | None = None,
         supervisor: Supervisor | None = None,
         telemetry: Telemetry | None = None,
+        stall_timeout_s: float | None = None,
     ) -> None:
         graph.validate()
         self.graph = graph
@@ -653,6 +667,8 @@ class ProcessEngine:
         self.ring_slot_rows = ring_slot_rows
         self.supervisor = supervisor
         self.telemetry = telemetry
+        self.stall_timeout_s = stall_timeout_s
+        self._watchdog: Watchdog | None = None
         self._tracer = None  # tracing is not propagated across processes
         if telemetry is not None:
             telemetry.attach_graph(graph, fusion=self.fusion)
@@ -751,6 +767,8 @@ class ProcessEngine:
     def _tuple_done(self) -> None:
         with self._local_lock:
             self._local_inflight -= 1
+        if self._watchdog is not None:
+            self._watchdog.poke()
 
     def _dec_shared(self) -> None:
         with self._inflight.get_lock():
@@ -975,6 +993,44 @@ class ProcessEngine:
                     wid, dst_name, dst_port, StreamTuple.punctuation()
                 )
 
+    def _check_stall(self) -> None:
+        """Recover from a wedged (alive but progress-free) worker.
+
+        A worker stuck in a hung syscall never dies, so
+        :meth:`_check_workers` never fires; the watchdog converts "no
+        coordinator-visible progress for ``stall_timeout_s``" into a
+        worker termination, and the normal death path respawns it from
+        its checkpoint.  Without a restartable worker to blame, failing
+        fast beats hanging until the run timeout.
+        """
+        wd = self._watchdog
+        if wd is None:
+            return
+        idle = wd.stalled_for()
+        if idle is None:
+            return
+        wedged = [
+            wid for wid, proc in self._procs.items()
+            if proc.is_alive()
+            and wid not in self._quiesced and wid not in self._done
+        ]
+        killable = [wid for wid in wedged if self._restartable(wid)]
+        if not killable:
+            raise StallDetected(
+                f"graph {self.graph.name!r}: no coordinator-visible "
+                f"progress for {idle:.1f}s and no wedged worker with a "
+                f"RestartFromCheckpoint policy to recover "
+                f"(wedged: {wedged})"
+            )
+        for wid in killable:
+            proc = self._procs[wid]
+            proc.terminate()
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - SIGTERM ignored
+                proc.kill()
+                proc.join(timeout=5.0)
+        wd.poke()  # the kill is progress; _check_workers respawns them
+
     # -- receiver thread -------------------------------------------------
 
     def _route_to_main(
@@ -1013,6 +1069,8 @@ class ProcessEngine:
                 ring.release()
                 self._route_to_main(name, tup, item.dst_port)
                 progressed = True
+        if progressed and self._watchdog is not None:
+            self._watchdog.poke()
         return progressed
 
     def _release_held(self) -> None:
@@ -1025,6 +1083,8 @@ class ProcessEngine:
         self._held[:] = remaining
 
     def _handle_main_msg(self, msg: dict) -> None:
+        if self._watchdog is not None:
+            self._watchdog.poke()
         kind = msg["t"]
         if kind == "tuple":
             self._dec_shared()
@@ -1138,6 +1198,11 @@ class ProcessEngine:
             for wid, pe in self._worker_pes.items()
         }
         start = time.perf_counter()
+        self._watchdog = (
+            Watchdog(self.stall_timeout_s)
+            if self.stall_timeout_s is not None
+            else None
+        )
         for wid in self._worker_pes:
             self._start_worker(wid)
 
@@ -1170,6 +1235,7 @@ class ProcessEngine:
                 if self._errors:
                     raise self._errors[0]
                 self._check_workers()
+                self._check_stall()
                 shared = self._inflight.value
                 quiet = (
                     all(not t.is_alive() for t in src_threads)
@@ -1219,6 +1285,7 @@ class ProcessEngine:
                 if self._errors:
                     raise self._errors[0]
                 self._check_workers()
+                self._check_stall()
                 if time.perf_counter() > done_deadline:
                     missing = sorted(set(self._worker_pes) - set(self._done))
                     raise RuntimeError(

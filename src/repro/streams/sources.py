@@ -6,6 +6,9 @@ sockets.  We mirror the useful subset for an offline reproduction:
 
 * :class:`VectorSource` — observations from any in-memory stream
   (:class:`~repro.data.streams.VectorStream`), the workhorse.
+* :class:`GuardedVectorSource` — the same, with the ingress guards
+  (poison-tuple quarantine, load-shedding valve) fused into the emit
+  loop so readiness-for-chaos costs no extra dispatch stages.
 * :class:`CSVFileSource` — a CSV file (or list of files) of flux vectors.
 * :class:`DirectorySource` — every ``*.csv`` in a folder, sorted.
 * :class:`CallbackSource` — pull tuples from a user callable (the
@@ -18,6 +21,7 @@ All sources emit data tuples with fields ``x`` (the vector) and ``seq``
 from __future__ import annotations
 
 import pathlib
+import time
 from typing import Callable, Iterator
 
 import numpy as np
@@ -25,11 +29,17 @@ import numpy as np
 from ..data.streams import VectorStream
 from ..io.csvio import read_vectors_csv
 from .operators import Source
+from .resilience import (
+    DeadLetterQueue,
+    LoadShedValve,
+    default_validator,
+)
 from .tuples import FieldType, StreamSchema, StreamTuple, register_schema
 
 __all__ = [
     "OBSERVATION_SCHEMA",
     "VectorSource",
+    "GuardedVectorSource",
     "CSVFileSource",
     "DirectorySource",
     "CallbackSource",
@@ -64,6 +74,118 @@ class VectorSource(Source):
     def generate(self) -> Iterator[StreamTuple]:
         for seq, x in enumerate(self._stream):
             yield _observation(x, seq)
+
+
+class GuardedVectorSource(VectorSource):
+    """A :class:`VectorSource` with the ingress guards fused in.
+
+    Functionally equivalent to wiring ``VectorSource →
+    QuarantineOperator → CircuitBreaker``, but the validation and the
+    shed valve run inline in the emit loop instead of as graph stages.
+    The operator form costs a dispatch hop per stage per tuple — on the
+    threaded runtime a dedicated PE thread plus a queue transfer each,
+    ~8-10 % of fault-free wall time at d=512 — while the guard work
+    itself is under a microsecond per row, so fusing it into the source
+    makes readiness-for-chaos essentially free on every runtime
+    (``benchmarks/bench_chaos_overhead.py`` gates this at ≥ 0.95).
+
+    Counters mirror the operator forms — ``n_quarantined`` when
+    quarantine is armed, ``n_shed`` / ``n_trips`` / ``state`` when the
+    valve is — and only exist when the matching guard is armed, so the
+    telemetry collector exports exactly the armed guards' metrics.
+
+    Parameters mirror :class:`~repro.streams.resilience.QuarantineOperator`
+    and :class:`~repro.streams.resilience.CircuitBreaker`; ``quarantine``
+    and ``max_rate_hz`` arm the two guards independently.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        stream: VectorStream,
+        *,
+        quarantine: bool = True,
+        dlq: DeadLetterQueue | None = None,
+        expected_dim: int | None = None,
+        validator: Callable[[StreamTuple, int | None], str | None]
+        | None = None,
+        max_rate_hz: float | None = None,
+        burst_s: float = 1.0,
+        open_for_s: float = 0.5,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        super().__init__(name, stream)
+        self.expected_dim = expected_dim
+        self.validator = validator or default_validator
+        self.dlq: DeadLetterQueue | None = None
+        self._n_quarantined = 0
+        if quarantine or dlq is not None:
+            self.dlq = dlq if dlq is not None else DeadLetterQueue()
+        self._valve: LoadShedValve | None = None
+        if max_rate_hz is not None:
+            self._valve = LoadShedValve(
+                max_rate_hz, burst_s=burst_s, open_for_s=open_for_s,
+                clock=clock,
+            )
+            self._valve._origin = name
+
+    def bind_telemetry(self, telemetry) -> None:
+        if self.dlq is not None:
+            self.dlq.bind_telemetry(telemetry)
+        if self._valve is not None:
+            self._valve.bind_telemetry(telemetry, origin=self.name)
+
+    # The guard counters surface only when the matching guard is armed:
+    # ``getattr(op, "n_shed", None)`` in the telemetry collector must
+    # stay ``None`` for a quarantine-only source.
+
+    @property
+    def n_quarantined(self) -> int:
+        if self.dlq is None:
+            raise AttributeError("quarantine is not armed")
+        return self._n_quarantined
+
+    @property
+    def n_shed(self) -> int:
+        if self._valve is None:
+            raise AttributeError("no shed valve armed")
+        return self._valve.n_shed
+
+    @property
+    def n_trips(self) -> int:
+        if self._valve is None:
+            raise AttributeError("no shed valve armed")
+        return self._valve.n_trips
+
+    @property
+    def state(self) -> str:
+        if self._valve is None:
+            raise AttributeError("no shed valve armed")
+        return self._valve.state
+
+    def generate(self) -> Iterator[StreamTuple]:
+        dlq = self.dlq
+        validator = self.validator
+        dim = self.expected_dim
+        valve = self._valve
+        for tup in super().generate():
+            if tup.is_control:
+                yield tup
+                continue
+            if dlq is not None:
+                reason = validator(tup, dim)
+                if reason is not None:
+                    self._n_quarantined += 1
+                    dlq.quarantine(
+                        self.name,
+                        reason,
+                        payload=dict(tup.payload),
+                        seq=tup.get("seq"),
+                    )
+                    continue
+            if valve is not None and not valve.admit():
+                continue
+            yield tup
 
 
 class CSVFileSource(Source):

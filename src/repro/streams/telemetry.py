@@ -950,6 +950,23 @@ def operator_metric_samples(
             for reason, n in op.flush_counts.items():
                 yield ("repro_batch_flush_total", "counter",
                        dict(labels, reason=reason), int(n))
+        # Resilience counters are duck-typed: quarantining operators and
+        # network sources expose ``n_quarantined``, the circuit breaker
+        # ``n_shed``/``n_trips``, reconnecting sources ``n_reconnects``.
+        n_quarantined = getattr(op, "n_quarantined", None)
+        if n_quarantined is not None:
+            yield ("repro_dlq_total", "counter", labels, int(n_quarantined))
+        n_shed = getattr(op, "n_shed", None)
+        if n_shed is not None:
+            yield ("repro_shed_total", "counter", labels, int(n_shed))
+            yield ("repro_breaker_trips_total", "counter",
+                   labels, int(getattr(op, "n_trips", 0)))
+            yield ("repro_breaker_open", "gauge", labels,
+                   1.0 if getattr(op, "state", "closed") == "open" else 0.0)
+        n_reconnects = getattr(op, "n_reconnects", None)
+        if n_reconnects is not None:
+            yield ("repro_source_reconnects_total", "counter",
+                   labels, int(n_reconnects))
 
 
 def operator_counter_snapshot(graph: "Graph") -> dict[str, dict[str, Any]]:

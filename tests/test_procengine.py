@@ -433,3 +433,85 @@ class TestWorkerRestart:
         lo = X.shape[0] - window - ckpt_slack
         hi = X.shape[0] + window
         assert lo <= total_rows <= hi, (total_rows, lo, hi)
+
+
+# ---------------------------------------------------------------------------
+# Wedged worker → watchdog kill → restart (not a coordinator hang)
+# ---------------------------------------------------------------------------
+
+
+class _WedgeOnce(Functor):
+    """Spins forever on its Nth tuple — alive but progress-free, the
+    failure mode process liveness checks cannot see.  A marker file on
+    disk makes sure only the *first* incarnation wedges, so the
+    respawned worker can finish the stream.  (Module-level so worker
+    processes can unpickle it.)"""
+
+    def __init__(self, name, marker, wedge_at=10):
+        super().__init__(name, None)
+        self.marker = str(marker)
+        self.wedge_at = wedge_at
+        self._seen = 0
+
+    def process(self, tup, port):
+        self._seen += 1
+        if self._seen == self.wedge_at and not os.path.exists(self.marker):
+            with open(self.marker, "w") as fh:
+                fh.write("wedged")
+            while True:
+                time.sleep(0.05)
+        self.submit(tup)
+
+
+def _wedge_graph(tmp_path, n=40):
+    g = Graph("wedge")
+    src = g.add(
+        VectorSource(
+            "src", VectorStream.from_array(np.zeros((n, 2)))
+        )
+    )
+    wedge = g.add(_WedgeOnce("wedge", tmp_path / "wedged.marker"))
+    sink = g.add(CollectingSink("sink"))
+    g.connect(src, wedge)
+    g.connect(wedge, sink)
+    return g, sink
+
+
+class TestStallRecovery:
+    def test_wedged_worker_is_killed_and_restarted(self, tmp_path):
+        from repro.streams import (
+            RestartFromCheckpoint,
+            Supervisor,
+        )
+
+        g, sink = _wedge_graph(tmp_path)
+        supervisor = Supervisor(
+            policies={"wedge": RestartFromCheckpoint(checkpoint_every=5)}
+        )
+        engine = ProcessEngine(
+            g,
+            supervisor=supervisor,
+            stall_timeout_s=1.5,
+            mp_context="fork",
+        )
+        engine.run(timeout_s=120)  # must complete, not hang
+        assert (tmp_path / "wedged.marker").exists()
+        assert engine._worker_deaths >= 1
+        assert supervisor.stats.restarts.get("wedge", 0) >= 1
+        # Only the tuple wedged mid-process may be lost; everything
+        # queued behind the wedge is redelivered to the respawn.
+        assert len(sink.tuples) >= 38
+
+    def test_without_restart_policy_raises_instead_of_hanging(
+        self, tmp_path
+    ):
+        from repro.streams import StallDetected
+
+        g, _ = _wedge_graph(tmp_path)
+        engine = ProcessEngine(
+            g, stall_timeout_s=1.0, mp_context="fork"
+        )
+        start = time.monotonic()
+        with pytest.raises(StallDetected, match="no coordinator-visible"):
+            engine.run(timeout_s=120)
+        assert time.monotonic() - start < 60

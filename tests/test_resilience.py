@@ -1,0 +1,329 @@
+"""Dead-letter queue, quarantine operator, and circuit breaker."""
+
+import numpy as np
+import pytest
+
+from repro.data.streams import VectorStream
+from repro.streams import (
+    CircuitBreaker,
+    DeadLetterQueue,
+    GuardedVectorSource,
+    QuarantineOperator,
+    StreamTuple,
+    SynchronousEngine,
+    Telemetry,
+    TelemetryConfig,
+    default_validator,
+)
+from repro.streams.resilience import DeadLetterRecord
+
+
+def _obs(x, seq=0):
+    return StreamTuple.data(x=np.asarray(x, dtype=np.float64), seq=seq)
+
+
+class TestDeadLetterQueue:
+    def test_capacity_bounds_records_not_total(self):
+        dlq = DeadLetterQueue(capacity=2)
+        for i in range(5):
+            dlq.quarantine("src", "bad", payload=i, seq=i)
+        assert dlq.total == 5
+        assert [r.payload for r in dlq.records] == [3, 4]
+
+    def test_counts_by_origin_and_merge(self):
+        dlq = DeadLetterQueue()
+        dlq.quarantine("a", "r1")
+        dlq.quarantine("a", "r2")
+        dlq.quarantine("b", "r3")
+        assert dlq.counts_by_origin() == {"a": 2, "b": 1}
+        dlq.merge_counts({"b": 4, "c": 1})
+        assert dlq.counts_by_origin() == {"a": 2, "b": 5, "c": 1}
+        assert dlq.total == 8
+
+    def test_record_captures_context(self):
+        dlq = DeadLetterQueue()
+        rec = dlq.quarantine("src", "why", payload=[1, 2], seq=7)
+        assert isinstance(rec, DeadLetterRecord)
+        assert (rec.origin, rec.reason, rec.seq) == ("src", "why", 7)
+        assert rec.payload == [1, 2]
+        assert rec.ts > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            DeadLetterQueue(capacity=0)
+
+    def test_telemetry_event_per_quarantine(self):
+        tel = Telemetry(TelemetryConfig())
+        dlq = DeadLetterQueue()
+        dlq.bind_telemetry(tel)
+        dlq.quarantine("src", "bad line", seq=3)
+        events = [e for e in tel.events.events() if e["kind"] == "dlq"]
+        assert len(events) == 1
+        assert events[0]["reason"] == "bad line"
+        assert events[0]["seq"] == 3
+
+
+class TestDefaultValidator:
+    def test_healthy_vector_passes(self):
+        assert default_validator(_obs([1.0, 2.0]), 2) is None
+
+    def test_nan_cells_are_gaps_not_poison(self):
+        assert default_validator(_obs([np.nan, 2.0]), 2) is None
+
+    def test_all_nan_is_poison(self):
+        assert "NaN" in default_validator(_obs([np.nan, np.nan]), 2)
+
+    def test_wrong_dim_is_poison(self):
+        assert "dim" in default_validator(_obs([1.0, 2.0, 3.0]), 2)
+
+    def test_non_numeric_is_poison(self):
+        tup = StreamTuple.data(x="not a vector", seq=0)
+        assert "numeric" in default_validator(tup, 2)
+
+    def test_missing_x_is_poison(self):
+        tup = StreamTuple.data(y=1.0)
+        assert "missing" in default_validator(tup, 2)
+
+    def test_block_dim_checked(self):
+        tup = StreamTuple.data(xs=np.zeros((3, 4)), count=3)
+        assert default_validator(tup, 4) is None
+        assert "dim" in default_validator(tup, 5)
+
+
+class TestQuarantineOperator:
+    def _op(self, **kw):
+        op = QuarantineOperator("q", expected_dim=2, **kw)
+        out = []
+        op.bind(lambda tup, port: out.append((tup, port)))
+        return op, out
+
+    def test_healthy_tuples_flow_through(self):
+        op, out = self._op()
+        op._dispatch(_obs([1.0, 2.0], seq=0), 0)
+        assert len(out) == 1
+        assert op.n_quarantined == 0
+
+    def test_poison_is_captured_not_raised(self):
+        op, out = self._op()
+        op._dispatch(_obs([1.0, 2.0, 3.0], seq=5), 0)
+        assert out == []
+        assert op.n_quarantined == 1
+        [rec] = op.dlq.records
+        assert rec.seq == 5
+        assert rec.origin == "q"
+        np.testing.assert_array_equal(
+            rec.payload["x"], [1.0, 2.0, 3.0]
+        )
+
+    def test_control_always_passes(self):
+        op, out = self._op()
+        op._dispatch(StreamTuple.control(type="share"), 0)
+        assert len(out) == 1
+
+    def test_shared_dlq(self):
+        dlq = DeadLetterQueue()
+        op, _ = self._op(dlq=dlq)
+        op._dispatch(_obs([np.nan, np.nan], seq=1), 0)
+        assert dlq.total == 1
+
+
+class TestCircuitBreaker:
+    def _breaker(self, **kw):
+        clock = {"t": 0.0}
+        kw.setdefault("clock", lambda: clock["t"])
+        br = CircuitBreaker("br", **kw)
+        out = []
+        br.bind(lambda tup, port: out.append((tup, port)))
+        return br, out, clock
+
+    def test_disabled_is_pure_passthrough(self):
+        br, out, _ = self._breaker(max_rate_hz=None)
+        for i in range(100):
+            br._dispatch(_obs([1.0], seq=i), 0)
+        assert len(out) == 100
+        assert br.n_shed == 0
+
+    def test_burst_within_bucket_passes(self):
+        br, out, _ = self._breaker(max_rate_hz=10.0, burst_s=1.0)
+        for i in range(10):
+            br._dispatch(_obs([1.0], seq=i), 0)
+        assert len(out) == 10
+        assert br.state == "closed"
+
+    def test_sustained_overload_trips_and_sheds(self):
+        br, out, clock = self._breaker(
+            max_rate_hz=10.0, burst_s=1.0, open_for_s=0.5
+        )
+        for i in range(15):  # no time passes: instant overload
+            br._dispatch(_obs([1.0], seq=i), 0)
+        assert br.state == "open"
+        assert br.n_trips == 1
+        assert br.n_shed == 5
+        assert len(out) == 10
+        # Still open: keeps shedding.
+        clock["t"] = 0.4
+        br._dispatch(_obs([1.0], seq=99), 0)
+        assert br.n_shed == 6
+        # Cooldown over: closes and admits again.
+        clock["t"] = 0.6
+        br._dispatch(_obs([1.0], seq=100), 0)
+        assert br.state == "closed"
+        assert len(out) == 11
+
+    def test_control_passes_while_open(self):
+        br, out, _ = self._breaker(max_rate_hz=1.0, burst_s=1.0)
+        br._dispatch(_obs([1.0], seq=0), 0)
+        br._dispatch(_obs([1.0], seq=1), 0)  # trips
+        assert br.state == "open"
+        br._dispatch(StreamTuple.control(type="share"), 0)
+        assert any(t.is_control for t, _ in out)
+
+    def test_trip_emits_event(self):
+        tel = Telemetry(TelemetryConfig())
+        br, _, _ = self._breaker(max_rate_hz=1.0)
+        br.bind_telemetry(tel)
+        br._dispatch(_obs([1.0], seq=0), 0)
+        br._dispatch(_obs([1.0], seq=1), 0)
+        events = [
+            e for e in tel.events.events() if e["kind"] == "breaker"
+        ]
+        assert [e["event"] for e in events] == ["open"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_rate_hz"):
+            CircuitBreaker("b", max_rate_hz=0.0)
+        with pytest.raises(ValueError, match="burst_s"):
+            CircuitBreaker("b", max_rate_hz=1.0, burst_s=0)
+        with pytest.raises(ValueError, match="open_for_s"):
+            CircuitBreaker("b", max_rate_hz=1.0, open_for_s=0)
+
+
+class TestGuardedVectorSource:
+    """The source-inline form of the ingress guards."""
+
+    def _source(self, rows, **kw):
+        stream = VectorStream.from_iterable(
+            rows, dim=4, length=len(rows)
+        )
+        return GuardedVectorSource("src", stream, **kw)
+
+    def test_counters_surface_only_for_armed_guards(self):
+        rows = [np.zeros(4)]
+        q_only = self._source(rows)
+        assert q_only.n_quarantined == 0
+        assert getattr(q_only, "n_shed", None) is None
+
+        v_only = self._source(rows, quarantine=False, max_rate_hz=10.0)
+        assert v_only.n_shed == 0
+        assert v_only.state == "closed"
+        assert getattr(v_only, "n_quarantined", None) is None
+        assert v_only.dlq is None
+
+    def test_quarantines_inline_without_graph_dispatch(self):
+        rows = [np.zeros(4), np.full(4, np.nan), np.ones(4)]
+        src = self._source(rows)
+        out = list(src.generate())
+        assert [t["seq"] for t in out] == [0, 2]
+        assert src.n_quarantined == 1
+        [rec] = src.dlq.records
+        assert rec.origin == "src"
+        assert rec.seq == 1
+
+    def test_inline_valve_sheds_on_a_dry_bucket(self):
+        clock = [0.0]
+        rows = [np.zeros(4)] * 4
+        src = self._source(
+            rows, quarantine=False, max_rate_hz=1.0, burst_s=1.0,
+            open_for_s=0.5, clock=lambda: clock[0],
+        )
+        gen = src.generate()
+        assert next(gen)["seq"] == 0  # spends the single token
+        # At a frozen clock the bucket never refills: the valve trips
+        # on the next arrival and sheds the rest inline.  (Cooldown /
+        # recovery semantics are pinned by TestCircuitBreaker — the
+        # operator form drives the same LoadShedValve.)
+        assert list(gen) == []
+        assert src.n_shed == 3
+        assert src.n_trips == 1
+        assert src.state == "open"
+
+
+class TestGraphWiring:
+    """The resilience stages inside the full parallel application."""
+
+    def _app(self, rows, **kw):
+        from repro.parallel.app import build_parallel_pca_graph
+        from repro.core.robust import RobustIncrementalPCA
+
+        stream = VectorStream.from_iterable(
+            rows, dim=4, length=len(rows)
+        )
+        return build_parallel_pca_graph(
+            stream,
+            2,
+            lambda i: RobustIncrementalPCA(2, alpha=0.99),
+            split_seed=1,
+            **kw,
+        )
+
+    def test_default_graph_has_no_resilience_guards(self):
+        from repro.streams.sources import GuardedVectorSource
+
+        rows = list(np.random.default_rng(0).standard_normal((20, 4)))
+        app = self._app(rows)
+        assert not isinstance(app.source, GuardedVectorSource)
+        assert app.dlq is None
+        assert app.n_shed == 0
+
+    def test_poison_rows_quarantined_output_is_input_minus_dlq(self):
+        rng = np.random.default_rng(0)
+        rows = [rng.standard_normal(4) for _ in range(120)]
+        poison_at = {17: np.zeros(7), 40: np.full(4, np.nan)}
+        for idx, bad in poison_at.items():
+            rows[idx] = bad
+        app = self._app(rows, quarantine=True)
+        SynchronousEngine(app.graph).run()
+
+        assert app.dlq.total == len(poison_at)
+        assert {r.seq for r in app.dlq.records} == set(poison_at)
+        # Payloads captured for post-mortem.
+        for rec in app.dlq.records:
+            assert "x" in rec.payload
+        # Output = input - quarantined: every healthy row reached an
+        # engine, and the run completed without any operator crash.
+        processed = sum(op.n_data_tuples for op in app.engines)
+        assert processed == len(rows) - len(poison_at)
+        merged = app.controller.global_state(2)
+        assert merged.eigenvalues.shape == (2,)
+
+    def test_guards_fused_into_source_add_no_graph_stages(self):
+        from repro.streams.sources import GuardedVectorSource
+
+        rows = list(np.random.default_rng(0).standard_normal((10, 4)))
+        plain = self._app(rows)
+        app = self._app(
+            rows, quarantine=True, shed_max_rate_hz=1e9
+        )
+        assert isinstance(app.source, GuardedVectorSource)
+        # Arming the guards must not change the graph topology — no
+        # extra operators means no extra dispatch hops or PE threads
+        # (the ≤5% fault-free overhead budget rests on this).
+        assert {op.name for op in app.graph} == {
+            op.name for op in plain.graph
+        }
+        SynchronousEngine(app.graph).run()
+        assert app.n_shed == 0  # generous rate: nothing shed
+        assert app.source.state == "closed"
+
+    def test_dlq_metric_exported_via_collector(self):
+        rows = [np.zeros(7)] * 3  # all poison
+        app = self._app(rows, quarantine=True)
+        tel = Telemetry(TelemetryConfig())
+        tel.attach_graph(app.graph)
+        SynchronousEngine(app.graph).run()
+        samples = [
+            s for s in tel.metrics.snapshot()
+            if s["name"] == "repro_dlq_total"
+        ]
+        assert len(samples) == 1  # one producer, exported exactly once
+        assert samples[0]["value"] == 3

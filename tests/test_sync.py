@@ -190,3 +190,168 @@ class TestConsistencyCheck:
 
         SynchronousEngine(app.graph).run()
         assert app.controller.check_consistency()
+
+
+class TestMembership:
+    """Peer liveness tracking: eviction, rejoin, reseed, quorum."""
+
+    def _controller(self, n=3, **kwargs):
+        kwargs.setdefault("stale_after", 3)
+        ctl = SyncController("ctl", n, **kwargs)
+        out = []
+        ctl.bind(lambda tup, port: out.append((tup, port)))
+        return ctl, out
+
+    def _hb(self, ctl, engine, times=1):
+        for _ in range(times):
+            ctl._dispatch(
+                StreamTuple.control(type="heartbeat", engine=engine),
+                engine,
+            )
+
+    def test_peers_tracked_on_first_message(self):
+        ctl, _ = self._controller()
+        assert ctl.membership() == {}
+        self._hb(ctl, 0)
+        assert ctl.live_peers() == [0]
+        assert ctl.membership()[0]["n_messages"] == 1
+        assert ctl.stats.n_heartbeats == 1
+
+    def test_untracked_peer_is_never_evicted(self):
+        # Engine 2 has not spoken yet (warm-up); silence is not death.
+        ctl, _ = self._controller()
+        self._hb(ctl, 0, times=20)
+        assert ctl.stats.n_evictions == 0
+        assert ctl.live_peers() == [0]
+
+    def test_eviction_after_stale_window(self):
+        ctl, _ = self._controller()
+        self._hb(ctl, 1)
+        self._hb(ctl, 0, times=4)  # > stale_after=3 messages of silence
+        assert ctl.stats.n_evictions == 1
+        assert ctl.live_peers() == [0]
+        assert not ctl.membership()[1]["alive"]
+
+    def test_rejoin_counts_and_revives(self, rng):
+        ctl, _ = self._controller()
+        self._hb(ctl, 1)
+        self._hb(ctl, 0, times=4)
+        assert ctl.live_peers() == [0]
+        self._hb(ctl, 1)  # back from the dead
+        assert ctl.live_peers() == [0, 1]
+        assert ctl.stats.n_rejoins == 1
+        assert ctl.membership()[1]["n_rejoins"] == 1
+
+    def test_rejoin_reseeds_from_known_states(self, rng):
+        ctl, out = self._controller()
+        state = _dummy_state(rng)
+        ctl._dispatch(
+            StreamTuple.control(type="state", engine=0, state=state), 0
+        )
+        self._hb(ctl, 1)
+        self._hb(ctl, 0, times=4)  # evict 1
+        out.clear()
+        self._hb(ctl, 1)  # rejoin
+        reseeds = [
+            (t, p) for t, p in out
+            if t["type"] == "merge" and t.get("reseed")
+        ]
+        assert len(reseeds) == 1
+        tup, port = reseeds[0]
+        assert port == 1
+        assert tup["sender"] == -1
+        assert tup["state"].n_components == state.n_components
+        assert ctl.stats.n_reseeds == 1
+
+    def test_rejoin_without_states_skips_reseed(self):
+        ctl, out = self._controller()
+        self._hb(ctl, 1)
+        self._hb(ctl, 0, times=4)
+        out.clear()
+        self._hb(ctl, 1)
+        assert ctl.stats.n_rejoins == 1
+        assert ctl.stats.n_reseeds == 0
+        assert out == []
+
+    def test_finished_peer_is_not_evicted(self, rng):
+        ctl, _ = self._controller()
+        ctl._dispatch(
+            StreamTuple.control(
+                type="final", engine=1, state=_dummy_state(rng)
+            ),
+            1,
+        )
+        self._hb(ctl, 0, times=10)
+        assert ctl.stats.n_evictions == 0
+        assert ctl.live_peers() == [0, 1]
+
+    def test_ring_heals_around_evicted_peer(self, rng):
+        ctl, out = self._controller()
+        self._hb(ctl, 1)
+        self._hb(ctl, 0, times=4)  # evict 1 (ring successor of 0)
+        out.clear()
+        ctl._dispatch(
+            StreamTuple.control(
+                type="state", engine=0, state=_dummy_state(rng)
+            ),
+            0,
+        )
+        merges = [(t, p) for t, p in out if t["type"] == "merge"]
+        assert [p for _, p in merges] == [2]  # rerouted past engine 1
+        assert ctl.stats.n_rerouted == 1
+
+    def test_no_membership_means_raw_strategy(self, rng):
+        ctl = SyncController("ctl", 3)  # stale_after=None
+        out = []
+        ctl.bind(lambda tup, port: out.append((tup, port)))
+        ctl._dispatch(
+            StreamTuple.control(
+                type="state", engine=0, state=_dummy_state(rng)
+            ),
+            0,
+        )
+        assert [p for _, p in out] == [1]
+        assert ctl.stats.n_rerouted == 0
+
+    def test_quorum_blocks_short_merge(self, rng):
+        from repro.parallel.sync import QuorumError
+
+        ctl, _ = self._controller(n=3, quorum=2)
+        ctl._dispatch(
+            StreamTuple.control(
+                type="final", engine=0, state=_dummy_state(rng)
+            ),
+            0,
+        )
+        with pytest.raises(QuorumError, match="quorum"):
+            ctl.global_state(2)
+
+    def test_quorum_met_with_stale_contribution(self, rng):
+        from repro.parallel.sync import QuorumError
+
+        ctl, _ = self._controller(n=3, quorum=2)
+        ctl._dispatch(
+            StreamTuple.control(
+                type="final", engine=0, state=_dummy_state(rng)
+            ),
+            0,
+        )
+        # Engine 1 never sent a final, but it shared a state earlier.
+        ctl._dispatch(
+            StreamTuple.control(
+                type="state", engine=1, state=_dummy_state(rng)
+            ),
+            1,
+        )
+        merged = ctl.global_state(2)
+        assert merged.n_components == 2
+        with pytest.raises(QuorumError):
+            ctl.global_state(2, include_stale=False)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="stale_after"):
+            SyncController("c", 2, stale_after=0)
+        with pytest.raises(ValueError, match="quorum"):
+            SyncController("c", 2, quorum=3)
+        with pytest.raises(ValueError, match="quorum"):
+            SyncController("c", 2, quorum=0)
