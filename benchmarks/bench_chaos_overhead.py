@@ -30,7 +30,6 @@ to produce ``BENCH_chaos_overhead.json``.
 
 import argparse
 import json
-import os
 import sys
 import time
 from pathlib import Path
@@ -101,9 +100,12 @@ def main(argv=None) -> int:
         n_rows, dim, repeats = 12000, 512, 7
 
     n_engines = 4
+    from conftest import bench_environment  # benchmarks/ is sys.path[0]
+
     model = PlantedSubspaceModel(dim=dim, seed=4)
     x = model.sample(n_rows, np.random.default_rng(1))
-    n_cpus = os.cpu_count() or 1
+    env = bench_environment()
+    n_cpus = env["n_cpus"]
 
     results = []
     for runtime in ("synchronous", "threaded"):
@@ -142,7 +144,7 @@ def main(argv=None) -> int:
     payload = {
         "benchmark": "chaos_overhead",
         "quick": args.quick,
-        "n_cpus": n_cpus,
+        **env,
         "config": {
             "n_components": 4,
             "n_engines": n_engines,

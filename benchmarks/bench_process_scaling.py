@@ -19,7 +19,6 @@ to produce ``BENCH_process_scaling.json``.
 
 import argparse
 import json
-import os
 import sys
 import time
 from pathlib import Path
@@ -95,9 +94,12 @@ def main(argv=None) -> int:
         n_rows, dim, batch_size, repeats = 4000, 1000, 64, 2
         fleets = (1, 2, 4, 8)
 
+    from conftest import bench_environment  # benchmarks/ is sys.path[0]
+
     model = PlantedSubspaceModel(dim=dim, seed=4)
     x = model.sample(n_rows, np.random.default_rng(1))
-    n_cpus = os.cpu_count() or 1
+    env = bench_environment()
+    n_cpus = env["n_cpus"]
 
     results = []
     transport = None
@@ -138,7 +140,7 @@ def main(argv=None) -> int:
     payload = {
         "benchmark": "process_scaling",
         "quick": args.quick,
-        "n_cpus": n_cpus,
+        **env,
         "config": {
             "n_components": 5,
             "dim": dim,

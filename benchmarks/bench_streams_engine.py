@@ -222,9 +222,12 @@ def main(argv=None) -> int:
             flush=True,
         )
 
+    from conftest import bench_environment  # benchmarks/ is sys.path[0]
+
     payload = {
         "benchmark": "streams_engine",
         "quick": args.quick,
+        **bench_environment(),
         "config": {
             "n_components": 5,
             "n_engines": 2,

@@ -30,10 +30,23 @@ from pathlib import Path
 
 
 def _ratios(payload: dict) -> dict[str, float]:
-    """Extract the named speedup ratios from one benchmark payload."""
+    """Extract the named speedup ratios from one benchmark payload.
+
+    Entries are keyed by ``name`` (preferred) or ``dim``; an entry with
+    neither is unidentifiable and is skipped with a warning instead of
+    crashing the gate — one malformed entry must not mask the ratios
+    that *are* checkable.
+    """
     out: dict[str, float] = {}
     for r in payload.get("results", []):
-        key = r.get("name") or f"dim={r['dim']}"
+        key = r.get("name") or (f"dim={r['dim']}" if "dim" in r else None)
+        if key is None:
+            print(
+                "warning: skipping benchmark entry with neither "
+                f"'name' nor 'dim': {sorted(r)}",
+                file=sys.stderr,
+            )
+            continue
         if "speedup" in r:
             out[key] = float(r["speedup"])
     return out

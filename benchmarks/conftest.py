@@ -8,7 +8,38 @@ its data table; run with::
 The printed tables are the artifacts recorded in EXPERIMENTS.md.
 """
 
+import os
+
 collect_ignore_glob: list[str] = []
+
+
+def bench_environment() -> dict:
+    """Execution-environment stamp merged into every BENCH_*.json payload.
+
+    ``check_regression.py`` gates absolute speedup floors on ``n_cpus``
+    (a "process beats thread 2x" floor is meaningless on a 1-core box),
+    and a reviewer reading a committed baseline needs to know whether
+    BLAS was allowed to use those cores.  ``blas_threads`` is taken from
+    the conventional env caps — ``None`` means "unlimited/default", not
+    "one".
+    """
+    blas_threads = None
+    for var in (
+        "OMP_NUM_THREADS",
+        "OPENBLAS_NUM_THREADS",
+        "MKL_NUM_THREADS",
+    ):
+        value = os.environ.get(var)
+        if value:
+            try:
+                blas_threads = int(value)
+            except ValueError:
+                continue
+            break
+    return {
+        "n_cpus": os.cpu_count() or 1,
+        "blas_threads": blas_threads,
+    }
 
 
 def pytest_configure(config):

@@ -45,6 +45,7 @@ from .gaps import (
     observed_mask,
 )
 from .incremental import BlockUpdateResult, IncrementalPCA, UpdateResult
+from .kernels import jit_enabled, jit_status, set_jit, use_jit
 from .lowrank import (
     build_merge_factor,
     build_update_factor,
@@ -121,6 +122,8 @@ __all__ = [
     "flag_outliers",
     "has_gaps",
     "iterative_gap_fill",
+    "jit_enabled",
+    "jit_status",
     "largest_principal_angle",
     "make_rho",
     "merge_eigensystems",
@@ -134,7 +137,9 @@ __all__ = [
     "rank_one_update",
     "robust_eigenvalues_along",
     "roughness",
+    "set_jit",
     "subspace_distance",
     "unit_mean_flux",
     "unit_norm",
+    "use_jit",
 ]

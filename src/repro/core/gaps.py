@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from . import kernels as _kernels
 from .eigensystem import Eigensystem
 
 __all__ = [
@@ -161,22 +162,44 @@ def fill_block_from_basis(
     """Patch missing entries of a ``(k, d)`` block with the eigenbasis.
 
     Complete rows are passed through untouched (one vectorized copy);
-    each gappy row solves its own masked ridge least-squares problem via
-    :func:`fill_from_basis` — the masked normal equations differ per row,
-    so this inner loop runs only over the gappy subset, which for
-    astrophysical streams is typically a small fraction of the block.
+    each gappy row solves its own masked ridge least-squares problem —
+    the same normal equations as :func:`fill_from_basis` — via the
+    :func:`repro.core.kernels.fill_gappy_rows` kernel.  The masked
+    systems differ per row, so the inner loop runs only over the gappy
+    subset, which for astrophysical streams is typically a small
+    fraction of the block.
     """
     x = np.asarray(x, dtype=np.float64)
     if x.ndim != 2:
         raise ValueError(f"expected (k, d) block, got shape {x.shape}")
+    mean = np.ascontiguousarray(mean, dtype=np.float64)
+    basis = np.ascontiguousarray(basis, dtype=np.float64)
+    if mean.shape != (x.shape[1],):
+        raise ValueError(
+            f"mean shape {mean.shape} does not match block dimension "
+            f"{x.shape[1]}"
+        )
+    if basis.ndim != 2 or basis.shape[0] != x.shape[1]:
+        raise ValueError(
+            f"basis shape {basis.shape} does not match block dimension "
+            f"{x.shape[1]}"
+        )
     mask = np.isfinite(x)
-    gappy = np.nonzero(~mask.all(axis=1))[0]
+    gappy = np.ascontiguousarray(
+        np.nonzero(~mask.all(axis=1))[0], dtype=np.int64
+    )
     filled = x.copy()
     n_filled_per_row = np.zeros(x.shape[0], dtype=np.int64)
-    for i in gappy:
-        result = fill_from_basis(x[i], mean, basis, ridge=ridge)
-        filled[i] = result.filled
-        n_filled_per_row[i] = result.n_filled
+    if gappy.size:
+        counts = _kernels.fill_gappy_rows(
+            filled,
+            np.ascontiguousarray(mask),
+            mean,
+            basis,
+            float(ridge),
+            gappy,
+        )
+        n_filled_per_row[gappy] = counts
     return BlockGapFillResult(
         filled=filled,
         mask=mask,

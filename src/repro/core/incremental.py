@@ -37,6 +37,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from . import kernels as _kernels
 from .eigensystem import Eigensystem
 from .exceptions import NotFittedError
 from .lowrank import rank_k_update, rank_one_update
@@ -486,10 +487,10 @@ class IncrementalPCA:
         gamma_block = decay_k * u0 / u_new
 
         y = x - means
-        # Diagnostics against the block-start basis (vectorized).
-        proj = y @ st.basis
-        resid = y - proj @ st.basis.T
-        r2 = np.einsum("ij,ij->i", resid, resid)
+        # Diagnostics against the block-start basis (fused kernel).
+        r2 = _kernels.residual_norm2_block(
+            np.ascontiguousarray(y), np.ascontiguousarray(st.basis)
+        )
         scale_prev = st.scale if st.scale > 0 else 1.0
 
         st.mean = means[-1]

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import kernels as _kernels
+
 __all__ = [
     "eigensystem_of_factor",
     "build_update_factor",
@@ -263,58 +265,18 @@ def rank_k_update(
         return basis.copy(), gamma * np.clip(eigenvalues, 0.0, None)
 
     lam = np.clip(eigenvalues, 0.0, None)
-    yw = block.T * np.sqrt(weights)  # (d, k)
+    yw = np.ascontiguousarray(block.T * np.sqrt(weights))  # (d, k)
     m = basis.shape[1]
     if m == 0 or gamma == 0.0:
         return eigensystem_of_factor(yw, p)
 
-    z = basis.T @ yw              # (m, k) in-basis coefficients
-    r = yw - basis @ z            # (d, k) residual of the block
-    gram_r = r.T @ r              # (k, k)
-    w, v = np.linalg.eigh(gram_r)
-    w = np.clip(w[::-1], 0.0, None)
-    v = v[:, ::-1]
-    # Residual rank cut relative to the update's overall energy scale, so
-    # a block living entirely inside span(E) contributes no junk columns.
-    ref = max(float(w[0]) if w.size else 0.0, gamma * float(lam[0]) if lam.size else 0.0)
-    if ref > 0.0:
-        q_rank = int(np.count_nonzero(w > ref * _RELATIVE_RANK_TOL))
-    else:
-        q_rank = 0
-
-    if q_rank == 0:
-        # Block is (numerically) inside the current subspace: small
-        # m x m eigenproblem only.
-        small = np.diag(gamma * lam) + z @ z.T
-        aug = basis
-    else:
-        wq = w[:q_rank]
-        vq = v[:, :q_rank]
-        q_cols = (r @ vq) / np.sqrt(wq)          # (d, q) orthonormal
-        s = np.sqrt(wq)[:, None] * vq.T          # (q, k): R = Q S
-        zs = z @ s.T                             # (p, q)
-        small = np.empty((m + q_rank, m + q_rank))
-        small[:m, :m] = np.diag(gamma * lam) + z @ z.T
-        small[:m, m:] = zs
-        small[m:, :m] = zs.T
-        small[m:, m:] = np.diag(wq)              # S Sᵀ is diagonal
-        aug = np.concatenate([basis, q_cols], axis=1)
-
-    ew, ev = np.linalg.eigh(small)
-    ew = np.clip(ew[::-1], 0.0, None)
-    ev = ev[:, ::-1]
-    if ew.size and ew[0] > 0.0:
-        keep = int(np.count_nonzero(ew > ew[0] * _RELATIVE_RANK_TOL))
-    else:
-        keep = 0
-    k_out = min(p, keep)
-    if k_out == 0:
-        d = basis.shape[0]
-        return np.zeros((d, 0)), np.zeros(0)
-    e_new = aug @ ev[:, :k_out]
-    # Defensive re-orthonormalization, mirroring eigensystem_of_factor.
-    e_new, _ = np.linalg.qr(e_new)
-    return e_new, ew[:k_out]
+    # Main path: one GIL-releasing kernel covering the weighted split,
+    # residual Gram compression, small-eigenproblem assembly/solve and
+    # the rotation back (compiled when numba is available — see
+    # repro.core.kernels).
+    return _kernels.rank_k_core(
+        np.ascontiguousarray(basis), lam, yw, float(gamma), int(p)
+    )
 
 
 def rank_one_update(

@@ -35,6 +35,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from . import kernels as _kernels
+
 __all__ = [
     "RhoFunction",
     "BisquareRho",
@@ -72,7 +74,16 @@ class RhoFunction(abc.ABC):
         """The limit ``rho'(0)``, used for ``wstar(0)``."""
 
     def wstar(self, t: np.ndarray | float) -> np.ndarray | float:
-        """Evaluate ``W*(t) = rho(t) / t`` with its limit at ``t = 0``."""
+        """Evaluate ``W*(t) = rho(t) / t`` with its limit at ``t = 0``.
+
+        Finite everywhere on ``[0, inf]``: boundedness gives
+        ``rho(t)/t -> 0`` as ``t -> inf`` (infinite scaled residuals
+        arise whenever the M-scale underflows to zero).
+        """
+        if isinstance(t, float):  # per-tuple hot path (np.float64 included)
+            if t < 1e-300:
+                return self.weight_at_zero()
+            return float(self.rho(t)) / t
         t_arr = np.asarray(t, dtype=np.float64)
         scalar = t_arr.ndim == 0
         t_arr = np.atleast_1d(t_arr)
@@ -82,6 +93,28 @@ class RhoFunction(abc.ABC):
         ts = t_arr[~small]
         out[~small] = np.asarray(self.rho(ts)) / ts
         return float(out[0]) if scalar else out
+
+    def block_weights(self, t: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Fused ``(W(t), W*(t))`` over a 1-D block of scaled residuals.
+
+        Dispatches to the family's compiled kernel when one exists (see
+        :mod:`repro.core.kernels`); the generic fallback is two
+        vectorized passes.  Used by the block update of
+        :class:`~repro.core.robust.RobustIncrementalPCA`, where both
+        weights are needed for every row.
+        """
+        arr = np.ascontiguousarray(t, dtype=np.float64)
+        kern = self._weights_kernel()
+        if kern is None:
+            return (
+                np.asarray(self.weight(arr)),
+                np.asarray(self.wstar(arr)),
+            )
+        return kern(arr, self.c2)
+
+    def _weights_kernel(self):
+        """The fused kernel for this family (``None`` → generic path)."""
+        return None
 
     def rejection_point(self) -> float:
         """Value of ``t`` beyond which ``W(t) = 0`` (``inf`` if none)."""
@@ -124,15 +157,21 @@ class BisquareRho(RhoFunction):
             raise ValueError(f"c2 must be positive, got {self.c2}")
 
     def rho(self, t):
+        if isinstance(t, float):
+            z = min(max(t / self.c2, 0.0), 1.0)
+            # 1 - (1-z)^3 expanded as z(3 - 3z + z²): cancellation-free
+            # at z -> 0 (wstar = rho/t needs full precision there).
+            return z * (3.0 - 3.0 * z + z * z)
         arr, scalar = _validated_t(t)
         z = np.clip(arr / self.c2, 0.0, 1.0)
-        # 1 - (1-z)^3 expanded as z(3 - 3z + z²): algebraically identical
-        # but free of the catastrophic cancellation at z -> 0 that the
-        # direct form suffers (wstar = rho/t needs full precision there).
         out = z * (3.0 - 3.0 * z + z * z)
         return float(out[0]) if scalar else out
 
     def weight(self, t):
+        if isinstance(t, float):
+            z = min(t / self.c2, 1.0)
+            u = 1.0 - z
+            return (3.0 / self.c2) * u * u
         arr, scalar = _validated_t(t)
         z = arr / self.c2
         out = np.where(z < 1.0, (3.0 / self.c2) * (1.0 - np.minimum(z, 1.0)) ** 2, 0.0)
@@ -143,6 +182,9 @@ class BisquareRho(RhoFunction):
 
     def rejection_point(self) -> float:
         return self.c2
+
+    def _weights_kernel(self):
+        return _kernels.rho_weights_bisquare
 
 
 @dataclass(frozen=True)
@@ -161,17 +203,39 @@ class CauchyRho(RhoFunction):
             raise ValueError(f"c2 must be positive, got {self.c2}")
 
     def rho(self, t):
+        # Two forms of t/(t + c2), split at t = c2: the direct ratio is
+        # inf/inf = NaN at t = inf (where the limit is plainly 1), while
+        # the complement 1 - c2/(t + c2) loses precision to cancellation
+        # for t << c2 (wstar = rho/t needs those digits).  Each form is
+        # used only where it is exact.
+        if isinstance(t, float):
+            if t < self.c2:
+                return t / (t + self.c2)
+            return 1.0 - self.c2 / (t + self.c2)
         arr, scalar = _validated_t(t)
-        out = arr / (arr + self.c2)
+        denom = arr + self.c2
+        lo = np.minimum(arr, self.c2)  # finite in the branch that uses it
+        out = np.where(arr < self.c2, lo / denom, 1.0 - self.c2 / denom)
         return float(out[0]) if scalar else out
 
     def weight(self, t):
+        # c2/(t + c2)² evaluated as (c2/(t+c2))/(t+c2): the squared
+        # denominator overflows to inf (RuntimeWarning, then weight 0 by
+        # accident) once t > ~1e154; the factored form underflows cleanly
+        # and is exactly 0.0 at t = inf.
+        if isinstance(t, float):
+            denom = t + self.c2
+            return (self.c2 / denom) / denom
         arr, scalar = _validated_t(t)
-        out = self.c2 / (arr + self.c2) ** 2
+        denom = arr + self.c2
+        out = (self.c2 / denom) / denom
         return float(out[0]) if scalar else out
 
     def weight_at_zero(self) -> float:
         return 1.0 / self.c2
+
+    def _weights_kernel(self):
+        return _kernels.rho_weights_cauchy
 
 
 @dataclass(frozen=True)
@@ -191,11 +255,15 @@ class SkippedMeanRho(RhoFunction):
             raise ValueError(f"c2 must be positive, got {self.c2}")
 
     def rho(self, t):
+        if isinstance(t, float):
+            return min(t / self.c2, 1.0)
         arr, scalar = _validated_t(t)
         out = np.minimum(arr / self.c2, 1.0)
         return float(out[0]) if scalar else out
 
     def weight(self, t):
+        if isinstance(t, float):
+            return 1.0 / self.c2 if t < self.c2 else 0.0
         arr, scalar = _validated_t(t)
         out = np.where(arr < self.c2, 1.0 / self.c2, 0.0)
         return float(out[0]) if scalar else out
@@ -205,6 +273,9 @@ class SkippedMeanRho(RhoFunction):
 
     def rejection_point(self) -> float:
         return self.c2
+
+    def _weights_kernel(self):
+        return _kernels.rho_weights_skipped
 
 
 _FAMILIES: dict[str, type[RhoFunction]] = {

@@ -33,6 +33,7 @@ from dataclasses import replace
 
 import numpy as np
 
+from . import kernels as _kernels
 from .calibration import calibrate_c2
 from .eigensystem import Eigensystem
 from .exceptions import NotFittedError
@@ -591,9 +592,9 @@ class RobustIncrementalPCA:
 
         # --- residuals and robust weights (against the block-start state)
         y_prev = x - st.mean
-        proj = y_prev @ basis_p
-        resid = y_prev - proj @ basis_p.T
-        r2 = np.einsum("ij,ij->i", resid, resid)
+        r2 = _kernels.residual_norm2_block(
+            np.ascontiguousarray(y_prev), np.ascontiguousarray(basis_p)
+        )
         for i in gappy_rows:
             r2[i] = estimate_residual_norm2(
                 y_prev[i], mask[i], basis_p, basis_extra,
@@ -601,8 +602,7 @@ class RobustIncrementalPCA:
             )
         scale_prev = st.scale if st.scale > 0 else 1.0
         t = r2 / scale_prev
-        w = np.asarray(rho.weight(t), dtype=np.float64)
-        wstar = np.asarray(rho.wstar(t), dtype=np.float64)
+        w, wstar = rho.block_weights(t)
         is_outlier = t >= self._outlier_threshold()
         self.n_outliers += int(np.count_nonzero(is_outlier))
 

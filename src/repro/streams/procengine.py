@@ -169,7 +169,21 @@ class _TransportSender:
     over the destination's queue before first use); everything else is
     wire-encoded onto the destination's bounded queue.  Every message
     increments the shared in-flight counter before it is made visible.
+
+    With ``coalesce=True`` (workers — their sender is single-threaded by
+    construction) queue-path tuples are not shipped one ``"tuple"``
+    message each: they accumulate in a per-destination pending list that
+    :meth:`flush` ships as one ``"tuples"`` batch per loop iteration.
+    One queue put, one pickle header and one in-flight lock acquisition
+    then cover the whole batch — this is what keeps per-row diagnostics
+    fan-in from dominating the coordinator (see docs/performance.md §8).
+    The coordinator's own sender keeps ``coalesce=False``: it is shared
+    by several PE threads and per-message puts are already off the block
+    hot path there.
     """
+
+    #: Pending-batch cap per destination before an eager flush.
+    _COALESCE_MAX = 64
 
     def __init__(
         self,
@@ -183,6 +197,7 @@ class _TransportSender:
         ring_slots: int,
         slot_rows: int,
         disown_rings: bool,
+        coalesce: bool = False,
     ) -> None:
         self.src_loc = src_loc
         self.run_id = run_id
@@ -193,22 +208,26 @@ class _TransportSender:
         self.ring_slots = ring_slots
         self.slot_rows = slot_rows
         self.disown_rings = disown_rings
+        self.coalesce = coalesce
+        #: dst_loc -> [(dst_name, dst_port, wire), ...] awaiting flush.
+        self._pending: dict[Any, list[tuple[str, int, dict]]] = {}
         self.rings: dict[Any, BlockRing] = {}
         self.counters = {
             "blocks_ring": 0,
             "blocks_queue": 0,
             "tuples_queue": 0,
+            "tuple_batches": 0,
         }
 
     # -- in-flight helpers ----------------------------------------------
 
-    def _inc(self) -> None:
+    def _inc(self, n: int = 1) -> None:
         with self.inflight.get_lock():
-            self.inflight.value += 1
+            self.inflight.value += n
 
-    def _dec(self) -> None:
+    def _dec(self, n: int = 1) -> None:
         with self.inflight.get_lock():
-            self.inflight.value -= 1
+            self.inflight.value -= n
 
     # -- queue path -----------------------------------------------------
 
@@ -298,6 +317,16 @@ class _TransportSender:
             self.counters["blocks_queue"] += 1
         else:
             self.counters["tuples_queue"] += 1
+        if self.coalesce:
+            # Counted at append: the shared counter must cover the tuple
+            # from the instant it leaves the operator, or the quiesce
+            # check could fire while it sits in the pending list.
+            self._inc()
+            pending = self._pending.setdefault(dst_loc, [])
+            pending.append((dst_name, dst_port, to_wire(tup)))
+            if len(pending) >= self._COALESCE_MAX:
+                self._flush_dst(dst_loc)
+            return
         msg = {
             "t": "tuple",
             "src": self.src_loc,
@@ -311,6 +340,26 @@ class _TransportSender:
         except EngineAborted:
             self._dec()
             raise
+
+    def _flush_dst(self, dst_loc: Any) -> None:
+        items = self._pending.get(dst_loc)
+        if not items:
+            return
+        self._pending[dst_loc] = []
+        self.counters["tuple_batches"] += 1
+        try:
+            self._qput(
+                dst_loc,
+                {"t": "tuples", "src": self.src_loc, "items": items},
+            )
+        except EngineAborted:
+            self._dec(len(items))
+            raise
+
+    def flush(self) -> None:
+        """Ship every pending coalesced batch (one message per dest)."""
+        for dst_loc in list(self._pending):
+            self._flush_dst(dst_loc)
 
     def close(self, *, unlink: bool) -> None:
         for ring in self.rings.values():
@@ -350,9 +399,9 @@ class _WorkerSpec:
     resume: bool = False
 
 
-def _dec_inflight(spec: _WorkerSpec) -> None:
+def _dec_inflight(spec: _WorkerSpec, n: int = 1) -> None:
     with spec.inflight.get_lock():
-        spec.inflight.value -= 1
+        spec.inflight.value -= n
 
 
 def _worker_main(spec: _WorkerSpec) -> None:
@@ -395,6 +444,7 @@ def _worker_loop(spec: _WorkerSpec) -> None:
         ring_slots=spec.ring_slots,
         slot_rows=spec.slot_rows,
         disown_rings=True,
+        coalesce=True,
     )
 
     def deliver(op: Operator, tup: StreamTuple, port: int) -> None:
@@ -488,19 +538,29 @@ def _worker_loop(spec: _WorkerSpec) -> None:
         held[:] = remaining
         return progressed
 
+    def dispatch_wire(src: Any, dst: str, port: int, wire: dict) -> None:
+        tup = from_wire(wire)
+        if tup.is_punctuation and src_has_blocks(src):
+            # Punctuation holdback: this producer's blocks are still
+            # in its ring; dispatching end-of-stream now would lose
+            # them.  Deliver once the ring drains.
+            held.append((src, dst, port, tup))
+            return
+        deliver(ops_by_name[dst], tup, port)
+
     def handle(msg: dict) -> bool:
         kind = msg["t"]
         if kind == "tuple":
             _dec_inflight(spec)
-            tup = from_wire(msg["wire"])
+            dispatch_wire(msg["src"], msg["dst"], msg["port"], msg["wire"])
+            return True
+        if kind == "tuples":
+            # A coalesced batch: one in-flight decrement for all items.
+            items = msg["items"]
+            _dec_inflight(spec, len(items))
             src = msg["src"]
-            if tup.is_punctuation and src_has_blocks(src):
-                # Punctuation holdback: this producer's blocks are still
-                # in its ring; dispatching end-of-stream now would lose
-                # them.  Deliver once the ring drains.
-                held.append((src, msg["dst"], msg["port"], tup))
-                return True
-            deliver(ops_by_name[msg["dst"]], tup, msg["port"])
+            for dst, port, wire in items:
+                dispatch_wire(src, dst, port, wire)
             return True
         if kind == "ring":
             if msg["name"] not in rings:
@@ -521,13 +581,22 @@ def _worker_loop(spec: _WorkerSpec) -> None:
             break
         progressed = drain_rings()
         try:
-            msg = spec.cmd_q.get(timeout=0.002)
+            # After ring progress there is usually more ring traffic
+            # right behind; poll the command queue without the blocking
+            # timeout so the pipeline never stalls on an idle syscall.
+            if progressed:
+                msg = spec.cmd_q.get_nowait()
+            else:
+                msg = spec.cmd_q.get(timeout=0.002)
         except queue.Empty:
             msg = None
         if msg is not None:
             progressed = handle(msg) or progressed
         if held:
             progressed = release_held() or progressed
+        # Ship everything the iteration's dispatches emitted as one
+        # batch per destination (bounded latency: one loop iteration).
+        sender.flush()
         if not quiesced_sent and all(op.is_closed for op in spec.ops):
             spec.main_q.put({"t": "quiesced", "w": wid})
             quiesced_sent = True
@@ -770,9 +839,9 @@ class ProcessEngine:
         if self._watchdog is not None:
             self._watchdog.poke()
 
-    def _dec_shared(self) -> None:
+    def _dec_shared(self, n: int = 1) -> None:
         with self._inflight.get_lock():
-            self._inflight.value -= 1
+            self._inflight.value -= n
 
     # -- dispatch (coordinator threads) ----------------------------------
 
@@ -1082,18 +1151,30 @@ class ProcessEngine:
             self._route_to_main(name, tup, port)
         self._held[:] = remaining
 
+    def _dispatch_wire(
+        self, src: Any, dst: str, port: int, wire: dict
+    ) -> None:
+        tup = from_wire(wire)
+        if tup.is_punctuation and self._src_has_blocks(src):
+            self._held.append((src, dst, port, tup))
+            return
+        self._route_to_main(dst, tup, port)
+
     def _handle_main_msg(self, msg: dict) -> None:
         if self._watchdog is not None:
             self._watchdog.poke()
         kind = msg["t"]
         if kind == "tuple":
             self._dec_shared()
-            tup = from_wire(msg["wire"])
+            self._dispatch_wire(
+                msg["src"], msg["dst"], msg["port"], msg["wire"]
+            )
+        elif kind == "tuples":
+            items = msg["items"]
+            self._dec_shared(len(items))
             src = msg["src"]
-            if tup.is_punctuation and self._src_has_blocks(src):
-                self._held.append((src, msg["dst"], msg["port"], tup))
-                return
-            self._route_to_main(msg["dst"], tup, msg["port"])
+            for dst, port, wire in items:
+                self._dispatch_wire(src, dst, port, wire)
         elif kind == "ring":
             if msg["name"] not in self._main_rings:
                 ring = BlockRing(
@@ -1128,7 +1209,12 @@ class ProcessEngine:
             while True:
                 progressed = self._drain_main_rings()
                 try:
-                    msg = self._main_q.get(timeout=0.005)
+                    # Same no-stall poll as the worker loop: only block
+                    # on the queue when the rings had nothing.
+                    if progressed:
+                        msg = self._main_q.get_nowait()
+                    else:
+                        msg = self._main_q.get(timeout=0.005)
                 except queue.Empty:
                     msg = None
                 if msg is not None:
@@ -1329,6 +1415,7 @@ class ProcessEngine:
             "blocks_ring": 0,
             "blocks_queue": 0,
             "tuples_queue": 0,
+            "tuple_batches": 0,
             "blocks_ring_in": 0,
         }
         if self._sender is not None:

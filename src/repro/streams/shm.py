@@ -183,6 +183,28 @@ class BlockRing:
         self._owner = create
         if create:
             _CTRL.pack_into(self._shm.buf, 0, 0, 0)
+        # Per-slot numpy views built once: np.frombuffer + reshape cost
+        # ~1-2 µs each, which dominates the per-block transport overhead
+        # for small blocks.  The views alias the mapping, so they stay
+        # valid for the lifetime of this handle and must be dropped
+        # before the segment can be unmapped (see close()).
+        self._seq_views: list[np.ndarray] = []
+        self._xs_views: list[np.ndarray] = []
+        for slot in range(self.slots):
+            off = _CTRL.size + slot * self._slot_bytes
+            self._seq_views.append(
+                np.frombuffer(
+                    self._shm.buf, dtype=np.int64, count=self.slot_rows,
+                    offset=off + _META.size,
+                )
+            )
+            self._xs_views.append(
+                np.frombuffer(
+                    self._shm.buf, dtype=np.float64,
+                    count=self.slot_rows * self.dim,
+                    offset=off + _META.size + self._seqs_bytes,
+                ).reshape(self.slot_rows, self.dim)
+            )
         #: Blocks written / read through this handle (local counters).
         self.blocks_in = 0
         self.blocks_out = 0
@@ -226,25 +248,18 @@ class BlockRing:
         w, r = self._cursors()
         if w - r >= self.slots:
             return False
+        slot = w % self.slots
         off = self._slot_offset(w)
         _META.pack_into(
             self._shm.buf, off, dst_idx, dst_port, k, tuple_seq
         )
-        seq_view = np.frombuffer(
-            self._shm.buf, dtype=np.int64, count=self.slot_rows,
-            offset=off + _META.size,
-        )
+        seq_view = self._seq_views[slot]
         if seqs is not None:
             seq_view[:k] = np.asarray(seqs, dtype=np.int64)
         else:
             seq_view[:k] = -1
-        xs_view = np.frombuffer(
-            self._shm.buf, dtype=np.float64,
-            count=self.slot_rows * self.dim,
-            offset=off + _META.size + self._seqs_bytes,
-        ).reshape(self.slot_rows, self.dim)
         # The single producer-side copy: source array -> mapped slot.
-        np.copyto(xs_view[:k], xs, casting="same_kind")
+        np.copyto(self._xs_views[slot][:k], xs, casting="same_kind")
         # Publish *after* the slot is fully written (own cursor only).
         _CURSOR.pack_into(self._shm.buf, 0, w + 1)
         self.blocks_in += 1
@@ -290,19 +305,12 @@ class BlockRing:
         w, r = self._cursors()
         if r >= w:
             return None
-        off = self._slot_offset(r)
+        slot = r % self.slots
         dst_idx, dst_port, count, tuple_seq = _META.unpack_from(
-            self._shm.buf, off
+            self._shm.buf, self._slot_offset(r)
         )
-        seqs = np.frombuffer(
-            self._shm.buf, dtype=np.int64, count=self.slot_rows,
-            offset=off + _META.size,
-        )[:count]
-        xs = np.frombuffer(
-            self._shm.buf, dtype=np.float64,
-            count=self.slot_rows * self.dim,
-            offset=off + _META.size + self._seqs_bytes,
-        ).reshape(self.slot_rows, self.dim)[:count]
+        seqs = self._seq_views[slot][:count]
+        xs = self._xs_views[slot][:count]
         self._pending_release = True
         return RingItem(dst_idx, dst_port, xs, seqs, tuple_seq)
 
@@ -319,6 +327,10 @@ class BlockRing:
 
     def close(self) -> None:
         """Unmap this handle (consumer views may pin it; best-effort)."""
+        # Drop the cached slot views first — they alias the mapping and
+        # would otherwise keep it pinned (BufferError) until GC.
+        self._seq_views = []
+        self._xs_views = []
         try:
             self._shm.close()
         except BufferError:  # pragma: no cover - live views at teardown

@@ -1,0 +1,132 @@
+"""Unit tests for the CI speedup gate (``benchmarks/check_regression.py``).
+
+``benchmarks/`` is not a package, so the module is loaded by file path.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_PATH = Path(__file__).resolve().parent.parent / "benchmarks" / "check_regression.py"
+_spec = importlib.util.spec_from_file_location("check_regression", _PATH)
+check_regression = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_regression)
+
+
+def _payload(results, benchmark="core_update", **extra):
+    return {"benchmark": benchmark, "results": results, **extra}
+
+
+class TestRatios:
+    def test_named_and_dim_keyed_entries(self):
+        got = check_regression._ratios(
+            _payload(
+                [
+                    {"name": "jit_vs_numpy", "speedup": 2.5},
+                    {"dim": 250, "speedup": 1.4},
+                ]
+            )
+        )
+        assert got == {"jit_vs_numpy": 2.5, "dim=250": 1.4}
+
+    def test_entry_without_name_or_dim_is_skipped_not_fatal(self, capsys):
+        # Regression: this used to raise KeyError('dim') and take the
+        # whole gate down with it.
+        got = check_regression._ratios(
+            _payload(
+                [
+                    {"speedup": 9.9, "n_rows": 64},
+                    {"name": "good", "speedup": 1.5},
+                ]
+            )
+        )
+        assert got == {"good": 1.5}
+        err = capsys.readouterr().err
+        assert "neither 'name' nor 'dim'" in err
+
+    def test_entry_without_speedup_is_ignored(self):
+        got = check_regression._ratios(
+            _payload([{"name": "setup_only", "wall_s": 3.0}])
+        )
+        assert got == {}
+
+
+class TestCheck:
+    def test_passes_within_tolerance(self):
+        cur = _payload([{"dim": 250, "speedup": 1.9}])
+        base = _payload([{"dim": 250, "speedup": 2.0}])
+        assert check_regression.check(cur, base, tolerance=0.2) == []
+
+    def test_fails_below_floor(self):
+        cur = _payload([{"dim": 250, "speedup": 1.0}])
+        base = _payload([{"dim": 250, "speedup": 2.0}])
+        failures = check_regression.check(cur, base, tolerance=0.2)
+        assert len(failures) == 1 and "dim=250" in failures[0]
+
+    def test_malformed_entry_does_not_mask_other_ratios(self):
+        cur = _payload(
+            [{"speedup": 5.0}, {"name": "real", "speedup": 0.5}]
+        )
+        base = _payload([{"name": "real", "speedup": 2.0}])
+        failures = check_regression.check(cur, base, tolerance=0.2)
+        assert len(failures) == 1 and "real" in failures[0]
+
+
+class TestMinSpeedups:
+    def test_skipped_below_min_cpus(self):
+        cur = _payload([{"name": "e4", "speedup": 1.0}], n_cpus=1)
+        failures, skip = check_regression.check_min_speedups(
+            cur, {"e4": 2.0}, min_cpus=4
+        )
+        assert failures == []
+        assert skip is not None and "n_cpus=1" in skip
+
+    def test_enforced_at_min_cpus(self):
+        cur = _payload([{"name": "e4", "speedup": 1.0}], n_cpus=4)
+        failures, skip = check_regression.check_min_speedups(
+            cur, {"e4": 2.0}, min_cpus=4
+        )
+        assert skip is None
+        assert len(failures) == 1 and "e4" in failures[0]
+
+    def test_missing_case_is_a_failure(self):
+        cur = _payload([], n_cpus=8)
+        failures, _ = check_regression.check_min_speedups(
+            cur, {"ghost": 2.0}, min_cpus=4
+        )
+        assert failures == ["ghost: named by --min-speedup but not measured"]
+
+
+class TestMainEndToEnd:
+    def _write(self, tmp_path, name, payload):
+        p = tmp_path / name
+        p.write_text(json.dumps(payload))
+        return p
+
+    def test_malformed_baseline_entry_no_longer_crashes(self, tmp_path):
+        cur = self._write(
+            tmp_path, "cur.json", _payload([{"dim": 250, "speedup": 2.0}])
+        )
+        base = self._write(
+            tmp_path,
+            "base.json",
+            _payload(
+                [{"speedup": 1.0}, {"dim": 250, "speedup": 2.0}]
+            ),
+        )
+        assert (
+            check_regression.main([str(cur), "--baseline", str(base)]) == 0
+        )
+
+    def test_regression_still_detected(self, tmp_path):
+        cur = self._write(
+            tmp_path, "cur.json", _payload([{"dim": 250, "speedup": 1.0}])
+        )
+        base = self._write(
+            tmp_path, "base.json", _payload([{"dim": 250, "speedup": 2.0}])
+        )
+        assert (
+            check_regression.main([str(cur), "--baseline", str(base)]) == 1
+        )

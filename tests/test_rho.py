@@ -124,3 +124,46 @@ class TestMakeRho:
             cls(c2=0.0)
         with pytest.raises(ValueError, match="c2 must be positive"):
             cls(c2=-1.0)
+
+
+@pytest.mark.parametrize("rho", ALL_FAMILIES, ids=FAMILY_IDS)
+class TestExtremeResiduals:
+    """Finite, correct limits at t = inf and near-overflow t.
+
+    Infinite scaled residuals arise whenever the M-scale underflows to
+    zero; the Cauchy family used to return inf/inf = NaN from ``rho``
+    and propagate it through ``wstar`` with a RuntimeWarning, and its
+    ``weight`` overflowed ``(t + c2)**2`` for t > ~1e154.
+    """
+
+    def test_rho_at_inf_is_one(self, rho):
+        with np.errstate(all="raise"):
+            assert rho.rho(np.inf) == 1.0
+            assert np.asarray(rho.rho(np.array([np.inf, 0.0])))[0] == 1.0
+
+    def test_weight_at_inf_is_zero(self, rho):
+        with np.errstate(invalid="raise", over="raise", divide="raise"):
+            assert rho.weight(np.inf) == 0.0
+            assert np.asarray(rho.weight(np.array([np.inf])))[0] == 0.0
+
+    def test_wstar_at_inf_is_zero(self, rho):
+        with np.errstate(invalid="raise", over="raise", divide="raise"):
+            assert rho.wstar(np.inf) == 0.0
+            assert np.asarray(rho.wstar(np.array([np.inf])))[0] == 0.0
+
+    def test_near_overflow_t_stays_finite(self, rho):
+        # t beyond sqrt(float64 max): (t + c2)**2 would overflow.
+        for t in (1e155, 1e300, float(np.finfo(np.float64).max)):
+            with np.errstate(invalid="raise", over="raise", divide="raise"):
+                r, w, ws = rho.rho(t), rho.weight(t), rho.wstar(t)
+            assert r == pytest.approx(1.0, abs=1e-12)
+            assert 0.0 <= w < 1e-150
+            assert 0.0 <= ws < 1e-150
+
+    def test_block_weights_matches_pointwise(self, rho):
+        t = np.array([0.0, 1e-12, 0.5, 1.0, 3.9, 4.0, 9.0, 1e6, 1e300, np.inf])
+        w, ws = rho.block_weights(t)
+        assert w.shape == t.shape and ws.shape == t.shape
+        for i, ti in enumerate(t):
+            assert w[i] == pytest.approx(float(rho.weight(float(ti))), rel=1e-10, abs=1e-300)
+            assert ws[i] == pytest.approx(float(rho.wstar(float(ti))), rel=1e-10, abs=1e-300)
