@@ -98,6 +98,45 @@ def telemetry_main(argv: list[str]) -> int:
     return 0
 
 
+def health_main(argv: list[str]) -> int:
+    """``python -m repro health <events.jsonl>`` — model-health report."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro health",
+        description=(
+            "Render the model-health section of a telemetry JSONL event "
+            "log: per-engine subspace affinity, eigenspectrum drift, the "
+            "reconstruction-error control chart, merge/re-seed activity, "
+            "and the OK/DEGRADED/CRITICAL verdict timeline."
+        ),
+    )
+    parser.add_argument("log", help="path to the JSONL event log")
+    args = parser.parse_args(argv)
+
+    from repro.streams.telemetry import load_events
+    from repro.streams.telemetry_report import _health, _warnings
+
+    try:
+        events = load_events(args.log)
+    except OSError as exc:
+        parser.error(f"cannot read {args.log}: {exc}")
+    header = "model health report"
+    lines = [header, "=" * len(header)]
+    lines += _warnings(events)
+    section = _health(events)
+    if not section:
+        lines.append(
+            "no health events in this log (run with health monitors "
+            "attached: build_parallel_pca_graph(..., health=True))"
+        )
+    lines += section
+    print("\n".join(lines))
+    # Exit non-zero on a CRITICAL final verdict so scripts can gate on it.
+    verdicts = [e for e in events if e.get("kind") == "health_verdict"]
+    if verdicts and verdicts[-1].get("status") == "CRITICAL":
+        return 1
+    return 0
+
+
 def chaos_main(argv: list[str]) -> int:
     """``python -m repro chaos`` — run the seeded chaos smoke suite."""
     parser = argparse.ArgumentParser(
@@ -161,6 +200,8 @@ def main(argv: list[str] | None = None) -> int:
         return telemetry_main(argv[1:])
     if argv and argv[0] == "chaos":
         return chaos_main(argv[1:])
+    if argv and argv[0] == "health":
+        return health_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(
@@ -174,7 +215,9 @@ def main(argv: list[str] | None = None) -> int:
         "  telemetry  render a run report from a telemetry JSONL log\n"
         "             (python -m repro telemetry <events.jsonl>)\n"
         "  chaos      run the fault-injection smoke suite\n"
-        "             (python -m repro chaos --runtime threaded)",
+        "             (python -m repro chaos --runtime threaded)\n"
+        "  health     render the model-health report from a JSONL log\n"
+        "             (python -m repro health <events.jsonl>)",
     )
     parser.add_argument(
         "experiment",

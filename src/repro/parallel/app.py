@@ -25,6 +25,7 @@ from ..data.streams import VectorStream
 from ..io.checkpoint import CheckpointStore
 from ..streams.batcher import Batcher
 from ..streams.graph import Graph
+from ..streams.health import HealthMonitor, HealthRuleEngine, default_rules
 from ..streams.resilience import DeadLetterQueue
 from ..streams.sinks import CollectingSink
 from ..streams.sources import GuardedVectorSource, VectorSource
@@ -56,6 +57,9 @@ class ParallelPCAApp:
     diag_sink:
         Collects per-observation diagnostics tuples (``None`` when
         diagnostics are disabled).
+    health_monitors:
+        Per-engine model-health monitors (empty unless built with
+        ``health=True``), index-aligned with ``engines``.
     """
 
     graph: Graph
@@ -65,6 +69,23 @@ class ParallelPCAApp:
     engines: list[StreamingPCAOperator] = field(default_factory=list)
     diag_sink: CollectingSink | None = None
     batcher: Batcher | None = None
+    health_monitors: list[HealthMonitor] = field(default_factory=list)
+
+    def health_rule_engine(
+        self, telemetry=None, *, rules=None
+    ) -> HealthRuleEngine:
+        """A rule engine wired to this app's monitors and controller.
+
+        ``rules`` defaults to :func:`~repro.streams.health.default_rules`;
+        pass ``telemetry`` so watermark-lag rules and the
+        ``repro_health_status`` gauge work.
+        """
+        return HealthRuleEngine(
+            telemetry,
+            monitors=self.health_monitors,
+            controller=self.controller,
+            rules=rules if rules is not None else default_rules(),
+        )
 
     @property
     def dlq(self) -> DeadLetterQueue | None:
@@ -99,6 +120,8 @@ def build_parallel_pca_graph(
     stale_after: int | None = None,
     quorum: int | None = None,
     heartbeat_every: int = 0,
+    health: bool = False,
+    health_check_every: int = 256,
 ) -> ParallelPCAApp:
     """Build the Fig. 2 graph.
 
@@ -156,6 +179,13 @@ def build_parallel_pca_graph(
     heartbeat_every:
         Engines send a liveness heartbeat to the controller every this
         many data tuples (feeds the membership tracking above).
+    health / health_check_every:
+        ``health=True`` attaches a per-engine
+        :class:`~repro.streams.health.HealthMonitor` (subspace-affinity,
+        eigenspectrum-drift, and reconstruction-error tracking; checks
+        every ``health_check_every`` rows).  Build a rule engine over
+        them with :meth:`ParallelPCAApp.health_rule_engine` and serve it
+        via :class:`~repro.streams.obs_server.ObservabilityServer`.
     """
     if n_engines < 1:
         raise ValueError(f"n_engines must be >= 1, got {n_engines}")
@@ -214,6 +244,7 @@ def build_parallel_pca_graph(
         graph.connect(head, split)
 
     engines: list[StreamingPCAOperator] = []
+    health_monitors: list[HealthMonitor] = []
     diag_sink = (
         CollectingSink("diagnostics", n_inputs=n_engines)
         if collect_diagnostics
@@ -250,6 +281,10 @@ def build_parallel_pca_graph(
         )
         graph.add(op)
         engines.append(op)
+        if health:
+            monitor = HealthMonitor(i, check_every=health_check_every)
+            op.attach_health_monitor(monitor)
+            health_monitors.append(monitor)
         graph.connect(split, op, out_port=i, in_port=0)       # data
         graph.connect(op, controller, out_port=0, in_port=i)  # ctl up
         graph.connect(controller, op, out_port=i, in_port=1)  # ctl down
@@ -264,6 +299,7 @@ def build_parallel_pca_graph(
         engines=engines,
         diag_sink=diag_sink,
         batcher=batcher,
+        health_monitors=health_monitors,
     )
 
 

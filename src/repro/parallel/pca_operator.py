@@ -38,7 +38,7 @@ from ..core.eigensystem import Eigensystem
 from ..core.merge import merge_eigensystems
 from ..core.robust import RobustIncrementalPCA
 from ..streams.operators import Operator
-from ..streams.tuples import StreamTuple
+from ..streams.tuples import StreamTuple, inherit_event_time
 
 __all__ = ["StreamingPCAOperator"]
 
@@ -106,6 +106,20 @@ class StreamingPCAOperator(Operator):
         self.n_heartbeats_sent = 0
         self.n_reseeds = 0
         self._ready_announced = False
+        #: Optional :class:`~repro.streams.health.HealthMonitor`; installed
+        #: via :meth:`attach_health_monitor` (None = zero overhead).
+        self._health_monitor = None
+
+    # -- model-health monitoring ----------------------------------------
+
+    def attach_health_monitor(self, monitor) -> None:
+        """Attach a model-health monitor (see ``repro.streams.health``)."""
+        self._health_monitor = monitor
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Telemetry hook (called by ``Telemetry.attach_graph``)."""
+        if self._health_monitor is not None:
+            self._health_monitor.bind_telemetry(telemetry)
 
     # ------------------------------------------------------------------
 
@@ -124,15 +138,32 @@ class StreamingPCAOperator(Operator):
         result = self.estimator.update(tup["x"])
         if result is not None and self.emit_diagnostics:
             self.submit(
-                StreamTuple.data(
-                    seq=int(tup.get("seq", -1)),
-                    weight=float(result.weight),
-                    r2=float(result.residual_norm2),
-                    is_outlier=bool(result.is_outlier),
-                    engine=self.engine_id,
+                inherit_event_time(
+                    StreamTuple.data(
+                        seq=int(tup.get("seq", -1)),
+                        weight=float(result.weight),
+                        r2=float(result.residual_norm2),
+                        is_outlier=bool(result.is_outlier),
+                        engine=self.engine_id,
+                    ),
+                    tup,
                 ),
                 port=1,
             )
+        monitor = self._health_monitor
+        if monitor is not None:
+            x = np.asarray(tup["x"])
+            if result is not None:
+                monitor.note_rows(
+                    1,
+                    n_gap_rows=int(bool(np.isnan(x).any())),
+                    n_outliers=int(result.is_outlier),
+                    weight_sum=float(result.weight),
+                    r2_sum=float(result.residual_norm2),
+                )
+            else:
+                monitor.note_rows(1, n_gap_rows=int(bool(np.isnan(x).any())))
+            monitor.maybe_check(self.estimator)
         self._maybe_snapshot(before=self.estimator.n_seen - 1)
         self._maybe_heartbeat()
         self._maybe_announce_ready()
@@ -158,15 +189,32 @@ class StreamingPCAOperator(Operator):
                 else:
                     seq = -1
                 self.submit(
-                    StreamTuple.data(
-                        seq=seq,
-                        weight=float(result.weights[j]),
-                        r2=float(result.residual_norm2[j]),
-                        is_outlier=bool(result.is_outlier[j]),
-                        engine=self.engine_id,
+                    inherit_event_time(
+                        StreamTuple.data(
+                            seq=seq,
+                            weight=float(result.weights[j]),
+                            r2=float(result.residual_norm2[j]),
+                            is_outlier=bool(result.is_outlier[j]),
+                            engine=self.engine_id,
+                        ),
+                        tup,
                     ),
                     port=1,
                 )
+        monitor = self._health_monitor
+        if monitor is not None:
+            n_gaps = int(np.isnan(xs).any(axis=1).sum())
+            if result.n_processed:
+                monitor.note_rows(
+                    xs.shape[0],
+                    n_gap_rows=n_gaps,
+                    n_outliers=int(np.count_nonzero(result.is_outlier)),
+                    weight_sum=float(np.sum(result.weights)),
+                    r2_sum=float(np.sum(result.residual_norm2)),
+                )
+            else:
+                monitor.note_rows(xs.shape[0], n_gap_rows=n_gaps)
+            monitor.maybe_check(self.estimator)
         self._maybe_snapshot(before=n_before)
         self._maybe_heartbeat()
         self._maybe_announce_ready()
@@ -260,6 +308,10 @@ class StreamingPCAOperator(Operator):
                     adopt(incoming)
                     self.n_reseeds += 1
                     self._ready_announced = False
+                    if self._health_monitor is not None:
+                        self._health_monitor.on_merge(
+                            self.estimator, reseed=True
+                        )
             return
         local = self.estimator.state
         k = local.n_components
@@ -269,6 +321,8 @@ class StreamingPCAOperator(Operator):
         if reseed:
             self.n_reseeds += 1
         self._ready_announced = False
+        if self._health_monitor is not None:
+            self._health_monitor.on_merge(self.estimator, reseed=reseed)
 
     # -- checkpoint/restart protocol (repro.streams.supervision) ---------
 

@@ -35,7 +35,13 @@ from typing import Callable
 import numpy as np
 
 from .operators import Operator
-from .tuples import FieldType, StreamSchema, StreamTuple, register_schema
+from .tuples import (
+    FieldType,
+    StreamSchema,
+    StreamTuple,
+    inherit_event_time,
+    register_schema,
+)
 
 __all__ = ["BLOCK_SCHEMA", "Batcher", "Unbatcher", "FLUSH_REASONS"]
 
@@ -112,6 +118,12 @@ class Batcher(Operator):
         self._seqs = np.empty(self.batch_size, dtype=np.int64)
         self._count = 0
         self._oldest_at: float | None = None
+        #: Low watermark of the buffered rows: the minimum ``event_ts``
+        #: among them, carried onto the flushed block so downstream
+        #: latency/watermark accounting sees the *oldest* contributing
+        #: observation (separate from ``_oldest_at``, which is monotonic
+        #: arrival time for the timeout policy).
+        self._min_event_ts: float | None = None
         #: rows buffered in, blocks flushed out
         self.rows_in = 0
         self.batches_out = 0
@@ -161,6 +173,10 @@ class Batcher(Operator):
             self._oldest_at = now
         self._rows[self._count] = x
         self._seqs[self._count] = int(tup.get(self.seq_field, -1))
+        if tup.event_ts is not None and (
+            self._min_event_ts is None or tup.event_ts < self._min_event_ts
+        ):
+            self._min_event_ts = tup.event_ts
         self._count += 1
         self.rows_in += 1
         if self._count >= self.batch_size:
@@ -176,14 +192,17 @@ class Batcher(Operator):
         assert self._rows is not None
         block = self._rows[:k].copy()
         seqs = self._seqs[:k].copy()
+        min_ts = self._min_event_ts
         self._count = 0
         self._oldest_at = None
+        self._min_event_ts = None
         self.batches_out += 1
         self._size_sum += k
         self.flush_counts[reason] += 1
-        self.submit(
-            StreamTuple.data(BLOCK_SCHEMA, xs=block, seqs=seqs, count=k)
-        )
+        out = StreamTuple.data(BLOCK_SCHEMA, xs=block, seqs=seqs, count=k)
+        if min_ts is not None:
+            object.__setattr__(out, "event_ts", min_ts)
+        self.submit(out)
 
 
 class Unbatcher(Operator):
@@ -216,9 +235,8 @@ class Unbatcher(Operator):
         seqs = tup.get("seqs")
         for i in range(block.shape[0]):
             seq = int(seqs[i]) if seqs is not None else -1
-            self.submit(
-                StreamTuple.data(
-                    self.schema,
-                    **{self.out_field: block[i].copy(), self.seq_field: seq},
-                )
+            row = StreamTuple.data(
+                self.schema,
+                **{self.out_field: block[i].copy(), self.seq_field: seq},
             )
+            self.submit(inherit_event_time(row, tup))

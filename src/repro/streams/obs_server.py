@@ -1,0 +1,193 @@
+"""Live observability endpoint: ``/metrics``, ``/health``, ``/health/model``.
+
+A tiny stdlib-only HTTP server (no new dependencies — the container
+rule) that exposes the running pipeline to scrapers and operators:
+
+* ``GET /metrics`` — the full :class:`~repro.streams.telemetry.MetricsRegistry`
+  in the Prometheus text exposition format (``text/plain; version=0.0.4``).
+* ``GET /health`` — the rule engine's verdict evaluated *live* for this
+  request: ``{"status": "OK"|"DEGRADED"|"CRITICAL", "firing": [...]}``.
+  The HTTP status code mirrors the verdict (200 for OK/DEGRADED so load
+  balancers don't yank a degraded-but-serving replica, 503 for
+  CRITICAL).
+* ``GET /health/model`` — per-engine model-health snapshots (subspace
+  affinity, eigenspectrum drift, r² control chart, gap/outlier rates)
+  plus the full rule-engine snapshot, for humans debugging *why* a
+  verdict fired.
+
+The server runs on a daemon :class:`~http.server.ThreadingHTTPServer`
+thread; ``port=0`` picks a free port (``server.port`` reports it), so
+tests and multi-run hosts never collide.  Use as a context manager or
+call :meth:`start`/:meth:`stop` explicitly::
+
+    with ObservabilityServer(telemetry, rule_engine=engine) as srv:
+        engine_.run(graph)
+        print(srv.url)  # scrape while running
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+__all__ = ["ObservabilityServer"]
+
+_PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _json_default(obj: Any):
+    try:
+        return float(obj)
+    except (TypeError, ValueError):
+        return str(obj)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # Set per-server via the factory in ObservabilityServer.start().
+    server_ref: "ObservabilityServer"
+
+    # Silence the default stderr request log (one line per scrape would
+    # drown a soak run); requests are counted on the server instead.
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        srv = self.server_ref
+        srv.n_requests += 1
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            if path == "/metrics":
+                body = srv.telemetry.to_prometheus().encode()
+                self._reply(200, _PROM_CONTENT_TYPE, body)
+            elif path == "/health":
+                self._reply_json(*srv.health_payload())
+            elif path == "/health/model":
+                self._reply_json(200, srv.model_payload())
+            else:
+                self._reply_json(404, {"error": f"no such path: {path}"})
+        except Exception as exc:  # the obs plane must not take down a run
+            srv.n_errors += 1
+            try:
+                self._reply_json(500, {"error": str(exc)})
+            except Exception:
+                pass
+
+    def _reply(self, status: int, ctype: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _reply_json(self, status: int, payload: Any) -> None:
+        body = json.dumps(payload, default=_json_default).encode()
+        self._reply(status, "application/json", body)
+
+
+class ObservabilityServer:
+    """Background HTTP server exposing a run's telemetry and health.
+
+    Parameters
+    ----------
+    telemetry:
+        The run's :class:`~repro.streams.telemetry.Telemetry` (serves
+        ``/metrics``).
+    rule_engine:
+        Optional :class:`~repro.streams.health.HealthRuleEngine`.
+        Without one, ``/health`` reports OK with a note that no rules
+        are wired (liveness-only mode).
+    host / port:
+        Bind address; ``port=0`` (default) auto-assigns a free port.
+    """
+
+    def __init__(
+        self,
+        telemetry,
+        *,
+        rule_engine=None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.telemetry = telemetry
+        self.rule_engine = rule_engine
+        self.host = host
+        self._requested_port = port
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        self.n_requests = 0
+        self.n_errors = 0
+
+    # -- payloads (also callable directly, e.g. from tests) --------------
+
+    def health_payload(self) -> tuple[int, dict[str, Any]]:
+        """(HTTP status, JSON body) for ``/health``."""
+        if self.rule_engine is None:
+            return 200, {"status": "OK", "firing": [], "rules_wired": False}
+        verdict = self.rule_engine.evaluate()
+        status = 503 if verdict.status == "CRITICAL" else 200
+        return status, {
+            "status": verdict.status,
+            "firing": verdict.firing,
+            "ts": verdict.ts,
+            "rules_wired": True,
+        }
+
+    def model_payload(self) -> dict[str, Any]:
+        """JSON body for ``/health/model``."""
+        if self.rule_engine is None:
+            return {"engines": {}, "rules_wired": False}
+        snap = self.rule_engine.snapshot()
+        return {
+            "engines": snap.get("engines", {}),
+            "snapshot": {
+                k: v for k, v in snap.items() if k != "engines"
+            },
+            "rules_wired": True,
+        }
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (only valid after :meth:`start`)."""
+        if self._httpd is None:
+            raise RuntimeError("server not started")
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ObservabilityServer":
+        if self._httpd is not None:
+            return self
+        handler = type("_BoundHandler", (_Handler,), {"server_ref": self})
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self._requested_port), handler
+        )
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="obs-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        httpd, thread = self._httpd, self._thread
+        self._httpd = None
+        self._thread = None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if thread is not None:
+            thread.join(timeout=2.0)
+
+    def __enter__(self) -> "ObservabilityServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

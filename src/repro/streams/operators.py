@@ -15,9 +15,10 @@ workflow relies on.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, Iterable, Iterator
 
-from .tuples import StreamTuple
+from .tuples import StreamTuple, inherit_event_time, stamp_event_time
 
 __all__ = [
     "Operator",
@@ -78,6 +79,12 @@ class Operator:
                 raise ValueError(f"punctuation_ports out of range: {bad}")
         self.tuples_in = 0
         self.tuples_out = 0
+        #: Observability hooks, installed by Telemetry.attach_graph on
+        #: terminal operators only: an e2e-latency histogram and a
+        #: watermark tracker.  Class-level ``None`` defaults keep the
+        #: per-tuple check a single attribute load on the hot path.
+        self._e2e_hist: Any = None
+        self._watermark: Any = None
         #: Punctuation tuples emitted (counted explicitly so statistics
         #: never have to assume "exactly one punctuation per port").
         self.punct_out = 0
@@ -148,6 +155,13 @@ class Operator:
                 self._complete()
             return
         self.tuples_in += 1
+        if self._e2e_hist is not None and tup.event_ts is not None:
+            # Sink-side observation: event time was stamped with
+            # time.time() at the source (possibly in another process),
+            # so the difference is true ingest→here latency.
+            self._e2e_hist.observe(max(0.0, time.time() - tup.event_ts))
+            if self._watermark is not None:
+                self._watermark.note(tup.event_ts)
         self.process(tup, port)
 
     def _complete(self) -> None:
@@ -203,6 +217,18 @@ class Source(Operator):
             )
         yield from self._items
 
+    def submit(self, tup: StreamTuple, port: int = 0) -> None:
+        """Emit ``tup``, stamping event time at the ingest boundary.
+
+        Every runtime drives sources through ``submit``, so stamping
+        here (rather than in each engine's source loop) gives all three
+        runtimes the same event-time semantics for free.  Replayed
+        tuples that already carry an ``event_ts`` keep it.
+        """
+        if not tup.is_punctuation and tup.event_ts is None:
+            stamp_event_time(tup, time.time())
+        super().submit(tup, port)
+
     def process(self, tup: StreamTuple, port: int) -> None:  # pragma: no cover
         raise RuntimeError("sources receive no input")
 
@@ -239,11 +265,13 @@ class Functor(Operator):
         out = self._fn(tup)
         if out is None:
             return
+        # Derived tuples inherit the input's event time so end-to-end
+        # latency and watermarks survive per-tuple transformations.
         if isinstance(out, StreamTuple):
-            self.submit(out)
+            self.submit(inherit_event_time(out, tup))
         else:
             for t in out:
-                self.submit(t)
+                self.submit(inherit_event_time(t, tup))
 
 
 class FilterOperator(Operator):

@@ -118,7 +118,10 @@ __all__ = ["ProcessEngine"]
 
 #: Attributes never shipped across the process boundary: runtime wiring
 #: (closures), telemetry objects (hold locks), and probe callables.
-_UNPICKLABLE_ATTRS = ("_emit", "_load_probe", "_latency_hist", "_telemetry")
+_UNPICKLABLE_ATTRS = (
+    "_emit", "_load_probe", "_latency_hist", "_telemetry",
+    "_e2e_hist", "_watermark", "_health_monitor",
+)
 
 _MAIN = "main"
 
@@ -303,6 +306,7 @@ class _TransportSender:
                             xs,
                             tup.payload.get("seqs"),
                             tup.seq,
+                            tup.event_ts,
                             should_abort=self.stop_check,
                             timeout_s=120.0,
                         )
@@ -516,6 +520,7 @@ def _worker_loop(spec: _WorkerSpec) -> None:
                     TupleKind.DATA,
                     BLOCK_SCHEMA,
                     item.tuple_seq,
+                    item.event_ts,
                 )
                 try:
                     # The payload views into the ring slot are valid only
@@ -1134,6 +1139,7 @@ class ProcessEngine:
                     TupleKind.DATA,
                     BLOCK_SCHEMA,
                     item.tuple_seq,
+                    item.event_ts,
                 )
                 ring.release()
                 self._route_to_main(name, tup, item.dst_port)

@@ -84,7 +84,10 @@ _CTRL = struct.Struct("<qq")  # write_idx, read_idx
 #: a producer's put could overwrite the consumer's just-committed
 #: read_idx with a stale value, re-delivering (duplicating) a block.
 _CURSOR = struct.Struct("<q")
-_META = struct.Struct("<qqqq")  # dst_idx, dst_port, count, tuple_seq
+# dst_idx, dst_port, count, tuple_seq, event_ts (epoch seconds; 0.0
+# encodes "no event-time lineage" — tuples are stamped with time.time(),
+# which is never 0.0 on any real clock).
+_META = struct.Struct("<qqqqd")
 
 
 class RingFull(RuntimeError):
@@ -124,14 +127,17 @@ class RingItem:
     retain block payloads beyond the dispatch must copy.
     """
 
-    __slots__ = ("dst_idx", "dst_port", "xs", "seqs", "tuple_seq")
+    __slots__ = (
+        "dst_idx", "dst_port", "xs", "seqs", "tuple_seq", "event_ts",
+    )
 
-    def __init__(self, dst_idx, dst_port, xs, seqs, tuple_seq):
+    def __init__(self, dst_idx, dst_port, xs, seqs, tuple_seq, event_ts=None):
         self.dst_idx = int(dst_idx)
         self.dst_port = int(dst_port)
         self.xs = xs
         self.seqs = seqs
         self.tuple_seq = int(tuple_seq)
+        self.event_ts = event_ts
 
 
 class BlockRing:
@@ -232,6 +238,7 @@ class BlockRing:
         xs: np.ndarray,
         seqs: np.ndarray | None,
         tuple_seq: int,
+        event_ts: float | None = None,
     ) -> bool:
         """Publish one block; ``False`` when the ring is full.
 
@@ -251,7 +258,8 @@ class BlockRing:
         slot = w % self.slots
         off = self._slot_offset(w)
         _META.pack_into(
-            self._shm.buf, off, dst_idx, dst_port, k, tuple_seq
+            self._shm.buf, off, dst_idx, dst_port, k, tuple_seq,
+            0.0 if event_ts is None else float(event_ts),
         )
         seq_view = self._seq_views[slot]
         if seqs is not None:
@@ -272,6 +280,7 @@ class BlockRing:
         xs: np.ndarray,
         seqs: np.ndarray | None,
         tuple_seq: int,
+        event_ts: float | None = None,
         *,
         timeout_s: float = 60.0,
         poll_s: float = 0.0005,
@@ -280,7 +289,9 @@ class BlockRing:
         """Blocking put with backpressure; raises :class:`RingFull` on
         timeout and :class:`RingFull` (aborted) when ``should_abort``."""
         deadline = time.monotonic() + timeout_s
-        while not self.try_put(dst_idx, dst_port, xs, seqs, tuple_seq):
+        while not self.try_put(
+            dst_idx, dst_port, xs, seqs, tuple_seq, event_ts
+        ):
             if should_abort is not None and should_abort():
                 raise RingFull(f"ring {self.name} put aborted")
             if time.monotonic() > deadline:
@@ -306,13 +317,16 @@ class BlockRing:
         if r >= w:
             return None
         slot = r % self.slots
-        dst_idx, dst_port, count, tuple_seq = _META.unpack_from(
+        dst_idx, dst_port, count, tuple_seq, event_ts = _META.unpack_from(
             self._shm.buf, self._slot_offset(r)
         )
         seqs = self._seq_views[slot][:count]
         xs = self._xs_views[slot][:count]
         self._pending_release = True
-        return RingItem(dst_idx, dst_port, xs, seqs, tuple_seq)
+        return RingItem(
+            dst_idx, dst_port, xs, seqs, tuple_seq,
+            event_ts if event_ts > 0.0 else None,
+        )
 
     def release(self) -> None:
         """Commit the read cursor: the slot becomes writable again."""

@@ -64,6 +64,7 @@ __all__ = [
     "Span",
     "Tracer",
     "EventLog",
+    "WatermarkTracker",
     "BackpressureSampler",
     "TelemetryConfig",
     "Telemetry",
@@ -154,13 +155,16 @@ class Gauge:
 class Histogram:
     """Fixed-bucket histogram with percentile summaries.
 
-    ``observe`` is lock-free: every histogram is only ever observed from
-    the single thread that runs its operator (PEs are single-threaded),
-    and concurrent *reads* from exporters tolerate a slightly stale view.
+    ``observe`` takes a per-histogram lock: the registry advertises
+    thread safety, and histograms *are* shared across threads — the same
+    ``(name, labels)`` pair handed to two PEs, or an e2e-latency
+    histogram observed from a sink while an exporter reads it.  The lock
+    is uncontended in the common single-writer case (a few tens of ns);
+    exporters read without it and tolerate a slightly stale view.
     """
 
     __slots__ = ("name", "labels", "buckets", "counts", "count", "sum",
-                 "min", "max")
+                 "min", "max", "_lock")
     kind = "histogram"
 
     def __init__(
@@ -180,15 +184,17 @@ class Histogram:
         self.sum = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.counts[bisect_right(self.buckets, value)] += 1
-        self.count += 1
-        self.sum += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
+        with self._lock:
+            self.counts[bisect_right(self.buckets, value)] += 1
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
 
     def percentile(self, q: float) -> float:
         """Linear-interpolated percentile estimate, ``q`` in [0, 1]."""
@@ -381,7 +387,8 @@ class EventLog:
 
     Every event is a JSON-able dict with at least ``ts`` (seconds since
     telemetry start, monotonic) and ``kind`` (``run_start``, ``span``,
-    ``sample``, ``supervision``, ``sync``, ``run_end``, ``metrics``).
+    ``sample``, ``supervision``, ``sync``, ``health``,
+    ``health_verdict``, ``run_end``, ``metrics``).
     """
 
     def __init__(self, max_events: int = 200_000) -> None:
@@ -400,11 +407,52 @@ class EventLog:
             self._events.append(event)
 
     def __len__(self) -> int:
-        return len(self._events)
+        with self._lock:
+            return len(self._events)
 
     def events(self) -> list[dict[str, Any]]:
         with self._lock:
             return list(self._events)
+
+
+# ---------------------------------------------------------------------------
+# Watermarks
+# ---------------------------------------------------------------------------
+
+
+class WatermarkTracker:
+    """Low-watermark state of one terminal operator (sink).
+
+    ``note`` is called per delivered tuple with its source-stamped
+    ``event_ts``; :meth:`lag` is read at scrape time as the
+    ``repro_watermark_lag_seconds`` gauge.  The watermark is the maximum
+    event time this sink has *completed* — because derived tuples carry
+    the minimum event time of their inputs (see
+    :mod:`repro.streams.tuples`), every observation stamped at or before
+    it has been fully processed here.  Lock-free on purpose: ``note``
+    writes a single float, torn reads are impossible for Python floats,
+    and the gauge tolerates a one-tuple-stale view.
+    """
+
+    __slots__ = ("watermark_ts", "n_noted")
+
+    def __init__(self) -> None:
+        #: Max event_ts seen (epoch seconds); None before the first tuple.
+        self.watermark_ts: float | None = None
+        self.n_noted = 0
+
+    def note(self, event_ts: float) -> None:
+        wm = self.watermark_ts
+        if wm is None or event_ts > wm:
+            self.watermark_ts = event_ts
+        self.n_noted += 1
+
+    def lag(self) -> float:
+        """Seconds between now and the watermark (0.0 before any tuple)."""
+        wm = self.watermark_ts
+        if wm is None:
+            return 0.0
+        return max(0.0, time.time() - wm)
 
 
 # ---------------------------------------------------------------------------
@@ -744,6 +792,16 @@ class Telemetry:
         )
         self._t0 = time.perf_counter()
         self.tracer._clock = self.now
+        if self.config.metrics:
+            # Dropped telemetry events are themselves a telemetry signal:
+            # a saturated event log silently losing data is exactly what
+            # an operator scraping /metrics needs to notice.
+            self.metrics.register_collector(
+                lambda: (
+                    ("repro_events_dropped_total", "counter", {},
+                     self.events.n_dropped),
+                )
+            )
 
     def now(self) -> float:
         """Seconds since this telemetry object was created (monotonic)."""
@@ -775,6 +833,21 @@ class Telemetry:
 
         if self.config.metrics:
             self.metrics.register_collector(collect)
+            # End-to-end observability on terminal operators: sinks get
+            # an ingest→sink latency histogram and a watermark tracker
+            # driven from Operator._dispatch_inner (a single attribute
+            # check per tuple when not installed).
+            for op in operators:
+                if op.n_outputs != 0 or isinstance(op, Source):
+                    continue
+                op._e2e_hist = self.metrics.histogram(
+                    "repro_e2e_latency_seconds", sink=op.name
+                )
+                tracker = WatermarkTracker()
+                op._watermark = tracker
+                self.metrics.gauge(
+                    "repro_watermark_lag_seconds", tracker.lag, sink=op.name
+                )
         if self.config.timing:
             from .profiling import enable_profiling
 
@@ -892,14 +965,38 @@ class Telemetry:
         return render_report(events, **kwargs)
 
 
-def load_events(path) -> list[dict[str, Any]]:
-    """Load a JSONL event log written by :meth:`Telemetry.write_jsonl`."""
+def load_events(path, *, strict: bool = False) -> list[dict[str, Any]]:
+    """Load a JSONL event log written by :meth:`Telemetry.write_jsonl`.
+
+    Real logs get truncated (a killed run, a partial upload), so by
+    default unparseable lines are skipped and surfaced as a synthetic
+    ``{"kind": "load_error", "n_bad_lines": N}`` event appended at the
+    end — reports can warn without the loader throwing away the ~all
+    good lines around one torn write.  ``strict=True`` restores the
+    raise-on-garbage behaviour.
+    """
     events = []
+    n_bad = 0
     with open(path) as fh:
         for line in fh:
             line = line.strip()
-            if line:
-                events.append(json.loads(line))
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                if strict:
+                    raise
+                n_bad += 1
+                continue
+            if not isinstance(event, dict):
+                if strict:
+                    raise TypeError(f"event line is not an object: {line!r}")
+                n_bad += 1
+                continue
+            events.append(event)
+    if n_bad:
+        events.append({"kind": "load_error", "n_bad_lines": n_bad})
     return events
 
 

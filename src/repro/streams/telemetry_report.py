@@ -131,6 +131,105 @@ def _sync_traffic(events: list[dict[str, Any]]) -> list[str]:
     return lines
 
 
+def _health(events: list[dict[str, Any]]) -> list[str]:
+    """Model-health section: per-engine latest check + verdict timeline."""
+    checks = [
+        e for e in events
+        if e.get("kind") == "health" and e.get("event") != "merge"
+    ]
+    merges = [
+        e for e in events
+        if e.get("kind") == "health" and e.get("event") == "merge"
+    ]
+    verdicts = [e for e in events if e.get("kind") == "health_verdict"]
+    if not checks and not merges and not verdicts:
+        return []
+    lines = _section("model health")
+    if checks:
+        latest: dict[Any, dict[str, Any]] = {}
+        for e in checks:
+            latest[e.get("engine", "?")] = e
+        header = (
+            f"{'engine':<8} {'checks':>7} {'affinity':>9} {'eig drift':>10} "
+            f"{'r2 mean':>9} {'gaps':>6} {'outliers':>9} {'chart':>6}"
+        )
+        lines += [header]
+
+        def _num(v: Any, fmt: str) -> str:
+            return format(v, fmt) if isinstance(v, (int, float)) else "-"
+
+        n_per_engine: dict[Any, int] = {}
+        for e in checks:
+            eng = e.get("engine", "?")
+            n_per_engine[eng] = n_per_engine.get(eng, 0) + 1
+        for eng in sorted(latest, key=str):
+            e = latest[eng]
+            lines.append(
+                f"{eng!s:<8} {n_per_engine[eng]:>7} "
+                f"{_num(e.get('affinity'), '.4f'):>9} "
+                f"{_num(e.get('eig_drift'), '.4f'):>10} "
+                f"{_num(e.get('r2_window_mean'), '.4f'):>9} "
+                f"{_num(e.get('gap_rate'), '.1%'):>6} "
+                f"{_num(e.get('outlier_rate'), '.1%'):>9} "
+                f"{e.get('chart_status', '?'):>6}"
+            )
+    if merges:
+        n_reseeds = sum(1 for e in merges if e.get("reseed"))
+        lines.append(
+            f"{len(merges)} merge events ({n_reseeds} re-seeds)"
+        )
+    if verdicts:
+        # Compress the verdict timeline into status transitions.
+        transitions: list[str] = []
+        prev = None
+        for e in verdicts:
+            status = e.get("status", "?")
+            if status != prev:
+                ts = e.get("ts")
+                at = _fmt_s(ts) if isinstance(ts, (int, float)) else "?"
+                firing = e.get("firing") or []
+                names = ",".join(
+                    f.get("rule", "?") for f in firing if isinstance(f, dict)
+                )
+                transitions.append(
+                    f"  {at:>10} → {status}" + (f" ({names})" if names else "")
+                )
+                prev = status
+        worst = max(
+            (e.get("status", "OK") for e in verdicts),
+            key=lambda s: {"OK": 0, "DEGRADED": 1, "CRITICAL": 2}.get(s, 0),
+        )
+        lines.append(
+            f"{len(verdicts)} verdicts, final {prev}, worst {worst}"
+        )
+        lines += transitions
+    return lines
+
+
+def _warnings(events: list[dict[str, Any]]) -> list[str]:
+    """Data-integrity warnings: dropped telemetry events, torn log lines."""
+    lines: list[str] = []
+    metrics_event = next(
+        (e for e in reversed(events) if e.get("kind") == "metrics"), None
+    )
+    if metrics_event is not None:
+        n_dropped = int(metrics_event.get("n_dropped_events", 0) or 0)
+        if n_dropped:
+            lines.append(
+                f"WARNING: {n_dropped} telemetry events dropped "
+                "(event log saturated; raise TelemetryConfig.max_events)"
+            )
+    load_error = next(
+        (e for e in events if e.get("kind") == "load_error"), None
+    )
+    if load_error is not None:
+        lines.append(
+            f"WARNING: {load_error.get('n_bad_lines', '?')} unparseable "
+            "log lines skipped (truncated or corrupt JSONL)"
+        )
+    return lines
+
+
 def _waterfall(
     events: list[dict[str, Any]], n_traces: int, width: int = 40
 ) -> list[str]:
@@ -233,10 +332,12 @@ def render_report(
     lines.append(
         f"{len(events)} events: {n_spans} spans, {n_samples} samples"
     )
+    lines += _warnings(events)
 
     lines += _top_operators(metrics, top)
     lines += _hottest_queues(events, top)
     lines += _supervision(events)
     lines += _sync_traffic(events)
+    lines += _health(events)
     lines += _waterfall(events, n_traces)
     return "\n".join(lines)

@@ -32,6 +32,8 @@ __all__ = [
     "reseed_sequence",
     "wire_stats",
     "reset_wire_stats",
+    "stamp_event_time",
+    "inherit_event_time",
 ]
 
 _seq_counter = itertools.count()
@@ -143,12 +145,21 @@ class StreamTuple:
         Data / control / punctuation.
     seq:
         Globally-unique monotone sequence id (assigned automatically).
+    event_ts:
+        Event time (``time.time()`` epoch seconds) stamped at source
+        ingest, or ``None`` for tuples without an event-time lineage
+        (control traffic, punctuation).  Derived tuples — blocks, rows
+        unbatched from a block, diagnostics — carry the *minimum* event
+        time of their inputs, so at any sink the value is a low
+        watermark: every contributing observation entered the pipeline
+        at or after ``event_ts``.
     """
 
     payload: Mapping[str, Any] = field(default_factory=dict)
     kind: TupleKind = TupleKind.DATA
     schema: StreamSchema | None = None
     seq: int = field(default_factory=lambda: next(_seq_counter))
+    event_ts: float | None = None
 
     def __post_init__(self) -> None:
         if self.schema is not None and self.kind is TupleKind.DATA:
@@ -323,6 +334,7 @@ def to_wire(tup: StreamTuple) -> dict[str, Any]:
         "kind": tup.kind.value,
         "seq": tup.seq,
         "schema": schema_name(tup.schema),
+        "event_ts": tup.event_ts,
         "payload": {k: _encode_value(v) for k, v in tup.payload.items()},
     }
 
@@ -342,6 +354,9 @@ def from_wire(msg: Mapping[str, Any]) -> StreamTuple:
         if schema is not None:
             object.__setattr__(tup, "schema", schema)
     object.__setattr__(tup, "seq", int(msg["seq"]))
+    event_ts = msg.get("event_ts")
+    if event_ts is not None:
+        object.__setattr__(tup, "event_ts", float(event_ts))
     return tup
 
 
@@ -350,6 +365,7 @@ def tuple_from_fields(
     kind: TupleKind,
     schema: StreamSchema | None,
     seq: int,
+    event_ts: float | None = None,
 ) -> StreamTuple:
     """Build a tuple with an explicit ``seq``, skipping validation.
 
@@ -361,4 +377,38 @@ def tuple_from_fields(
     if schema is not None:
         object.__setattr__(tup, "schema", schema)
     object.__setattr__(tup, "seq", int(seq))
+    if event_ts is not None:
+        object.__setattr__(tup, "event_ts", float(event_ts))
     return tup
+
+
+def stamp_event_time(tup: StreamTuple, ts: float) -> StreamTuple:
+    """Stamp ``event_ts`` on a frozen tuple in place (returns it).
+
+    Engines call this at source emission — the single point where wall
+    clock becomes event time.  ``time.time()`` (not ``perf_counter``) is
+    the clock on purpose: it is comparable across processes, which the
+    shm/queue transports rely on.  Tuples already stamped are left
+    untouched so replayed/restored tuples keep their original lineage.
+    """
+    if tup.event_ts is None:
+        object.__setattr__(tup, "event_ts", float(ts))
+    return tup
+
+
+def inherit_event_time(
+    derived: StreamTuple, source: StreamTuple
+) -> StreamTuple:
+    """Propagate event-time lineage from ``source`` onto ``derived``.
+
+    Used by operators producing derived tuples (unbatched rows,
+    diagnostics) so the low watermark survives transformation.  Keeps
+    the *older* timestamp when both carry one — a derived tuple can
+    never be fresher than its inputs.
+    """
+    src_ts = source.event_ts
+    if src_ts is None:
+        return derived
+    if derived.event_ts is None or src_ts < derived.event_ts:
+        object.__setattr__(derived, "event_ts", src_ts)
+    return derived
