@@ -192,6 +192,109 @@ def chaos_main(argv: list[str]) -> int:
     return 0 if all(r.ok for r in reports) else 1
 
 
+def cluster_main(argv: list[str]) -> int:
+    """``python -m repro cluster`` — multi-node TCP runtime smoke run.
+
+    Spawns one coordinator plus N engine-host processes connected over
+    real TCP sockets (the ClusterEngine runtime), streams a planted
+    subspace through the parallel PCA graph, and gates on the subspace
+    affinity of the merged global basis against a fault-free synchronous
+    reference.  ``--kill-host`` / ``--flap`` run the cluster chaos
+    scenarios instead of the clean baseline — the CI ``cluster-smoke``
+    job runs the kill variant with ``--affinity-min 0.98``.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro cluster",
+        description=(
+            "Run parallel streaming PCA on the multi-node TCP cluster "
+            "runtime (1 coordinator + N engine-host processes on "
+            "localhost) and gate on subspace affinity against the "
+            "fault-free synchronous reference."
+        ),
+    )
+    parser.add_argument(
+        "--engines", type=int, default=3,
+        help="engine count = engine-host process count (default 3)",
+    )
+    parser.add_argument(
+        "--rows", type=int, default=2400,
+        help="input observations to stream (default 2400)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="data/split seed (default 0)"
+    )
+    parser.add_argument(
+        "--kill-host", action="store_true",
+        help="SIGKILL 1 engine host mid-run (eviction + quorum must "
+        "carry the run)",
+    )
+    parser.add_argument(
+        "--flap", action="store_true",
+        help="sever one host's TCP channel mid-run (it must redial)",
+    )
+    parser.add_argument(
+        "--affinity-min", type=float, default=0.98,
+        help="fail if the merged basis' affinity to the reference falls "
+        "below this (default 0.98)",
+    )
+    parser.add_argument(
+        "--out", metavar="FILE",
+        help="write the run's telemetry event log to FILE as JSONL "
+        "(the CI artifact; renderable with `python -m repro telemetry`)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.streams.chaos import (
+        ChaosScenario,
+        cluster_flap_scenario,
+        cluster_kill_host_scenario,
+        run_scenario,
+    )
+    from repro.streams.telemetry import Telemetry, TelemetryConfig
+
+    if args.kill_host:
+        scenario = cluster_kill_host_scenario(
+            seed=args.seed, n_engines=args.engines
+        )
+    elif args.flap:
+        scenario = cluster_flap_scenario(
+            seed=args.seed, n_engines=args.engines
+        )
+    else:
+        scenario = ChaosScenario(
+            name="cluster-baseline",
+            faults=(),
+            runtime="cluster",
+            n_engines=args.engines,
+            supervise=False,
+            seed=args.seed,
+        )
+    scenario.n_samples = args.rows
+    tel = Telemetry(TelemetryConfig(metrics=True, tracing=False))
+    report = run_scenario(scenario, telemetry=tel)
+
+    status = "ok" if report.ok else f"FAIL ({report.error})"
+    print(
+        f"{scenario.name} [cluster x{args.engines}] {status}: "
+        f"affinity={report.affinity} lost={report.n_lost} "
+        f"reconnects={report.n_reconnects} "
+        f"evictions={report.n_evictions} "
+        f"wall={report.wall_time_s:.1f}s"
+    )
+    if args.out:
+        n = tel.write_jsonl(args.out)
+        print(f"[telemetry: {n} events -> {args.out}]")
+    if not report.ok:
+        return 1
+    if report.affinity is None or report.affinity < args.affinity_min:
+        print(
+            f"affinity gate FAILED: {report.affinity} < "
+            f"{args.affinity_min}"
+        )
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Parse arguments and run the selected experiment(s)."""
     if argv is None:
@@ -200,6 +303,8 @@ def main(argv: list[str] | None = None) -> int:
         return telemetry_main(argv[1:])
     if argv and argv[0] == "chaos":
         return chaos_main(argv[1:])
+    if argv and argv[0] == "cluster":
+        return cluster_main(argv[1:])
     if argv and argv[0] == "health":
         return health_main(argv[1:])
     parser = argparse.ArgumentParser(
@@ -216,6 +321,8 @@ def main(argv: list[str] | None = None) -> int:
         "             (python -m repro telemetry <events.jsonl>)\n"
         "  chaos      run the fault-injection smoke suite\n"
         "             (python -m repro chaos --runtime threaded)\n"
+        "  cluster    run PCA on the multi-node TCP runtime and gate on\n"
+        "             affinity (python -m repro cluster --kill-host)\n"
         "  health     render the model-health report from a JSONL log\n"
         "             (python -m repro health <events.jsonl>)",
     )

@@ -15,6 +15,7 @@ import numpy as np
 from ..core.eigensystem import Eigensystem
 from ..core.robust import RobustIncrementalPCA
 from ..data.streams import VectorStream
+from ..streams.clusterengine import ClusterEngine
 from ..streams.engine import RunStats, SynchronousEngine, ThreadedEngine
 from ..streams.fusion import FusionPlan
 from ..streams.procengine import ProcessEngine
@@ -93,10 +94,12 @@ class ParallelStreamingPCA:
         ``"p2p"`` or a :class:`SyncStrategy`.
     runtime:
         ``"synchronous"`` (deterministic), ``"threaded"`` (one thread
-        per PE, shared GIL), or ``"process"`` (each PCA engine in its
-        own worker process with shared-memory block transport — the
-        only runtime with real CPU parallelism; see
-        :class:`~repro.streams.procengine.ProcessEngine`).
+        per PE, shared GIL), ``"process"`` (each PCA engine in its own
+        worker process with shared-memory block transport; see
+        :class:`~repro.streams.procengine.ProcessEngine`), or
+        ``"cluster"`` (each PCA engine on its own host process reached
+        over real TCP sockets — the paper's multi-node scale-out; see
+        :class:`~repro.streams.clusterengine.ClusterEngine`).
     fusion:
         For the threaded runtime: ``"per-operator"`` (default, every
         operator its own thread — the distributed analog) or ``"fused"``
@@ -125,13 +128,19 @@ class ParallelStreamingPCA:
         runtime a wedged restartable worker is terminated and respawned
         from its checkpoint).
     mp_context:
-        Process runtime only: multiprocessing start method (``"fork"``,
-        ``"forkserver"``, ``"spawn"``) or ``None`` for
+        Process/cluster runtimes: multiprocessing start method
+        (``"fork"``, ``"forkserver"``, ``"spawn"``) or ``None`` for
         :func:`~repro.streams.shm.safe_mp_context`.
     ring_slots:
         Process runtime only: shared-memory ring slots per transport
         edge (the per-edge backpressure window; slot rows follow
         ``batch_size``).
+    n_hosts / host_runtime / tolerate_host_loss / flap_hosts:
+        Cluster runtime only: engine-host process count (default
+        ``n_engines``), the runtime each host runs its local graph
+        under, whether a host death degrades the run instead of failing
+        it, and the chaos flap hook — see
+        :class:`~repro.streams.clusterengine.ClusterEngine`.
 
     Example
     -------
@@ -172,11 +181,15 @@ class ParallelStreamingPCA:
         stall_timeout_s: float | None = None,
         mp_context: str | None = None,
         ring_slots: int = 8,
+        n_hosts: int | None = None,
+        host_runtime: str = "synchronous",
+        tolerate_host_loss: bool = False,
+        flap_hosts: dict[int, int] | None = None,
     ) -> None:
-        if runtime not in ("synchronous", "threaded", "process"):
+        if runtime not in ("synchronous", "threaded", "process", "cluster"):
             raise ValueError(
-                f"runtime must be 'synchronous', 'threaded' or 'process', "
-                f"got {runtime!r}"
+                f"runtime must be 'synchronous', 'threaded', 'process' or "
+                f"'cluster', got {runtime!r}"
             )
         if fusion not in ("per-operator", "fused", "chains"):
             raise ValueError(
@@ -209,6 +222,10 @@ class ParallelStreamingPCA:
         self.stall_timeout_s = stall_timeout_s
         self.mp_context = mp_context
         self.ring_slots = ring_slots
+        self.n_hosts = n_hosts
+        self.host_runtime = host_runtime
+        self.tolerate_host_loss = tolerate_host_loss
+        self.flap_hosts = dict(flap_hosts or {})
 
     def _make_estimator(self, engine_id: int) -> RobustIncrementalPCA:
         return RobustIncrementalPCA(
@@ -264,6 +281,23 @@ class ParallelStreamingPCA:
                 supervisor=self.supervisor,
                 stall_timeout_s=self.stall_timeout_s,
             ).run(timeout_s=self.timeout_s)
+        elif self.runtime == "cluster":
+            # Same placement cut as the process runtime, but the PCA
+            # engines land on TCP-connected host processes.
+            main_ops = {app.split.name, app.controller.name}
+            if app.batcher is not None:
+                main_ops.add(app.batcher.name)
+            self.cluster_engine = ClusterEngine(
+                app.graph,
+                main_ops=main_ops,
+                n_hosts=self.n_hosts or self.n_engines,
+                host_runtime=self.host_runtime,
+                tolerate_host_loss=self.tolerate_host_loss,
+                flap_hosts=self.flap_hosts,
+                mp_context=self.mp_context,
+                supervisor=self.supervisor,
+            )
+            stats = self.cluster_engine.run(timeout_s=self.timeout_s)
         else:
             if self.fusion == "fused":
                 plan = FusionPlan.fused(app.graph)

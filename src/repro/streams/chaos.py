@@ -5,14 +5,16 @@ hand-crafted crash test" but "faults are a *routine input*": declared,
 seeded, injected, and measured.  This module turns the primitives that
 already exist — :class:`~repro.streams.supervision.FaultInjector`,
 supervision policies, controller membership, the dead-letter queue —
-into declarative, reproducible *scenarios* runnable against all three
+into declarative, reproducible *scenarios* runnable against all four
 runtimes:
 
 * :class:`FaultSpec` — one declarative fault: an injector plan
   (``crash`` / ``delay`` / ``drop``), an engine blackout with state loss
   (``kill_engine``, threaded/synchronous), a real ``SIGKILL`` of a
-  worker process (``worker_kill``, process runtime), or input
-  corruption (``poison``).
+  worker process (``worker_kill``, process runtime) or of a TCP engine
+  host (``host_kill``, cluster runtime), a severed-and-redialled host
+  channel (``netsplit``, cluster runtime), or input corruption
+  (``poison``).
 * :class:`ChaosScenario` — the full experiment: data model, graph
   configuration (membership, quarantine, shedding), runtime, and the
   fault list.  Everything is derived from ``seed`` so a report can be
@@ -54,6 +56,8 @@ __all__ = [
     "ChaosScenario",
     "FaultSpec",
     "FlakyVectorServer",
+    "cluster_flap_scenario",
+    "cluster_kill_host_scenario",
     "kill_engine_scenario",
     "load_chaos_reports",
     "network_flap_scenario",
@@ -76,6 +80,12 @@ FAULT_KINDS = (
                     # (threaded / synchronous runtimes)
     "worker_kill",  # SIGKILL the worker process hosting `op` once the
                     # controller has seen `at_tuple` messages (process)
+    "host_kill",    # SIGKILL the engine-host process holding `op` once
+                    # the controller has seen `at_tuple` messages
+                    # (cluster runtime: a full engine blackout over TCP)
+    "netsplit",     # sever the TCP channel of the host holding `op`
+                    # once after it has received `at_tuple` frames; the
+                    # channel must redial with backoff (cluster runtime)
     "poison",       # corrupt `duration` input rows (wrong dim / all-NaN)
 )
 
@@ -163,32 +173,44 @@ class ChaosScenario:
     timeout_s: float = 300.0
 
     def __post_init__(self) -> None:
-        if self.runtime not in ("synchronous", "threaded", "process"):
+        if self.runtime not in (
+            "synchronous", "threaded", "process", "cluster"
+        ):
             raise ValueError(f"unknown runtime {self.runtime!r}")
         self.faults = tuple(self.faults)
         for f in self.faults:
             if f.kind == "worker_kill" and self.runtime != "process":
                 raise ValueError(
                     "worker_kill needs the process runtime; use "
-                    "kill_engine on threaded/synchronous"
-                )
-            if f.kind == "kill_engine" and self.runtime == "process":
-                raise ValueError(
-                    "kill_engine wraps the operator in-process; use "
-                    "worker_kill on the process runtime"
+                    "kill_engine on threaded/synchronous or host_kill "
+                    "on cluster"
                 )
             if (
-                self.runtime == "process"
+                f.kind in ("host_kill", "netsplit")
+                and self.runtime != "cluster"
+            ):
+                raise ValueError(
+                    f"{f.kind} needs the cluster runtime"
+                )
+            if f.kind == "kill_engine" and self.runtime in (
+                "process", "cluster"
+            ):
+                raise ValueError(
+                    "kill_engine wraps the operator in-process; use "
+                    "worker_kill (process) or host_kill (cluster)"
+                )
+            if (
+                self.runtime in ("process", "cluster")
                 and f.kind in ("crash", "delay", "drop")
                 and f.op is not None
                 and f.op.startswith("pca-")
             ):
                 # Injector wrappers are closures and cannot cross the
-                # pickle boundary into a worker process.
+                # pickle boundary into a worker/host process.
                 raise ValueError(
                     f"{f.kind} on {f.op!r} cannot be injected into a "
                     "worker process; target a coordinator-side operator "
-                    "or use worker_kill"
+                    "or use worker_kill/host_kill"
                 )
 
 
@@ -315,6 +337,38 @@ def _start_worker_killer(
             time.sleep(0.002)
 
     t = threading.Thread(target=run, name="chaos-killer", daemon=True)
+    t.start()
+    return t
+
+
+def _start_host_killer(
+    engine, app, spec: FaultSpec, tel: Telemetry
+) -> threading.Thread:
+    """SIGKILL the engine host holding ``spec.op`` mid-protocol.
+
+    The cluster analog of :func:`_start_worker_killer`: host-side tuple
+    counts live across a socket, so the trigger is again the sync
+    controller's own message counter.  With ``tolerate_host_loss=True``
+    the coordinator injects punctuation on the dead host's routes and
+    the controller's eviction + quorum machinery owns correctness.
+    """
+    controller = app.controller
+    host_id = engine._loc_of[spec.op]
+
+    def run() -> None:
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            if controller._messages_seen >= spec.at_tuple:
+                engine.kill_host(host_id)
+                tel.events.append({
+                    "ts": tel.now(), "kind": "chaos",
+                    "fault": "host_kill", "op": spec.op,
+                    "host": host_id,
+                })
+                return
+            time.sleep(0.002)
+
+    t = threading.Thread(target=run, name="chaos-host-killer", daemon=True)
     t.start()
     return t
 
@@ -482,6 +536,32 @@ def run_scenario(
                     supervisor=supervisor,
                     telemetry=tel,
                 ).run(timeout_s=scenario.timeout_s)
+            elif scenario.runtime == "cluster":
+                from .clusterengine import ClusterEngine
+
+                main_ops = {app.split.name, app.controller.name}
+                engine = ClusterEngine(
+                    app.graph,
+                    main_ops=main_ops,
+                    n_hosts=scenario.n_engines,
+                    tolerate_host_loss=True,
+                    supervisor=supervisor,
+                    telemetry=tel,
+                )
+                for f in scenario.faults:
+                    if f.kind == "netsplit":
+                        # Translate the op name into its host placement;
+                        # the host's channel severs itself after
+                        # at_tuple received frames and must redial.
+                        engine.flap_hosts[engine._loc_of[f.op]] = (
+                            f.at_tuple
+                        )
+                    elif f.kind == "host_kill":
+                        _start_host_killer(engine, app, f, tel)
+                engine.run(timeout_s=scenario.timeout_s)
+                report.n_reconnects = engine.cluster_stats.get(
+                    "reconnects", 0
+                )
             else:
                 main_ops = {app.split.name, app.controller.name}
                 engine = ProcessEngine(
@@ -539,7 +619,10 @@ def _fill_report(
     }
 
     events = tel.events.events()
-    keep = ("chaos", "membership", "dlq", "breaker")
+    keep = (
+        "chaos", "membership", "dlq", "breaker",
+        "cluster_host_dead", "cluster_host_connected",
+    )
     report.events = [e for e in events if e.get("kind") in keep]
     fault_ts = [
         e["ts"] for e in report.events if e.get("kind") == "chaos"
@@ -642,6 +725,56 @@ def queue_stall_scenario(
         ),
         runtime=runtime,
         n_samples=600,
+        seed=seed,
+    )
+
+
+def cluster_kill_host_scenario(
+    *, seed: int = 0, n_engines: int = 3
+) -> ChaosScenario:
+    """SIGKILL 1 of ``n_engines`` TCP engine hosts mid-run.
+
+    The cluster analog of :func:`kill_engine_scenario`: the coordinator
+    must detect the death, inject punctuation on the dead host's
+    routes, drop (and count) its traffic, and let the controller's
+    staleness eviction + quorum finish the run on the survivors — with
+    the merged basis within affinity 0.98 of the fault-free reference.
+    ``supervise=False``: across host loss, correctness is owned by
+    membership, not restart policies.
+    """
+    return ChaosScenario(
+        name=f"cluster-kill-1-of-{n_engines}",
+        faults=(FaultSpec(kind="host_kill", op="pca-1", at_tuple=40),),
+        runtime="cluster",
+        n_engines=n_engines,
+        n_samples=2400,
+        quorum=2,
+        supervise=False,
+        seed=seed,
+    )
+
+
+def cluster_flap_scenario(
+    *, seed: int = 0, n_engines: int = 3, at_frame: int = 3
+) -> ChaosScenario:
+    """Sever one host's TCP channel mid-run; it must redial and finish.
+
+    The host's :class:`~repro.streams.wireproto.ReconnectingChannel`
+    force-closes its own socket after ``at_frame`` received frames; the
+    redial (with the network-source backoff budget) and the
+    coordinator's re-association must complete the run, with any frames
+    caught in kernel buffers surfacing as *counted* loss, never a hang.
+    """
+    return ChaosScenario(
+        name="cluster-netsplit",
+        faults=(
+            FaultSpec(kind="netsplit", op="pca-1", at_tuple=at_frame),
+        ),
+        runtime="cluster",
+        n_engines=n_engines,
+        n_samples=1600,
+        quorum=2,
+        supervise=False,
         seed=seed,
     )
 

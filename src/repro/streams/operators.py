@@ -157,11 +157,16 @@ class Operator:
         self.tuples_in += 1
         if self._e2e_hist is not None and tup.event_ts is not None:
             # Sink-side observation: event time was stamped with
-            # time.time() at the source (possibly in another process),
-            # so the difference is true ingest→here latency.
-            self._e2e_hist.observe(max(0.0, time.time() - tup.event_ts))
+            # time.time() at the source (possibly on another host), so
+            # the difference is ingest→here latency *plus* any clock
+            # offset between the two hosts.  The raw (signed) value goes
+            # to the watermark tracker, which surfaces negative readings
+            # as the repro_clock_skew_seconds gauge instead of letting
+            # the clamp below hide them.
+            raw_lag = time.time() - tup.event_ts
+            self._e2e_hist.observe(max(0.0, raw_lag))
             if self._watermark is not None:
-                self._watermark.note(tup.event_ts)
+                self._watermark.note(tup.event_ts, raw_lag)
         self.process(tup, port)
 
     def _complete(self) -> None:

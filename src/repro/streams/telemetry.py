@@ -432,27 +432,80 @@ class WatermarkTracker:
     it has been fully processed here.  Lock-free on purpose: ``note``
     writes a single float, torn reads are impossible for Python floats,
     and the gauge tolerates a one-tuple-stale view.
+
+    **Clock skew.**  Event times are wall-clock stamps from the
+    *producing* host (see ``stamp_event_time``); on the cluster runtime
+    that is a different machine.  A producer clock running ahead of this
+    host makes ``time.time() - event_ts`` negative — clamping that to
+    0.0 silently (the old behaviour) corrupts every latency reading
+    derived from it with no signal.  The tracker therefore records the
+    most negative raw lag ever observed and exposes it signed via
+    :meth:`skew` (the ``repro_clock_skew_seconds`` gauge: 0.0 = clocks
+    consistent, negative = producer ahead by at least that much), and
+    warns once when it first exceeds :data:`SKEW_WARN_THRESHOLD_S`.
+    A producer clock running *behind* inflates lag instead and is
+    indistinguishable from genuine latency — the gauge bounds the error
+    in one direction only, which is exactly what NTP-disciplined hosts
+    need monitored.
     """
 
-    __slots__ = ("watermark_ts", "n_noted")
+    #: Warn-once threshold on the observed negative raw lag (seconds).
+    SKEW_WARN_THRESHOLD_S = 0.25
+
+    __slots__ = ("watermark_ts", "n_noted", "min_raw_lag_s", "_skew_warned")
 
     def __init__(self) -> None:
         #: Max event_ts seen (epoch seconds); None before the first tuple.
         self.watermark_ts: float | None = None
         self.n_noted = 0
+        #: Most negative (now - event_ts) observed; 0.0 when clocks are
+        #: consistent.
+        self.min_raw_lag_s = 0.0
+        self._skew_warned = False
 
-    def note(self, event_ts: float) -> None:
+    def note(self, event_ts: float, raw_lag: float | None = None) -> None:
         wm = self.watermark_ts
         if wm is None or event_ts > wm:
             self.watermark_ts = event_ts
         self.n_noted += 1
+        if raw_lag is not None and raw_lag < self.min_raw_lag_s:
+            self.min_raw_lag_s = raw_lag
+            if (
+                not self._skew_warned
+                and raw_lag < -self.SKEW_WARN_THRESHOLD_S
+            ):
+                self._skew_warned = True
+                import warnings
+
+                warnings.warn(
+                    f"event time from the future: tuple stamped "
+                    f"{-raw_lag:.3f}s ahead of this host's clock — "
+                    f"producer/consumer clocks are skewed; e2e-latency "
+                    f"and watermark-lag readings are untrustworthy "
+                    f"beyond that bound (repro_clock_skew_seconds)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
 
     def lag(self) -> float:
-        """Seconds between now and the watermark (0.0 before any tuple)."""
+        """Seconds between now and the watermark (0.0 before any tuple).
+
+        Clamped at 0.0 — a negative value means clock skew, not negative
+        lag, and is reported via :meth:`skew` instead.
+        """
         wm = self.watermark_ts
         if wm is None:
             return 0.0
         return max(0.0, time.time() - wm)
+
+    def skew(self) -> float:
+        """Signed clock-skew bound: most negative raw lag observed.
+
+        0.0 when producer clocks never ran ahead of this host; negative
+        values mean at least that much producer-ahead skew exists and
+        latency readings are biased by up to its magnitude.
+        """
+        return min(0.0, self.min_raw_lag_s)
 
 
 # ---------------------------------------------------------------------------
@@ -847,6 +900,9 @@ class Telemetry:
                 op._watermark = tracker
                 self.metrics.gauge(
                     "repro_watermark_lag_seconds", tracker.lag, sink=op.name
+                )
+                self.metrics.gauge(
+                    "repro_clock_skew_seconds", tracker.skew, sink=op.name
                 )
         if self.config.timing:
             from .profiling import enable_profiling

@@ -24,7 +24,10 @@ __all__ = [
     "TupleKind",
     "StreamTuple",
     "SchemaError",
+    "UnknownSchemaError",
+    "WireDecodeError",
     "register_schema",
+    "register_wire_type",
     "lookup_schema",
     "schema_name",
     "to_wire",
@@ -56,6 +59,30 @@ def reseed_sequence(namespace: int, stride: int = 1 << 40) -> None:
 
 class SchemaError(TypeError):
     """A tuple payload does not match its declared schema."""
+
+
+class UnknownSchemaError(SchemaError):
+    """A wire message names a schema this process has not registered.
+
+    Silently dropping the schema (the old behaviour) disabled validation
+    and ``BLOCK_SCHEMA`` identity dispatch downstream without any
+    signal — on a remote host with a different import order that is a
+    correctness trap, not a convenience.  Senders that cannot guarantee
+    the receiver's registry is warm should ship a descriptor
+    (``to_wire(..., describe_schema=True)``) so the receiver can
+    register the schema lazily instead of failing.
+    """
+
+
+class WireDecodeError(ValueError):
+    """A wire payload value failed safe decoding.
+
+    Raised for ``__wire__ == "dict"`` payloads naming a type outside the
+    :func:`register_wire_type` allowlist, and for pickled payloads when
+    the transport decodes with ``allow_pickle=False`` (the TCP cluster
+    channels — unpickling bytes from a socket executes arbitrary code).
+    Every rejection is counted in ``wire_stats()["rejected_payloads"]``.
+    """
 
 
 class FieldType(enum.Enum):
@@ -239,8 +266,58 @@ _SCHEMA_NAMES: dict[int, str] = {}
 
 #: Wire-level accounting, exposed so transports and tests can verify the
 #: hot path: ``pickled_payloads`` counts payload values that fell back to
-#: opaque pickling (must stay 0 for block traffic).
-_WIRE_STATS = {"tuples": 0, "pickled_payloads": 0}
+#: opaque pickling (must stay 0 for block traffic);
+#: ``unknown_schema`` counts messages rejected for naming a schema the
+#: receiver has not registered; ``schemas_registered`` counts schemas
+#: lazily interned from wire-carried descriptors; ``rejected_payloads``
+#: counts payload values refused by the decode allowlist / no-pickle
+#: policy.
+_WIRE_STATS = {
+    "tuples": 0,
+    "pickled_payloads": 0,
+    "unknown_schema": 0,
+    "schemas_registered": 0,
+    "rejected_payloads": 0,
+}
+
+#: Decode allowlist for ``__wire__ == "dict"`` payloads: (module,
+#: qualname) -> class.  Wire messages can arrive from a TCP socket, so
+#: the receiver must never import a module named by the message itself.
+_WIRE_TYPES: dict[tuple[str, str], type] = {}
+_wire_types_seeded = False
+
+#: Cached wire descriptors (field name -> FieldType value) per interned
+#: schema object, so ``describe_schema=True`` costs one dict build per
+#: schema, not per tuple.
+_SCHEMA_DESCRIPTORS: dict[int, dict[str, str]] = {}
+
+
+def register_wire_type(cls: type) -> type:
+    """Allow ``cls`` to be decoded from ``__wire__ == "dict"`` payloads.
+
+    ``cls`` must implement the documented dict round-trip
+    (``to_dict``/``from_dict``).  Decoding is restricted to registered
+    types because the module/qualname in a wire message is attacker
+    input on a TCP transport — importing it verbatim would execute
+    arbitrary code.  Usable as a class decorator; returns ``cls``.
+    """
+    if not (hasattr(cls, "from_dict") and hasattr(cls, "to_dict")):
+        raise TypeError(
+            f"{cls!r} must implement to_dict/from_dict to be a wire type"
+        )
+    _WIRE_TYPES[(cls.__module__, cls.__qualname__)] = cls
+    return cls
+
+
+def _seed_wire_types() -> None:
+    """Register the library's own dict-capable payload classes (lazy)."""
+    global _wire_types_seeded
+    if _wire_types_seeded:
+        return
+    _wire_types_seeded = True
+    from ..core.eigensystem import Eigensystem
+
+    register_wire_type(Eigensystem)
 
 
 def register_schema(name: str, schema: StreamSchema) -> StreamSchema:
@@ -303,23 +380,48 @@ def _encode_value(value: Any) -> Any:
     return {"__wire__": "pickle", "data": pickle.dumps(value)}
 
 
-def _decode_value(value: Any) -> Any:
+def _decode_value(value: Any, *, allow_pickle: bool = True) -> Any:
     if isinstance(value, dict) and "__wire__" in value:
         if value["__wire__"] == "dict":
-            import importlib
-
-            cls: Any = importlib.import_module(value["module"])
-            for part in value["qualname"].split("."):
-                cls = getattr(cls, part)
+            # Never import from the message: the (module, qualname) pair
+            # is untrusted input over TCP.  Only classes registered via
+            # register_wire_type decode; everything else is a counted
+            # rejection.
+            _seed_wire_types()
+            cls = _WIRE_TYPES.get((value["module"], value["qualname"]))
+            if cls is None:
+                _WIRE_STATS["rejected_payloads"] += 1
+                raise WireDecodeError(
+                    f"wire payload names unregistered type "
+                    f"{value['module']}.{value['qualname']}; the receiver "
+                    f"must register_wire_type() it explicitly"
+                )
             return cls.from_dict(value["data"])
         if value["__wire__"] == "pickle":
+            if not allow_pickle:
+                _WIRE_STATS["rejected_payloads"] += 1
+                raise WireDecodeError(
+                    "pickled wire payload refused: this transport decodes "
+                    "with allow_pickle=False (unpickling socket bytes "
+                    "executes arbitrary code)"
+                )
             import pickle
 
             return pickle.loads(value["data"])
     return value
 
 
-def to_wire(tup: StreamTuple) -> dict[str, Any]:
+def _schema_descriptor(schema: StreamSchema) -> dict[str, str]:
+    desc = _SCHEMA_DESCRIPTORS.get(id(schema))
+    if desc is None:
+        desc = {name: ftype.value for name, ftype in schema.fields.items()}
+        _SCHEMA_DESCRIPTORS[id(schema)] = desc
+    return desc
+
+
+def to_wire(
+    tup: StreamTuple, *, describe_schema: bool = False
+) -> dict[str, Any]:
     """Encode ``tup`` as a transport-friendly plain dict.
 
     The schema travels by registered *name* (interned on arrival), the
@@ -328,31 +430,73 @@ def to_wire(tup: StreamTuple) -> dict[str, Any]:
     -capable objects (e.g. :class:`~repro.core.eigensystem.Eigensystem`)
     use their documented dict form, and anything else falls back to a
     counted pickle.
+
+    ``describe_schema=True`` additionally ships the schema's field
+    descriptor so a receiver whose registry does not know the name (a
+    remote host with a different import order) can register it lazily
+    instead of raising :class:`UnknownSchemaError`.  The cluster
+    transport turns this on; same-image transports (the process
+    runtime's queues) do not need the extra bytes.
     """
     _WIRE_STATS["tuples"] += 1
-    return {
+    name = schema_name(tup.schema)
+    msg = {
         "kind": tup.kind.value,
         "seq": tup.seq,
-        "schema": schema_name(tup.schema),
+        "schema": name,
         "event_ts": tup.event_ts,
         "payload": {k: _encode_value(v) for k, v in tup.payload.items()},
     }
+    if describe_schema and name is not None:
+        msg["schema_fields"] = _schema_descriptor(tup.schema)
+    return msg
 
 
-def from_wire(msg: Mapping[str, Any]) -> StreamTuple:
+def from_wire(
+    msg: Mapping[str, Any], *, allow_pickle: bool = True
+) -> StreamTuple:
     """Rebuild the :class:`StreamTuple` encoded by :func:`to_wire`.
 
     Payloads were validated at origin, so reconstruction skips
     re-validation (the frozen dataclass is built schema-less, then the
     interned schema and original ``seq`` are restored in place).
+
+    A message naming a schema this process has not registered raises
+    :class:`UnknownSchemaError` (counted in
+    ``wire_stats()["unknown_schema"]``) unless it carries a
+    ``schema_fields`` descriptor, in which case the schema is built and
+    registered on the spot (counted in ``schemas_registered``).
+    ``allow_pickle=False`` refuses pickle-fallback payload values with
+    :class:`WireDecodeError` — required for sockets, where pickled
+    bytes are untrusted.
     """
-    payload = {k: _decode_value(v) for k, v in msg["payload"].items()}
+    payload = {
+        k: _decode_value(v, allow_pickle=allow_pickle)
+        for k, v in msg["payload"].items()
+    }
     tup = StreamTuple(payload=payload, kind=TupleKind(msg["kind"]))
     name = msg.get("schema")
     if name is not None:
         schema = _SCHEMA_REGISTRY.get(name)
-        if schema is not None:
-            object.__setattr__(tup, "schema", schema)
+        if schema is None:
+            fields = msg.get("schema_fields")
+            if fields:
+                schema = register_schema(
+                    name,
+                    StreamSchema(
+                        {k: FieldType(v) for k, v in fields.items()}
+                    ),
+                )
+                _WIRE_STATS["schemas_registered"] += 1
+            else:
+                _WIRE_STATS["unknown_schema"] += 1
+                raise UnknownSchemaError(
+                    f"wire message names schema {name!r}, which this "
+                    f"process has not registered; import the module that "
+                    f"registers it, or have the sender use "
+                    f"to_wire(..., describe_schema=True)"
+                )
+        object.__setattr__(tup, "schema", schema)
     object.__setattr__(tup, "seq", int(msg["seq"]))
     event_ts = msg.get("event_ts")
     if event_ts is not None:
@@ -390,6 +534,19 @@ def stamp_event_time(tup: StreamTuple, ts: float) -> StreamTuple:
     the clock on purpose: it is comparable across processes, which the
     shm/queue transports rely on.  Tuples already stamped are left
     untouched so replayed/restored tuples keep their original lineage.
+
+    **Wall-clock contract.**  ``event_ts`` is epoch seconds from the
+    *stamping host's* clock.  Consumers on the same machine may subtract
+    it from their own ``time.time()`` directly (the e2e-latency
+    histograms and watermark gauges do).  Across machines — the cluster
+    runtime ships stamped tuples over TCP — that difference additionally
+    absorbs the clock offset between the two hosts; hosts are expected
+    to be NTP-disciplined, and the telemetry layer reports the observed
+    signed offset as the ``repro_clock_skew_seconds`` gauge (see
+    :class:`~repro.streams.telemetry.WatermarkTracker`) instead of
+    silently clamping it away, warning once when it exceeds the
+    threshold.  Latency/lag readings are only trustworthy up to that
+    reported skew.
     """
     if tup.event_ts is None:
         object.__setattr__(tup, "event_ts", float(ts))

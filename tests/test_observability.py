@@ -300,6 +300,55 @@ class TestWatermarkTracker:
         assert tr.n_noted == 3
 
 
+class TestClockSkew:
+    """The signed ``repro_clock_skew_seconds`` gauge.
+
+    On a multi-host cluster ``event_ts`` comes from the *producer's*
+    wall clock; a producer running ahead shows up here as a negative
+    raw lag, which used to be silently clamped away by ``lag()``.
+    """
+
+    def test_skew_is_signed_and_tracks_most_negative_lag(self):
+        tr = WatermarkTracker()
+        now = time.time()
+        assert tr.skew() == 0.0
+        tr.note(now, raw_lag=-0.1)  # below warn threshold, still signed
+        assert tr.skew() == pytest.approx(-0.1)
+        with pytest.warns(RuntimeWarning, match="clocks are skewed"):
+            tr.note(now, raw_lag=-0.5)
+        assert tr.skew() == pytest.approx(-0.5)
+        # Skew is a high-water bound: a later consistent tuple does not
+        # shrink it.
+        tr.note(now, raw_lag=2.0)
+        assert tr.skew() == pytest.approx(-0.5)
+
+    def test_warns_once_per_tracker(self):
+        tr = WatermarkTracker()
+        now = time.time()
+        with pytest.warns(RuntimeWarning):
+            tr.note(now, raw_lag=-1.0)
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            tr.note(now, raw_lag=-2.0)  # worse skew, but no re-warn
+        assert tr.skew() == pytest.approx(-2.0)
+
+    def test_positive_lag_keeps_skew_zero(self):
+        tr = WatermarkTracker()
+        tr.note(time.time() - 3.0, raw_lag=3.0)
+        assert tr.skew() == 0.0
+
+    def test_gauge_registered_per_sink(self, rng):
+        g, _sink = pipeline_graph(rng.standard_normal((40, 6)))
+        tel = Telemetry(TelemetryConfig(metrics=True))
+        SynchronousEngine(g, telemetry=tel).run()
+        # Same-host run: the gauge exists and reads a clean 0.0.
+        assert tel.metrics.value(
+            "repro_clock_skew_seconds", sink="sink"
+        ) == 0.0
+
+
 # ---------------------------------------------------------------------------
 # Satellites: histogram thread safety, dropped-event surfacing
 # ---------------------------------------------------------------------------
