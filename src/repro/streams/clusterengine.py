@@ -74,6 +74,7 @@ for a grace period and records the residue in
 
 from __future__ import annotations
 
+import ipaddress
 import os
 import signal
 import socket
@@ -81,6 +82,7 @@ import threading
 import time
 import traceback
 import uuid
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Iterable
@@ -116,6 +118,24 @@ _COORD = "c"
 
 #: Tuples per coalesced ``"tuples"`` frame.
 _BATCH_MAX = 64
+
+def _is_loopback_bind(host: str) -> bool:
+    """Whether ``host`` binds only the loopback interface.
+
+    ``""``/``"0.0.0.0"``/``"::"`` bind every interface; hostnames other
+    than ``localhost`` are conservatively treated as non-loopback rather
+    than resolved (resolution is racy and the answer gates a trust
+    decision).
+    """
+    if host == "localhost":
+        return True
+    if not host:
+        return False
+    try:
+        return ipaddress.ip_address(host).is_loopback
+    except ValueError:
+        return False
+
 
 #: Default redial budget for host channels (≈ 4 s worst case), matching
 #: the reconnecting network sources' shape.
@@ -326,25 +346,50 @@ def _build_host_graph(
     return g
 
 
+def _host_thread_failed(host_id: int, where: str) -> None:
+    """Kill the host process after a daemon-thread failure.
+
+    The sender/status threads are the host's only voice to the
+    coordinator.  If one dies (typically ``channel.send`` exhausting its
+    redial budget) while the engine thread keeps running, the host turns
+    into a zombie: it keeps computing, its output silently never leaves
+    the process, and the coordinator sees a live, never-quiescing host
+    until the run timeout.  Exiting the whole process instead hands the
+    failure to the coordinator's death detection, which either fails the
+    run fast or (``tolerate_host_loss=True``) degrades it cleanly.
+    """
+    traceback.print_exc()
+    print(
+        f"host{host_id}: {where} thread failed; exiting so the "
+        f"coordinator's death detection takes over",
+        flush=True,
+    )
+    os._exit(1)
+
+
 def _host_sender_loop(
     channel: ReconnectingChannel,
     outq: deque,
     out_cv: threading.Condition,
     counters: dict[str, int],
     stop: threading.Event,
+    host_id: int,
 ) -> None:
-    while True:
-        batch: list = []
-        with out_cv:
-            while outq and len(batch) < _BATCH_MAX:
-                batch.append(outq.popleft())
-            if not batch:
-                if stop.is_set():
-                    return
-                out_cv.wait(timeout=0.05)
-                continue
-        channel.send({"t": "tuples", "items": batch})
-        counters["sent"] += len(batch)
+    try:
+        while True:
+            batch: list = []
+            with out_cv:
+                while outq and len(batch) < _BATCH_MAX:
+                    batch.append(outq.popleft())
+                if not batch:
+                    if stop.is_set():
+                        return
+                    out_cv.wait(timeout=0.05)
+                    continue
+            channel.send({"t": "tuples", "items": batch})
+            counters["sent"] += len(batch)
+    except BaseException:
+        _host_thread_failed(host_id, "sender")
 
 
 def _host_loop(spec: _HostSpec, channel: ReconnectingChannel) -> None:
@@ -365,7 +410,7 @@ def _host_loop(spec: _HostSpec, channel: ReconnectingChannel) -> None:
 
     sender = threading.Thread(
         target=_host_sender_loop,
-        args=(channel, outq, out_cv, counters, sender_stop),
+        args=(channel, outq, out_cv, counters, sender_stop, spec.host_id),
         name=f"host{spec.host_id}-sender",
         daemon=True,
     )
@@ -374,23 +419,26 @@ def _host_loop(spec: _HostSpec, channel: ReconnectingChannel) -> None:
     def _status_loop() -> None:
         # Heartbeat: quiesce state + cumulative counters.  The counters
         # lag the sockets by design; the coordinator waits for equality.
-        last = None
-        while not stop.wait(0.03):
-            state = (
-                all(op.is_closed for op in spec.ops),
-                counters["received"],
-                counters["sent"],
-            )
-            if state == last:
-                continue
-            last = state
-            channel.send({
-                "t": "status",
-                "host": spec.host_id,
-                "quiesced": state[0],
-                "received": state[1],
-                "sent": state[2],
-            })
+        try:
+            last = None
+            while not stop.wait(0.03):
+                state = (
+                    all(op.is_closed for op in spec.ops),
+                    counters["received"],
+                    counters["sent"],
+                )
+                if state == last:
+                    continue
+                last = state
+                channel.send({
+                    "t": "status",
+                    "host": spec.host_id,
+                    "quiesced": state[0],
+                    "received": state[1],
+                    "sent": state[2],
+                })
+        except BaseException:
+            _host_thread_failed(spec.host_id, "status")
 
     status = threading.Thread(
         target=_status_loop, name=f"host{spec.host_id}-status", daemon=True
@@ -566,6 +614,22 @@ class ClusterEngine:
         self.graph = graph
         self.host_runtime = host_runtime
         self.bind_host = bind_host
+        #: Pickled ``done`` payload values are only trusted on a
+        #: loopback bind: the hello is authenticated by nothing stronger
+        #: than the run_id, which travels in cleartext on the same
+        #: connection — on a shared network an on-path observer could
+        #: replay it and deliver a pickle.
+        self._pickle_ok = _is_loopback_bind(bind_host)
+        if not self._pickle_ok:
+            warnings.warn(
+                f"ClusterEngine bound to non-loopback {bind_host!r}: "
+                f"pickled host-state payloads will be refused "
+                f"(cleartext run_id is not an authentication boundary); "
+                f"operator state that lacks a registered wire form will "
+                f"fail to fold back",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         self.port = port
         self.tolerate_host_loss = tolerate_host_loss
         self.flap_hosts = dict(flap_hosts or {})
@@ -770,7 +834,13 @@ class ClusterEngine:
             try:
                 conn.settimeout(5.0)
                 hello = recv_frame(conn)
-            except (ConnectionError, FrameError, OSError, socket.timeout):
+            except Exception:
+                # The listener is the untrusted boundary: one garbage or
+                # hostile connection must never take down the accept
+                # thread (hosts could then never redial after a flap).
+                # decode_frame maps malformed bytes to FrameError, but
+                # nothing short of a broad except makes that guarantee
+                # structural.
                 conn.close()
                 continue
             if (
@@ -1192,7 +1262,12 @@ class ClusterEngine:
         them with ``allow_pickle=True`` is a deliberate trust decision —
         the frame arrived on a connection whose hello echoed this run's
         random ``run_id``, which only processes we spawned were given.
-        Data-plane frames stay pickle-free regardless.
+        That holds **only on a loopback bind**: the run_id travels in
+        cleartext, so on a shared network it authenticates nothing.  A
+        non-loopback engine therefore decodes with
+        ``allow_pickle=False`` (set in ``__init__``, with a warning) and
+        a pickled attribute raises ``WireDecodeError`` instead of
+        executing.  Data-plane frames stay pickle-free regardless.
         """
         totals = {
             "hosts": len(self._links),
@@ -1224,7 +1299,7 @@ class ClusterEngine:
                 if op is None:
                     continue
                 state = {
-                    k: _decode_value(v, allow_pickle=True)
+                    k: _decode_value(v, allow_pickle=self._pickle_ok)
                     for k, v in payload.items()
                 }
                 op.__dict__.update(_strip_payload(state))

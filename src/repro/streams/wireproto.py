@@ -33,6 +33,7 @@ reconnect so the coordinator can re-associate the stream.
 from __future__ import annotations
 
 import json
+import re
 import select
 import socket
 import struct
@@ -115,15 +116,29 @@ def _jsonify(value: Any, blobs: list[bytes]) -> Any:
     )
 
 
+#: Shape of every dtype string the encoder emits (``arr.dtype.str``):
+#: byteorder, kind letter, item size, optional datetime unit.  Anything
+#: else — in particular numpy's comma-separated struct syntax, whose
+#: parser runs ``ast`` on the string — is rejected before ``np.dtype``
+#: ever sees it.
+_DTYPE_RE = re.compile(r"^[<>|=][a-zA-Z]\d*(\[[a-zA-Z]+\])?$")
+
+
 def _dejsonify(value: Any, blobs: list[bytes]) -> Any:
     if isinstance(value, dict):
         tag = value.get("__frame__")
         if tag == "nd":
             raw = blobs[value["i"]]
+            dtype_s = value["dtype"]
+            if not isinstance(dtype_s, str) or not _DTYPE_RE.match(dtype_s):
+                raise FrameError(f"bad nd dtype {dtype_s!r}")
+            dtype = np.dtype(dtype_s)
+            if dtype.hasobject:
+                raise FrameError("object dtypes cannot cross the wire")
             # Copy: the decoded array must be writable and must not pin
             # the receive buffer.
             return (
-                np.frombuffer(raw, dtype=np.dtype(value["dtype"]))
+                np.frombuffer(raw, dtype=dtype)
                 .reshape(value["shape"])
                 .copy()
             )
@@ -152,8 +167,20 @@ def encode_frame(msg: dict[str, Any]) -> bytes:
 
 
 def decode_frame(data: bytes | memoryview) -> dict[str, Any]:
-    """Rebuild the dict encoded by :func:`encode_frame`."""
+    """Rebuild the dict encoded by :func:`encode_frame`.
+
+    The bytes are untrusted: every length field is validated against the
+    actual buffer before any slice, and *any* parse failure — junk JSON,
+    truncated structs, bogus blob refs, a dtype/shape that does not
+    match its blob — surfaces as :class:`FrameError`, never as a raw
+    ``json``/``struct``/``KeyError`` leaking out of the protocol layer.
+    Callers (the coordinator accept/receiver loops, the host channel)
+    rely on that contract to treat a malformed frame as a protocol
+    violation rather than an internal crash.
+    """
     view = memoryview(data)
+    if len(view) < len(MAGIC) + _HEAD.size:
+        raise FrameError("truncated frame: shorter than the fixed header")
     if bytes(view[: len(MAGIC)]) != MAGIC:
         raise FrameError("bad frame magic")
     off = len(MAGIC)
@@ -161,18 +188,52 @@ def decode_frame(data: bytes | memoryview) -> dict[str, Any]:
     off += _HEAD.size
     if body_len > MAX_FRAME_BYTES:
         raise FrameError("frame length exceeds MAX_FRAME_BYTES")
-    blob_lens = [
-        _U64.unpack_from(view, off + i * _U64.size)[0]
-        for i in range(n_blobs)
-    ]
-    off += n_blobs * _U64.size
-    header = json.loads(bytes(view[off : off + header_len]).decode())
-    off += header_len
-    blobs: list[bytes] = []
-    for blen in blob_lens:
-        blobs.append(bytes(view[off : off + blen]))
-        off += blen
-    return _dejsonify(header, blobs)
+    if len(view) - off != body_len:
+        raise FrameError(
+            f"frame body is {len(view) - off} bytes, header says {body_len}"
+        )
+    lens_size = n_blobs * _U64.size
+    if header_len + lens_size > body_len:
+        raise FrameError(
+            "frame header_len/n_blobs exceed the declared body length"
+        )
+    try:
+        blob_lens = [
+            _U64.unpack_from(view, off + i * _U64.size)[0]
+            for i in range(n_blobs)
+        ]
+        off += lens_size
+        if sum(blob_lens) != body_len - header_len - lens_size:
+            raise FrameError("blob lengths do not sum to the frame body")
+        header = json.loads(bytes(view[off : off + header_len]).decode())
+        off += header_len
+        blobs: list[bytes] = []
+        for blen in blob_lens:
+            blobs.append(bytes(view[off : off + blen]))
+            off += blen
+        decoded = _dejsonify(header, blobs)
+    except FrameError:
+        raise
+    except (
+        struct.error,
+        ValueError,
+        KeyError,
+        IndexError,
+        TypeError,
+        UnicodeDecodeError,
+        SyntaxError,
+    ) as exc:
+        # json.JSONDecodeError is a ValueError; numpy raises
+        # ValueError/TypeError on bad dtype/shape refs (and its
+        # comma-struct dtype parser can raise SyntaxError, though
+        # _DTYPE_RE forecloses that path before np.dtype runs).
+        raise FrameError(f"malformed frame: {exc}") from exc
+    if not isinstance(decoded, dict):
+        raise FrameError(
+            f"frame header must decode to a dict, got "
+            f"{type(decoded).__name__}"
+        )
+    return decoded
 
 
 # ---------------------------------------------------------------------------
@@ -359,10 +420,24 @@ class ReconnectingChannel:
                         f"{self.addr}: {exc}"
                     ) from exc
 
-    def _reconnect(self) -> socket.socket:
+    def _reconnect(self, failed: socket.socket | None = None) -> socket.socket:
+        """Replace ``failed`` with a fresh dialed socket.
+
+        The sender and receiver threads share one socket; when both hit
+        the same outage, both call in here.  Whichever loses the race
+        must *not* tear down the healthy socket the winner just dialed —
+        if ``self._sock`` is no longer the socket that failed, another
+        thread already reconnected and we simply use its socket.
+        """
         with self._conn_lock:
             if self._closed:
                 raise ConnectionError("channel closed")
+            if (
+                failed is not None
+                and self._sock is not None
+                and self._sock is not failed
+            ):
+                return self._sock
             if self._sock is not None:
                 try:
                     self._sock.close()
@@ -392,7 +467,7 @@ class ReconnectingChannel:
                     self.frames_out += 1
                     return
                 except OSError:
-                    self._reconnect()
+                    self._reconnect(sock)
 
     def recv(self, timeout_s: float = 0.05) -> dict[str, Any] | None:
         """One frame, or ``None`` on timeout; reconnects on failure."""
@@ -415,10 +490,10 @@ class ReconnectingChannel:
             try:
                 msg, nbytes = recv_frame_sized(sock)
             except (ConnectionError, OSError):
-                self._reconnect()
+                self._reconnect(sock)
                 continue
             if msg is None:  # peer closed cleanly: treat as outage
-                self._reconnect()
+                self._reconnect(sock)
                 continue
             self.frames_in += 1
             self.bytes_in += nbytes

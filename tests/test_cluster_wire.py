@@ -97,6 +97,104 @@ class TestFrameCodec:
             decode_frame(bytes(data))
 
 
+def _raw_frame(header, blobs=(), n_blobs=None, blob_lens=None):
+    """Hand-assemble a (possibly malformed) frame from raw parts."""
+    import struct
+
+    lens = (
+        blob_lens
+        if blob_lens is not None
+        else [len(b) for b in blobs]
+    )
+    lens_bytes = b"".join(struct.pack("!Q", n) for n in lens)
+    body = lens_bytes + header + b"".join(blobs)
+    nb = n_blobs if n_blobs is not None else len(blobs)
+    return b"RPW1" + struct.pack("!QII", len(body), len(header), nb) + body
+
+
+class TestMalformedFrames:
+    """Every parse failure must surface as FrameError.
+
+    Regression: junk bytes from an untrusted peer used to leak
+    ``json.JSONDecodeError`` / ``struct.error`` / ``KeyError`` /
+    ``IndexError`` out of ``decode_frame``, which killed the
+    coordinator's accept thread on the first garbage connection —
+    legitimate hosts could then never connect or redial.
+    """
+
+    def test_truncated_fixed_header(self):
+        with pytest.raises(FrameError, match="truncated"):
+            decode_frame(b"RPW1\x00\x00")
+
+    def test_junk_json_header(self):
+        with pytest.raises(FrameError, match="malformed frame"):
+            decode_frame(_raw_frame(b"not json at all"))
+
+    def test_non_utf8_header(self):
+        with pytest.raises(FrameError, match="malformed frame"):
+            decode_frame(_raw_frame(b"\xff\xfe\xfd\xfc"))
+
+    def test_empty_body(self):
+        with pytest.raises(FrameError, match="malformed frame"):
+            decode_frame(_raw_frame(b""))
+
+    def test_non_dict_header(self):
+        with pytest.raises(FrameError, match="must decode to a dict"):
+            decode_frame(_raw_frame(b"[1,2,3]"))
+
+    def test_n_blobs_past_buffer(self):
+        with pytest.raises(FrameError, match="exceed the declared body"):
+            decode_frame(_raw_frame(b'{"a":1}', n_blobs=1 << 20))
+
+    def test_blob_lengths_do_not_sum(self):
+        with pytest.raises(FrameError, match="do not sum"):
+            decode_frame(
+                _raw_frame(b'{"a":1}', blobs=(b"xyz",), blob_lens=[7])
+            )
+
+    def test_truncated_body(self):
+        data = encode_frame({"x": np.zeros(8)})
+        with pytest.raises(FrameError, match="frame body is"):
+            decode_frame(data[:-3])
+
+    def test_nd_ref_with_bad_dtype(self):
+        hdr = b'{"x":{"__frame__":"nd","i":0,"dtype":"?!","shape":[3]}}'
+        with pytest.raises(FrameError, match="bad nd dtype"):
+            decode_frame(_raw_frame(hdr, blobs=(b"\x00" * 24,)))
+
+    def test_nd_ref_with_comma_struct_dtype(self):
+        # numpy's comma-struct dtype syntax runs an ast-based parser
+        # that raises SyntaxError on hostile strings; the decoder must
+        # never hand attacker bytes to it.
+        hdr = (
+            b'{"x":{"__frame__":"nd","i":0,'
+            b'"dtype":"f8,(2)f8","shape":[3]}}'
+        )
+        with pytest.raises(FrameError, match="bad nd dtype"):
+            decode_frame(_raw_frame(hdr, blobs=(b"\x00" * 24,)))
+
+    def test_nd_ref_with_object_dtype_spelling(self):
+        hdr = b'{"x":{"__frame__":"nd","i":0,"dtype":"|O8","shape":[1]}}'
+        with pytest.raises(FrameError):
+            decode_frame(_raw_frame(hdr, blobs=(b"\x00" * 8,)))
+
+    def test_nd_ref_with_mismatched_shape(self):
+        hdr = (
+            b'{"x":{"__frame__":"nd","i":0,"dtype":"<f8","shape":[99]}}'
+        )
+        with pytest.raises(FrameError, match="malformed frame"):
+            decode_frame(_raw_frame(hdr, blobs=(b"\x00" * 24,)))
+
+    def test_nd_ref_with_missing_fields(self):
+        with pytest.raises(FrameError, match="malformed frame"):
+            decode_frame(_raw_frame(b'{"x":{"__frame__":"nd"}}'))
+
+    def test_blob_index_out_of_range(self):
+        hdr = b'{"x":{"__frame__":"bytes","i":5}}'
+        with pytest.raises(FrameError, match="malformed frame"):
+            decode_frame(_raw_frame(hdr))
+
+
 def _pair():
     a, b = socket.socketpair()
     return a, b
@@ -277,6 +375,42 @@ class TestReconnectingChannel:
             # The self-inflicted flap is a counted reconnect too —
             # regression: redials via the flap hook used to dial as
             # "first connect" and evade the counter.
+            assert chan.n_reconnects == 1
+            server.join(timeout=5.0)
+            assert len(coord.hellos) == 2
+        finally:
+            chan.close()
+            coord.close()
+
+    def test_reconnect_race_keeps_winners_socket(self):
+        # Regression: the sender and receiver threads share one socket;
+        # when both hit the same outage, the second _reconnect used to
+        # unconditionally close the fresh socket the first had just
+        # dialed — a spurious extra reconnect that lost any frames
+        # already sent on it.
+        coord = _MiniCoordinator()
+        server = threading.Thread(
+            target=coord.serve, args=([[], []],), daemon=True
+        )
+        server.start()
+        chan = ReconnectingChannel(
+            coord.addr, {"t": "hello"},
+            max_retries=8, base_s=0.01, cap_s=0.1,
+        )
+        try:
+            chan.connect()
+            fresh = chan._sock
+            # The losing thread reports the *stale* socket it saw fail;
+            # the winner's fresh socket must be handed back untouched.
+            stale = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            stale.close()
+            assert chan._reconnect(stale) is fresh
+            assert chan._sock is fresh
+            assert fresh.fileno() != -1  # not torn down
+            assert chan.n_reconnects == 0
+            # Reporting the *current* socket as failed still redials.
+            redialed = chan._reconnect(fresh)
+            assert redialed is not fresh
             assert chan.n_reconnects == 1
             server.join(timeout=5.0)
             assert len(coord.hellos) == 2

@@ -5,6 +5,7 @@ coordinator over real TCP sockets on localhost; nothing is mocked below
 the wire layer.
 """
 
+import socket
 import threading
 import time
 
@@ -187,6 +188,164 @@ class TestClusterChaos:
         assert report.n_reconnects >= 1
         assert report.affinity is not None
         assert report.affinity >= MIN_AFFINITY
+
+
+class TestAcceptLoopResilience:
+    def test_garbage_connections_do_not_kill_the_run(self):
+        # Regression: a single malformed/hostile connection to the
+        # coordinator port (the untrusted boundary) used to raise an
+        # uncaught json/struct error in the accept thread, after which
+        # hosts could never connect or redial and the run hung until
+        # timeout.
+        import struct
+
+        X = _spectra(n=600)
+        runner = _pca_runner("cluster")
+        app = runner.build(VectorStream.from_array(X))
+        engine = ClusterEngine(
+            app.graph, main_ops=_main_ops(app), n_hosts=3
+        )
+
+        def _attack():
+            deadline = time.perf_counter() + 30.0
+            while engine._listener is None:
+                if time.perf_counter() > deadline:
+                    return
+                time.sleep(0.005)
+            addr = engine._listener.getsockname()
+            junk_json = b"this is not json"
+            payloads = [
+                b"GET / HTTP/1.1\r\n\r\n",  # wrong protocol entirely
+                b"RPW1" + b"\x00" * 16,  # empty body: junk JSON header
+                # Valid magic, n_blobs pointing far past the buffer.
+                b"RPW1"
+                + struct.pack(
+                    "!QII", len(junk_json), len(junk_json), 1 << 20
+                )
+                + junk_json,
+                b"",  # connect-and-vanish
+            ]
+            for payload in payloads:
+                try:
+                    s = socket.create_connection(addr, timeout=5.0)
+                    if payload:
+                        s.sendall(payload)
+                    s.close()
+                except OSError:
+                    return
+
+        attacker = threading.Thread(target=_attack, daemon=True)
+        attacker.start()
+        engine.run(timeout_s=120)
+        attacker.join(timeout=10.0)
+        stats = engine.cluster_stats
+        assert stats["host_deaths"] == 0
+        assert stats["tuples_from_hosts"] > 0
+
+
+class TestHostThreadFailure:
+    def test_sender_budget_exhaustion_exits_host_process(
+        self, monkeypatch, capsys
+    ):
+        # Regression: a ConnectionError (redial budget exhausted) used
+        # to kill only the daemon sender thread — the host kept
+        # computing with output silently never sent, and the
+        # coordinator saw a live, never-quiescing host until the run
+        # timeout.  The thread must take the whole host process down so
+        # death detection takes over.
+        from collections import deque
+
+        from repro.streams import clusterengine as ce
+
+        exits = []
+        monkeypatch.setattr(ce.os, "_exit", lambda code: exits.append(code))
+
+        class _DeadChannel:
+            def send(self, msg):
+                raise ConnectionError("reconnect budget exhausted")
+
+        outq = deque([("dst", 0, {"kind": "control"})])
+        ce._host_sender_loop(
+            _DeadChannel(), outq, threading.Condition(),
+            {"received": 0, "sent": 0}, threading.Event(), 7,
+        )
+        assert exits == [1]
+        assert "death detection" in capsys.readouterr().out
+
+
+class TestPickleGate:
+    def test_is_loopback_bind(self):
+        from repro.streams.clusterengine import _is_loopback_bind
+
+        assert _is_loopback_bind("127.0.0.1")
+        assert _is_loopback_bind("127.1.2.3")
+        assert _is_loopback_bind("::1")
+        assert _is_loopback_bind("localhost")
+        assert not _is_loopback_bind("0.0.0.0")
+        assert not _is_loopback_bind("::")
+        assert not _is_loopback_bind("")
+        assert not _is_loopback_bind("10.0.0.5")
+        assert not _is_loopback_bind("example.com")
+
+    def test_non_loopback_bind_refuses_pickled_done_payloads(self):
+        # Regression: "done" frames were decoded with allow_pickle=True
+        # gated only by the cleartext run_id — on a non-loopback bind an
+        # on-path observer could replay it and deliver a pickle
+        # (arbitrary code execution on the coordinator).
+        import pickle
+
+        from repro.streams.tuples import WireDecodeError
+
+        X = _spectra(n=60)
+        app = _pca_runner("cluster").build(VectorStream.from_array(X))
+        with pytest.warns(RuntimeWarning, match="non-loopback"):
+            engine = ClusterEngine(
+                app.graph, main_ops=_main_ops(app), n_hosts=3,
+                bind_host="0.0.0.0",
+            )
+        assert engine._pickle_ok is False
+        op_name = engine._host_ops[0][0].name
+        engine._links[0].done = {
+            "ops": {
+                op_name: {
+                    "attr": {
+                        "__wire__": "pickle",
+                        "data": pickle.dumps({1, 2}),
+                    }
+                }
+            },
+            "metrics": [],
+            "counters": {"received": 0, "sent": 0},
+            "transport": {},
+        }
+        with pytest.raises(WireDecodeError, match="allow_pickle=False"):
+            engine._apply_done(0)
+
+    def test_loopback_bind_still_trusts_done_payloads(self):
+        import pickle
+
+        X = _spectra(n=60)
+        app = _pca_runner("cluster").build(VectorStream.from_array(X))
+        engine = ClusterEngine(
+            app.graph, main_ops=_main_ops(app), n_hosts=3
+        )
+        assert engine._pickle_ok is True
+        op = engine._host_ops[0][0]
+        engine._links[0].done = {
+            "ops": {
+                op.name: {
+                    "extra_attr": {
+                        "__wire__": "pickle",
+                        "data": pickle.dumps({1, 2}),
+                    }
+                }
+            },
+            "metrics": [],
+            "counters": {"received": 0, "sent": 0},
+            "transport": {},
+        }
+        engine._apply_done(0)
+        assert op.extra_attr == {1, 2}
 
 
 class TestClusterCLI:
