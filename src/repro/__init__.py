@@ -27,7 +27,7 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import cluster, core, data, experiments, io, parallel, streams
+from . import cluster, core, data, experiments, io, parallel, serving, streams
 
 __all__ = [
     "cluster",
@@ -36,6 +36,7 @@ __all__ = [
     "experiments",
     "io",
     "parallel",
+    "serving",
     "streams",
     "__version__",
 ]

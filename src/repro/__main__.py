@@ -295,10 +295,111 @@ def cluster_main(argv: list[str]) -> int:
     return 0
 
 
+def serve_main(argv: list[str]) -> int:
+    """``python -m repro serve`` — multi-tenant streaming-PCA service.
+
+    Default mode boots the asyncio HTTP/WebSocket front end and blocks
+    until interrupted; ``--smoke`` instead runs the seeded concurrent
+    smoke workload (the CI ``serving-smoke`` job) and exits non-zero on
+    any contract violation (5xx, tuple loss, missing shed).
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description=(
+            "Serve streaming PCA over HTTP/WebSocket: per-tenant "
+            "ingest lanes with admission control, a shared engine "
+            "pool, and snapshot-cached query endpoints (transform, "
+            "reconstruction_error, outlier_score, eigenspectra)."
+        ),
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    parser.add_argument(
+        "--port", type=int, default=8780,
+        help="bind port (default 8780; 0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--lanes", type=int, default=2,
+        help="engine-lane count of the shared pool (default 2)",
+    )
+    parser.add_argument(
+        "--tenant", action="append", default=[], metavar="NAME[:P]",
+        help="pre-create a tenant (optionally NAME:n_components); "
+        "repeatable",
+    )
+    parser.add_argument(
+        "--auto-tenants", action="store_true",
+        help="auto-create unknown tenants on first ingest",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run the concurrent smoke workload instead of serving",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=20,
+        help="[--smoke] concurrent client threads (default 20)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=30.0,
+        help="[--smoke] seconds to drive load (default 30)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=20120513,
+        help="[--smoke] workload seed",
+    )
+    parser.add_argument(
+        "--out", metavar="FILE",
+        help="[--smoke] write the telemetry event log to FILE as JSONL",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.serving import (
+        PCAService,
+        ServingConfig,
+        ServingServer,
+        TenantSpec,
+        run_smoke,
+    )
+
+    if args.smoke:
+        try:
+            run_smoke(
+                n_clients=args.clients,
+                duration_s=args.duration,
+                seed=args.seed,
+                n_lanes=args.lanes,
+                telemetry_out=args.out,
+            )
+        except AssertionError as exc:
+            print(exc)
+            return 1
+        return 0
+
+    config = ServingConfig(n_lanes=args.lanes)
+    if args.auto_tenants or not args.tenant:
+        config.auto_tenant_template = TenantSpec("template")
+    service = PCAService(config)
+    for entry in args.tenant:
+        name, _, p = entry.partition(":")
+        service.add_tenant(
+            TenantSpec(name, n_components=int(p) if p else 4)
+        )
+    server = ServingServer(service, host=args.host, port=args.port)
+    server.start()
+    print(f"serving on {server.url} (lanes={args.lanes}); Ctrl-C to stop")
+    from repro.serving.http import serve_forever
+
+    serve_forever(server)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Parse arguments and run the selected experiment(s)."""
     if argv is None:
         argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     if argv and argv[0] == "telemetry":
         return telemetry_main(argv[1:])
     if argv and argv[0] == "chaos":
@@ -324,7 +425,9 @@ def main(argv: list[str] | None = None) -> int:
         "  cluster    run PCA on the multi-node TCP runtime and gate on\n"
         "             affinity (python -m repro cluster --kill-host)\n"
         "  health     render the model-health report from a JSONL log\n"
-        "             (python -m repro health <events.jsonl>)",
+        "             (python -m repro health <events.jsonl>)\n"
+        "  serve      serve streaming PCA over HTTP/WebSocket\n"
+        "             (python -m repro serve --port 8780)",
     )
     parser.add_argument(
         "experiment",

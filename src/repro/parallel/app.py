@@ -87,6 +87,33 @@ class ParallelPCAApp:
             rules=rules if rules is not None else default_rules(),
         )
 
+    def attach_snapshot_cache(
+        self, cache, tenant: str = "parallel", *, outlier_t: float = 9.0
+    ) -> None:
+        """Publish every engine's snapshot into a serving eigenbasis cache.
+
+        Wires a snapshot listener onto each
+        :class:`~repro.parallel.pca_operator.StreamingPCAOperator`
+        (requires ``snapshot_every > 0`` at build time): the per-engine
+        states land in ``cache`` under ``"<tenant>/e<engine_id>"``, so a
+        serving deployment can answer reads for an in-flight parallel
+        run from versioned copy-on-publish snapshots instead of touching
+        live operator state.
+        """
+        def _make_listener(op):
+            def _on_snapshot(engine_id: int, state) -> None:
+                cache.publish(
+                    f"{tenant}/e{engine_id}",
+                    state,
+                    rows_applied=op.n_data_rows,
+                    blocks_applied=op.n_data_tuples,
+                    outlier_t=outlier_t,
+                )
+            return _on_snapshot
+
+        for op in self.engines:
+            op.add_snapshot_listener(_make_listener(op))
+
     @property
     def dlq(self) -> DeadLetterQueue | None:
         """The dead-letter queue (``None`` without a quarantine guard)."""

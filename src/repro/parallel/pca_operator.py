@@ -30,7 +30,8 @@ The control protocol is deliberately tiny:
 
 from __future__ import annotations
 
-from typing import Any
+import threading
+from typing import Any, Callable
 
 import numpy as np
 
@@ -109,12 +110,71 @@ class StreamingPCAOperator(Operator):
         #: Optional :class:`~repro.streams.health.HealthMonitor`; installed
         #: via :meth:`attach_health_monitor` (None = zero overhead).
         self._health_monitor = None
+        #: Guards every estimator state mutation.  The estimator's block
+        #: update mutates the eigensystem *in place*, so a reader on
+        #: another thread (a serving snapshot publisher, an operator
+        #: dashboard) copying ``public_state()`` mid-update would see a
+        #: torn basis.  Within the engine the operator is single-threaded
+        #: and the lock is uncontended; cross-thread readers must go
+        #: through :meth:`published_state`.
+        self._state_lock = threading.RLock()
+        self._snapshot_listeners: list[
+            Callable[[int, Eigensystem], None]
+        ] = []
+
+    # -- pickling (ProcessEngine ships operators to workers) -------------
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        # Locks don't pickle; snapshot listeners are process-local
+        # closures (a worker cannot call back into the parent anyway).
+        state["_state_lock"] = None
+        state["_snapshot_listeners"] = []
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._state_lock = threading.RLock()
+
+    def _lock(self) -> threading.RLock:
+        # ProcessEngine's sanitizer nulls the lock before shipping the
+        # operator to a fork-context worker (no pickle round-trip means
+        # __setstate__ never runs there); recreate on first use.
+        lock = self._state_lock
+        if lock is None:
+            lock = self._state_lock = threading.RLock()
+        return lock
 
     # -- model-health monitoring ----------------------------------------
 
     def attach_health_monitor(self, monitor) -> None:
         """Attach a model-health monitor (see ``repro.streams.health``)."""
         self._health_monitor = monitor
+
+    def add_snapshot_listener(
+        self, fn: Callable[[int, Eigensystem], None]
+    ) -> None:
+        """Call ``fn(engine_id, state_copy)`` at every snapshot emission.
+
+        The serving layer's snapshot publisher hangs off this hook: the
+        state handed to listeners is a private copy taken under the
+        state lock (copy-on-publish), safe to read from any thread.
+        """
+        if self._snapshot_listeners is None:
+            self._snapshot_listeners = []
+        self._snapshot_listeners.append(fn)
+
+    def published_state(self) -> Eigensystem | None:
+        """A torn-free copy of the current state, from any thread.
+
+        ``None`` during warm-up.  This is the only supported way to read
+        the model concurrently with ``update``/``update_block`` — the
+        raw ``estimator.state`` is mutated in place and may be torn.
+        """
+        with self._lock():
+            if not self.estimator.is_initialized:
+                return None
+            return self.estimator.public_state()
 
     def bind_telemetry(self, telemetry) -> None:
         """Telemetry hook (called by ``Telemetry.attach_graph``)."""
@@ -135,7 +195,8 @@ class StreamingPCAOperator(Operator):
             self._process_block(tup)
             return
         self.n_data_rows += 1
-        result = self.estimator.update(tup["x"])
+        with self._lock():
+            result = self.estimator.update(tup["x"])
         if result is not None and self.emit_diagnostics:
             self.submit(
                 inherit_event_time(
@@ -178,7 +239,8 @@ class StreamingPCAOperator(Operator):
         """
         xs = np.asarray(tup["xs"], dtype=np.float64)
         n_before = self.estimator.n_seen
-        result = self.estimator.update_block(xs)
+        with self._lock():
+            result = self.estimator.update_block(xs)
         self.n_data_rows += xs.shape[0]
         if self.emit_diagnostics and result.n_processed:
             seqs = tup.get("seqs")
@@ -244,14 +306,21 @@ class StreamingPCAOperator(Operator):
             return
         after = self.estimator.n_seen
         if after // self.snapshot_every > max(before, 0) // self.snapshot_every:
+            with self._lock():
+                state = self.estimator.public_state()
             self.submit(
                 StreamTuple.data(
-                    state=self.estimator.public_state(),
+                    state=state,
                     engine=self.engine_id,
                     kind="snapshot",
                 ),
                 port=1,
             )
+            for fn in self._snapshot_listeners or ():
+                try:
+                    fn(self.engine_id, state)
+                except Exception:
+                    pass  # a broken listener must not stall the stream
 
     def _maybe_announce_ready(self) -> None:
         if (
@@ -283,11 +352,13 @@ class StreamingPCAOperator(Operator):
         if not self.estimator.is_initialized:
             return
         self.n_states_shared += 1
+        with self._lock():
+            state = self.estimator.public_state()
         self.submit(
             StreamTuple.control(
                 type="state",
                 engine=self.engine_id,
-                state=self.estimator.public_state(),
+                state=state,
             ),
             port=0,
         )
@@ -305,7 +376,8 @@ class StreamingPCAOperator(Operator):
             if reseed:
                 adopt = getattr(self.estimator, "adopt_state", None)
                 if adopt is not None:
-                    adopt(incoming)
+                    with self._lock():
+                        adopt(incoming)
                     self.n_reseeds += 1
                     self._ready_announced = False
                     if self._health_monitor is not None:
@@ -313,10 +385,11 @@ class StreamingPCAOperator(Operator):
                             self.estimator, reseed=True
                         )
             return
-        local = self.estimator.state
-        k = local.n_components
-        merged = merge_eigensystems([local, incoming], max(k, 1))
-        self.estimator.replace_state(merged)
+        with self._lock():
+            local = self.estimator.state
+            k = local.n_components
+            merged = merge_eigensystems([local, incoming], max(k, 1))
+            self.estimator.replace_state(merged)
         self.n_syncs_received += 1
         if reseed:
             self.n_reseeds += 1
@@ -329,9 +402,10 @@ class StreamingPCAOperator(Operator):
     def snapshot_state(self) -> Eigensystem | None:
         """An independent copy of the recoverable state (``None`` during
         warm-up, before the estimator initializes)."""
-        if not self.estimator.is_initialized:
-            return None
-        return self.estimator.public_state()
+        with self._lock():
+            if not self.estimator.is_initialized:
+                return None
+            return self.estimator.public_state()
 
     def restore_state(self, state: Eigensystem) -> None:
         """Roll the estimator back to a snapshot taken by
@@ -339,16 +413,18 @@ class StreamingPCAOperator(Operator):
         engine can resynchronize promptly."""
         if state is None:
             return
-        if not self.estimator.is_initialized:
-            # A respawned worker process holds a fresh estimator: adopt
-            # the checkpoint outright (estimators without adopt_state
-            # keep the old semantics — restart from a clean warm-up).
-            adopt = getattr(self.estimator, "adopt_state", None)
-            if adopt is not None:
-                adopt(state)
-                self._ready_announced = False
-            return
-        self.estimator.replace_state(state)
+        with self._lock():
+            if not self.estimator.is_initialized:
+                # A respawned worker process holds a fresh estimator:
+                # adopt the checkpoint outright (estimators without
+                # adopt_state keep the old semantics — restart from a
+                # clean warm-up).
+                adopt = getattr(self.estimator, "adopt_state", None)
+                if adopt is not None:
+                    adopt(state)
+                    self._ready_announced = False
+                return
+            self.estimator.replace_state(state)
         self._ready_announced = False
 
     # ------------------------------------------------------------------
@@ -356,11 +432,13 @@ class StreamingPCAOperator(Operator):
     def close(self) -> None:
         """Ship the final state to the controller for global merging."""
         if self.estimator.is_initialized:
+            with self._lock():
+                state = self.estimator.public_state()
             self.submit(
                 StreamTuple.control(
                     type="final",
                     engine=self.engine_id,
-                    state=self.estimator.public_state(),
+                    state=state,
                 ),
                 port=0,
             )

@@ -1,0 +1,523 @@
+"""Tenants: specs, ingest lanes, per-tenant models, and the router.
+
+Each tenant is an isolated streaming-PCA customer: its own model, its
+own bounded ingest queue, and its own admission valve
+(:class:`~repro.streams.resilience.LoadShedValve`), so one tenant's
+overload sheds *that tenant's* traffic and never starves a neighbour.
+Compute is shared: a :class:`~repro.serving.pool.EnginePool` of lanes
+drains every tenant's queue, with the :class:`TenantRouter` deciding
+which lane owns which tenant (rendezvous hashing, so scaling the pool
+up or down moves as few tenants as possible).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import re
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..core.eigensystem import Eigensystem
+from ..core.merge import merge_eigensystems
+from ..core.robust import RobustIncrementalPCA
+from ..streams.health import HealthMonitor
+from ..streams.resilience import LoadShedValve
+from .snapshots import DEFAULT_OUTLIER_T, EigenbasisCache
+
+__all__ = [
+    "IngestQueue",
+    "QueueFull",
+    "TenantModel",
+    "TenantRouter",
+    "TenantSpec",
+    "TenantState",
+]
+
+_TENANT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$")
+
+_MONITOR_IDS = itertools.count()
+
+_RUNTIMES = ("synchronous", "threaded", "process", "cluster")
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Declarative per-tenant configuration.
+
+    Parameters
+    ----------
+    name:
+        URL-safe tenant id (``[A-Za-z0-9][A-Za-z0-9_.-]*``, <= 64 chars).
+    n_components / alpha / delta / init_size / estimator_kwargs:
+        Forwarded to the tenant's
+        :class:`~repro.core.robust.RobustIncrementalPCA`.
+    n_engines / runtime:
+        ``n_engines == 1`` (default) updates one estimator in place on
+        the owning lane — the hot path.  ``n_engines > 1`` switches the
+        tenant to *parallel chunk mode*: ingest rows accumulate into
+        chunks of ``parallel_chunk_rows``, each chunk is processed by a
+        full :class:`~repro.parallel.ParallelStreamingPCA` run on the
+        chosen runtime, and the chunk's merged eigensystem is folded
+        into the tenant state with
+        :func:`~repro.core.merge.merge_eigensystems` (the paper's merge
+        operator used as the incremental step).
+    publish_every_blocks:
+        Snapshot cadence ``k``: the lane publishes a fresh eigenbasis
+        snapshot after every ``k`` applied blocks (plus once immediately
+        after the model first initializes, so queries go live early).
+    max_rate_hz / burst_s / shed_open_for_s:
+        Admission valve; ``None`` admits everything (see
+        :class:`~repro.streams.resilience.LoadShedValve`).  Rates are in
+        *rows* per second.
+    queue_capacity_rows:
+        Bound on queued-but-unapplied rows; ingest beyond it is rejected
+        with 429 (shed-not-drop: rejected rows were never admitted).
+    max_block_rows:
+        Drain granularity: the lane applies at most this many rows per
+        model update (keeps publish latency and lock hold times bounded).
+    health_check_every:
+        Rows between model-health checks (0 disables the monitor).
+    outlier_t:
+        Scaled-residual outlier cutoff stamped into snapshots when the
+        model cannot provide a calibrated one.
+    """
+
+    name: str
+    n_components: int = 4
+    alpha: float = 0.999
+    delta: float = 0.5
+    init_size: int = 20
+    estimator_kwargs: dict[str, Any] = field(default_factory=dict)
+    n_engines: int = 1
+    runtime: str = "synchronous"
+    parallel_chunk_rows: int = 0  # 0 = auto
+    publish_every_blocks: int = 4
+    max_rate_hz: float | None = None
+    burst_s: float = 1.0
+    shed_open_for_s: float = 0.25
+    queue_capacity_rows: int = 50_000
+    max_block_rows: int = 256
+    health_check_every: int = 512
+    outlier_t: float = DEFAULT_OUTLIER_T
+
+    def __post_init__(self) -> None:
+        if not _TENANT_RE.match(self.name):
+            raise ValueError(
+                f"tenant name must match {_TENANT_RE.pattern!r}, "
+                f"got {self.name!r}"
+            )
+        if self.n_components < 1:
+            raise ValueError("n_components must be >= 1")
+        if self.n_engines < 1:
+            raise ValueError("n_engines must be >= 1")
+        if self.runtime not in _RUNTIMES:
+            raise ValueError(
+                f"runtime must be one of {_RUNTIMES}, got {self.runtime!r}"
+            )
+        if self.publish_every_blocks < 1:
+            raise ValueError("publish_every_blocks must be >= 1")
+        if self.max_rate_hz is not None and self.max_rate_hz <= 0:
+            raise ValueError("max_rate_hz must be positive (or None)")
+        if self.burst_s <= 0:
+            raise ValueError("burst_s must be positive")
+        if self.queue_capacity_rows < 1:
+            raise ValueError("queue_capacity_rows must be >= 1")
+        if self.max_block_rows < 1:
+            raise ValueError("max_block_rows must be >= 1")
+
+    @property
+    def chunk_rows(self) -> int:
+        """Effective parallel chunk size (auto = enough to warm every
+        engine with comfortable margin under random splitting)."""
+        if self.parallel_chunk_rows > 0:
+            return self.parallel_chunk_rows
+        return max(512, 4 * self.n_engines * self.init_size)
+
+
+class QueueFull(Exception):
+    """Raised by :meth:`IngestQueue.push` when capacity would be exceeded."""
+
+
+class IngestQueue:
+    """Bounded FIFO of ``(k, d)`` row blocks for one tenant.
+
+    Producers are request handlers (reject-on-full — admission control,
+    not backpressure-by-blocking); the single consumer is the owning
+    engine lane.  ``requeue_front`` re-admits an in-flight block after a
+    lane death and is allowed to overshoot capacity: those rows were
+    already admitted and must not be lost.
+    """
+
+    def __init__(self, capacity_rows: int) -> None:
+        self.capacity_rows = int(capacity_rows)
+        self._blocks: deque[np.ndarray] = deque()
+        self._rows = 0
+        self._lock = threading.Lock()
+        self.rows_pushed = 0
+        self.rows_popped = 0
+        self.rows_requeued = 0
+
+    @property
+    def depth_rows(self) -> int:
+        return self._rows
+
+    def push(self, block: np.ndarray) -> int:
+        """Enqueue one admitted block; returns the new depth in rows."""
+        n = block.shape[0]
+        with self._lock:
+            if self._rows + n > self.capacity_rows:
+                raise QueueFull(
+                    f"queue at {self._rows}/{self.capacity_rows} rows"
+                )
+            self._blocks.append(block)
+            self._rows += n
+            self.rows_pushed += n
+            return self._rows
+
+    def pop(self, max_rows: int) -> np.ndarray | None:
+        """Dequeue up to ``max_rows`` rows (coalescing whole blocks)."""
+        out: list[np.ndarray] = []
+        got = 0
+        with self._lock:
+            while self._blocks and (
+                not out or got + self._blocks[0].shape[0] <= max_rows
+            ):
+                blk = self._blocks.popleft()
+                self._rows -= blk.shape[0]
+                got += blk.shape[0]
+                out.append(blk)
+        if not out:
+            return None
+        self.rows_popped += got
+        return out[0] if len(out) == 1 else np.vstack(out)
+
+    def requeue_front(self, block: np.ndarray) -> None:
+        """Put an in-flight block back (lane died before applying it)."""
+        with self._lock:
+            self._blocks.appendleft(block)
+            self._rows += block.shape[0]
+            self.rows_requeued += block.shape[0]
+
+
+class TenantModel:
+    """The hot model of one tenant, with its publish discipline.
+
+    All mutation happens under ``lock`` on the owning lane's thread; the
+    *only* thing that ever leaves the lock is an immutable snapshot
+    (copy-on-publish into the :class:`EigenbasisCache`).  Query traffic
+    never touches this object — that is the serving layer's core
+    contract, tested by ``tests/test_serving.py`` with the lock held.
+    """
+
+    def __init__(self, spec: TenantSpec) -> None:
+        self.spec = spec
+        self.lock = threading.Lock()
+        self._estimator = self._make_estimator()
+        #: Parallel chunk mode state (n_engines > 1): merged eigensystem
+        #: plus the pending chunk buffer.
+        self._merged: Eigensystem | None = None
+        self._pending: list[np.ndarray] = []
+        self._pending_rows = 0
+        self.monitor: HealthMonitor | None = None
+        if spec.health_check_every > 0:
+            # Each tenant model gets a unique monitor id so the rule
+            # engine's per-engine snapshot table does not collide.
+            self.monitor = HealthMonitor(
+                next(_MONITOR_IDS), check_every=spec.health_check_every
+            )
+        self.rows_applied = 0
+        self.blocks_applied = 0
+        self.n_outliers = 0
+        self.n_publishes = 0
+        self.n_reseeds = 0
+        self._blocks_since_publish = 0
+        self._published_initialized = False
+
+    def _make_estimator(self) -> RobustIncrementalPCA:
+        s = self.spec
+        return RobustIncrementalPCA(
+            s.n_components,
+            alpha=s.alpha,
+            delta=s.delta,
+            init_size=s.init_size,
+            **dict(s.estimator_kwargs),
+        )
+
+    @property
+    def parallel(self) -> bool:
+        return self.spec.n_engines > 1
+
+    @property
+    def is_initialized(self) -> bool:
+        if self.parallel:
+            return self._merged is not None
+        return self._estimator.is_initialized
+
+    @property
+    def pending_rows(self) -> int:
+        """Rows buffered inside the model (parallel chunk mode only)."""
+        return self._pending_rows
+
+    # -- compute side (owning lane only) ---------------------------------
+
+    def apply_block(self, xs: np.ndarray) -> None:
+        """Fold one block of admitted rows into the model."""
+        with self.lock:
+            if self.parallel:
+                self._apply_parallel(xs)
+            else:
+                result = self._estimator.update_block(xs)
+                self.n_outliers += int(result.n_outliers)
+                if self.monitor is not None:
+                    gaps = int(np.isnan(xs).any(axis=1).sum())
+                    if result.n_processed:
+                        self.monitor.note_rows(
+                            xs.shape[0], n_gap_rows=gaps,
+                            n_outliers=int(result.n_outliers),
+                            weight_sum=float(np.sum(result.weights)),
+                            r2_sum=float(np.sum(result.residual_norm2)),
+                        )
+                    else:
+                        self.monitor.note_rows(xs.shape[0], n_gap_rows=gaps)
+                    self.monitor.maybe_check(self._estimator)
+            self.rows_applied += int(xs.shape[0])
+            self.blocks_applied += 1
+            self._blocks_since_publish += 1
+
+    def _apply_parallel(self, xs: np.ndarray) -> None:
+        self._pending.append(np.asarray(xs, dtype=np.float64))
+        self._pending_rows += int(xs.shape[0])
+        if self.monitor is not None:
+            self.monitor.note_rows(
+                int(xs.shape[0]),
+                n_gap_rows=int(np.isnan(xs).any(axis=1).sum()),
+            )
+        if self._pending_rows >= self.spec.chunk_rows:
+            self._run_chunk()
+
+    def _run_chunk(self) -> None:
+        """Process the pending chunk through a full parallel-PCA run and
+        fold its merged eigensystem into the tenant state."""
+        from ..data.streams import VectorStream
+        from ..parallel.runner import ParallelStreamingPCA
+
+        chunk = np.vstack(self._pending)
+        self._pending.clear()
+        self._pending_rows = 0
+        s = self.spec
+        if chunk.shape[0] >= 2 * s.n_engines * s.init_size:
+            runner = ParallelStreamingPCA(
+                s.n_components,
+                n_engines=s.n_engines,
+                alpha=s.alpha,
+                delta=s.delta,
+                estimator_kwargs=dict(
+                    s.estimator_kwargs, init_size=s.init_size
+                ),
+                runtime=s.runtime,
+                collect_diagnostics=False,
+            )
+            result = runner.run(VectorStream.from_array(chunk))
+            chunk_state = result.global_state
+        else:
+            # Flush remainder too small to warm a parallel run: a
+            # single sequential estimator covers it.
+            est = self._make_estimator()
+            est.update_block(chunk)
+            if not est.is_initialized:
+                return  # too few rows to learn anything from
+            chunk_state = est.public_state()
+        if self._merged is None:
+            self._merged = chunk_state.copy()
+        else:
+            self._merged = merge_eigensystems(
+                [self._merged, chunk_state], s.n_components
+            )
+        if self.monitor is not None:
+            self.monitor.maybe_check(self._estimator_view())
+
+    def flush(self) -> None:
+        """Force any pending chunk through (drain/shutdown path)."""
+        with self.lock:
+            if self.parallel and self._pending_rows:
+                self._run_chunk()
+                self._blocks_since_publish += 1
+
+    def _estimator_view(self):
+        """Estimator-shaped shim over the merged state (health checks)."""
+        class _View:
+            is_initialized = True
+            state = self._merged
+        return _View()
+
+    # -- publish discipline ----------------------------------------------
+
+    def should_publish(self) -> bool:
+        if not self.is_initialized:
+            return False
+        if not self._published_initialized:
+            return True  # first snapshot goes out immediately
+        return self._blocks_since_publish >= self.spec.publish_every_blocks
+
+    def publish(self, cache: EigenbasisCache):
+        """Copy-on-publish the current state into the cache."""
+        with self.lock:
+            if not self.is_initialized:
+                return None
+            if self.parallel:
+                state = self._merged.copy()
+                outlier_t = self.spec.outlier_t
+            else:
+                state = self._estimator.public_state()
+                threshold = getattr(
+                    self._estimator, "_outlier_threshold", None
+                )
+                outlier_t = (
+                    float(threshold()) if threshold is not None
+                    else self.spec.outlier_t
+                )
+            rows, blocks = self.rows_applied, self.blocks_applied
+            self._blocks_since_publish = 0
+            self._published_initialized = True
+            self.n_publishes += 1
+        return cache.publish(
+            self.spec.name, state,
+            rows_applied=rows, blocks_applied=blocks, outlier_t=outlier_t,
+        )
+
+    # -- recovery (the rejoin/reseed path) --------------------------------
+
+    def reseed(self, snapshot) -> None:
+        """Rebuild the model after its lane died mid-update.
+
+        A lane killed inside ``apply_block`` can leave the in-place
+        eigensystem torn, so the replacement lane never trusts it:
+        a fresh estimator adopts the latest *published* snapshot (the
+        same :meth:`~repro.core.robust.RobustIncrementalPCA.adopt_state`
+        path a late-rejoining sync peer uses), and the health monitor
+        re-anchors exactly as it does on a controller re-seed.
+        """
+        with self.lock:
+            self._estimator = self._make_estimator()
+            self._pending.clear()
+            self._pending_rows = 0
+            self._merged = None
+            self._blocks_since_publish = 0
+            self._published_initialized = False
+            if snapshot is not None:
+                if self.parallel:
+                    self._merged = snapshot.state.copy()
+                else:
+                    self._estimator.adopt_state(snapshot.state)
+                self._published_initialized = True
+            self.n_reseeds += 1
+            if self.monitor is not None and snapshot is not None:
+                view = (
+                    self._estimator_view() if self.parallel
+                    else self._estimator
+                )
+                self.monitor.on_merge(view, reseed=True)
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "rows_applied": self.rows_applied,
+            "blocks_applied": self.blocks_applied,
+            "pending_rows": self._pending_rows,
+            "n_outliers": self.n_outliers,
+            "n_publishes": self.n_publishes,
+            "n_reseeds": self.n_reseeds,
+            "initialized": self.is_initialized,
+            "parallel": self.parallel,
+            "n_engines": self.spec.n_engines,
+            "runtime": self.spec.runtime,
+        }
+
+
+class TenantState:
+    """Everything the service keeps per tenant."""
+
+    def __init__(self, spec: TenantSpec) -> None:
+        self.spec = spec
+        self.model = TenantModel(spec)
+        self.queue = IngestQueue(spec.queue_capacity_rows)
+        self.valve = LoadShedValve(
+            spec.max_rate_hz,
+            burst_s=spec.burst_s,
+            open_for_s=spec.shed_open_for_s,
+        )
+        self.rows_accepted = 0
+        self.rows_shed = 0
+        self.rows_rejected_full = 0
+        self.n_requests = 0
+        #: Set by the pool when this tenant's owning lane died uncleanly;
+        #: the next lane to pick the tenant up reseeds the model from the
+        #: latest published snapshot before applying anything.
+        self.needs_reseed = False
+        self._lock = threading.Lock()
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def note_accepted(self, n: int) -> None:
+        with self._lock:
+            self.rows_accepted += n
+
+    def note_shed(self, n: int) -> None:
+        with self._lock:
+            self.rows_shed += n
+
+    def note_rejected_full(self, n: int) -> None:
+        with self._lock:
+            self.rows_rejected_full += n
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "tenant": self.name,
+            "rows_accepted": self.rows_accepted,
+            "rows_shed": self.rows_shed,
+            "rows_rejected_full": self.rows_rejected_full,
+            "valve_state": self.valve.state,
+            "valve_trips": self.valve.n_trips,
+            "queue_depth_rows": self.queue.depth_rows,
+            "queue_capacity_rows": self.queue.capacity_rows,
+            **self.model.stats(),
+        }
+
+
+class TenantRouter:
+    """Rendezvous (highest-random-weight) tenant → lane placement.
+
+    Every tenant scores every live lane with a stable hash; the lane
+    with the highest score owns the tenant.  Adding or removing one lane
+    moves only the tenants whose top choice changed (~1/n of them) —
+    the property that makes elastic scale-up/down cheap.
+    """
+
+    @staticmethod
+    def _score(tenant: str, lane_id: int) -> int:
+        digest = hashlib.blake2b(
+            f"{tenant}\x00{lane_id}".encode(), digest_size=8
+        ).digest()
+        return int.from_bytes(digest, "big")
+
+    def lane_of(self, tenant: str, lane_ids) -> int:
+        """The owning lane for ``tenant`` among ``lane_ids``."""
+        ids = list(lane_ids)
+        if not ids:
+            raise ValueError("no live lanes to route to")
+        return max(ids, key=lambda lid: self._score(tenant, lid))
+
+    def assignment(
+        self, tenants, lane_ids
+    ) -> dict[int, list[str]]:
+        """Full lane → tenants map for a given lane set."""
+        out: dict[int, list[str]] = {int(lid): [] for lid in lane_ids}
+        for t in tenants:
+            out[self.lane_of(t, lane_ids)].append(t)
+        return out

@@ -14,6 +14,12 @@ rule) that exposes the running pipeline to scrapers and operators:
   affinity, eigenspectrum drift, r² control chart, gap/outlier rates)
   plus the full rule-engine snapshot, for humans debugging *why* a
   verdict fired.
+* ``GET /health/model/<engine_id>`` — one engine's snapshot; unknown
+  ids answer with a JSON 404 listing the known ids.
+
+Unknown paths also answer JSON 404, and every accepted connection gets
+a socket timeout (``conn_timeout_s``) so slow or hung clients can't pin
+handler threads.
 
 The server runs on a daemon :class:`~http.server.ThreadingHTTPServer`
 thread; ``port=0`` picks a free port (``server.port`` reports it), so
@@ -48,10 +54,25 @@ class _Handler(BaseHTTPRequestHandler):
     # Set per-server via the factory in ObservabilityServer.start().
     server_ref: "ObservabilityServer"
 
+    # Per-connection socket timeout: StreamRequestHandler.setup()
+    # applies this to the accepted socket, so a client that connects
+    # and then hangs (or dribbles a request line forever) releases its
+    # handler thread instead of pinning it for the life of the run.
+    # Overridden per-server via the factory in start().
+    timeout = 10.0
+
     # Silence the default stderr request log (one line per scrape would
     # drown a soak run); requests are counted on the server instead.
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         pass
+
+    def log_error(self, format: str, *args: Any) -> None:  # noqa: A002
+        # handle_one_request routes read/write timeouts here before
+        # dropping the connection; count them so tests/operators can see
+        # stuck-client churn (everything else stays silent like
+        # log_message).
+        if format.startswith("Request timed out"):
+            self.server_ref.n_timeouts += 1
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         srv = self.server_ref
@@ -65,8 +86,17 @@ class _Handler(BaseHTTPRequestHandler):
                 self._reply_json(*srv.health_payload())
             elif path == "/health/model":
                 self._reply_json(200, srv.model_payload())
+            elif path.startswith("/health/model/"):
+                engine_id = path[len("/health/model/"):]
+                self._reply_json(*srv.engine_payload(engine_id))
             else:
-                self._reply_json(404, {"error": f"no such path: {path}"})
+                self._reply_json(404, {
+                    "error": f"no such path: {path}",
+                    "paths": [
+                        "/metrics", "/health", "/health/model",
+                        "/health/model/<engine_id>",
+                    ],
+                })
         except Exception as exc:  # the obs plane must not take down a run
             srv.n_errors += 1
             try:
@@ -100,6 +130,11 @@ class ObservabilityServer:
         are wired (liveness-only mode).
     host / port:
         Bind address; ``port=0`` (default) auto-assigns a free port.
+    conn_timeout_s:
+        Per-connection socket timeout applied to every accepted
+        handler: a client that connects and goes silent is dropped
+        after this many seconds instead of pinning a handler thread
+        (counted in ``n_timeouts``).
     """
 
     def __init__(
@@ -109,15 +144,20 @@ class ObservabilityServer:
         rule_engine=None,
         host: str = "127.0.0.1",
         port: int = 0,
+        conn_timeout_s: float = 10.0,
     ) -> None:
+        if conn_timeout_s <= 0:
+            raise ValueError("conn_timeout_s must be positive")
         self.telemetry = telemetry
         self.rule_engine = rule_engine
         self.host = host
+        self.conn_timeout_s = float(conn_timeout_s)
         self._requested_port = port
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
         self.n_requests = 0
         self.n_errors = 0
+        self.n_timeouts = 0
 
     # -- payloads (also callable directly, e.g. from tests) --------------
 
@@ -147,6 +187,28 @@ class ObservabilityServer:
             "rules_wired": True,
         }
 
+    def engine_payload(self, engine_id: str) -> tuple[int, dict[str, Any]]:
+        """(HTTP status, JSON body) for ``/health/model/<engine_id>``.
+
+        Unknown ids get a JSON 404 naming the known ids, not a bare
+        error page.
+        """
+        payload = self.model_payload()
+        engines = payload.get("engines", {})
+        # Monitor ids are ints; the URL path hands us a string.
+        for key, snapshot in engines.items():
+            if str(key) == engine_id:
+                return 200, {
+                    "engine": str(key),
+                    "snapshot": snapshot,
+                    "rules_wired": payload.get("rules_wired", False),
+                }
+        return 404, {
+            "error": f"no such engine: {engine_id}",
+            "known_engines": sorted(str(k) for k in engines),
+            "rules_wired": payload.get("rules_wired", False),
+        }
+
     # -- lifecycle -------------------------------------------------------
 
     @property
@@ -163,7 +225,10 @@ class ObservabilityServer:
     def start(self) -> "ObservabilityServer":
         if self._httpd is not None:
             return self
-        handler = type("_BoundHandler", (_Handler,), {"server_ref": self})
+        handler = type("_BoundHandler", (_Handler,), {
+            "server_ref": self,
+            "timeout": self.conn_timeout_s,
+        })
         self._httpd = ThreadingHTTPServer(
             (self.host, self._requested_port), handler
         )

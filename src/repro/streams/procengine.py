@@ -121,6 +121,7 @@ __all__ = ["ProcessEngine"]
 _UNPICKLABLE_ATTRS = (
     "_emit", "_load_probe", "_latency_hist", "_telemetry",
     "_e2e_hist", "_watermark", "_health_monitor",
+    "_state_lock", "_snapshot_listeners",
 )
 
 _MAIN = "main"
@@ -1052,6 +1053,7 @@ class ProcessEngine:
                         stats.restarts.get(op.name, 0) + 1
                     )
             self._quiesced.discard(wid)
+            self._unpoison_cmd_queue(wid)
             spec = self._specs[wid]
             spec.resume = True
             self._start_worker(wid)
@@ -1066,6 +1068,33 @@ class ProcessEngine:
                 self._sender.send(
                     wid, dst_name, dst_port, StreamTuple.punctuation()
                 )
+
+    def _unpoison_cmd_queue(self, wid: int) -> None:
+        """Release the command queue's reader lock if the dead worker
+        took it to the grave.
+
+        ``Queue.get(timeout=...)`` holds the queue's shared ``_rlock``
+        for the whole poll window, so a worker SIGKILLed while idle (the
+        common case — the 2 ms poll dominates its loop) dies holding the
+        lock.  The respawned worker then times out on every acquire and
+        reads nothing, producers spin on Full, and the run livelocks
+        until the graph timeout.  The dead worker was this queue's only
+        reader, so an unavailable lock here can only be the victim's
+        orphaned hold — force-release it.  (A kill landing inside
+        ``_recv_bytes`` can still tear the byte stream mid-frame; that
+        window is orders of magnitude narrower and surfaces as a decode
+        error → another respawn, not a hang.)
+        """
+        rlock = getattr(self._cmd_qs.get(wid), "_rlock", None)
+        if rlock is None:  # pragma: no cover - exotic Queue implementation
+            return
+        if rlock.acquire(block=False):
+            rlock.release()
+            return
+        try:
+            rlock.release()
+        except ValueError:  # pragma: no cover - lost the (benign) race
+            pass
 
     def _check_stall(self) -> None:
         """Recover from a wedged (alive but progress-free) worker.

@@ -289,6 +289,9 @@ class LoadShedValve:
         self.n_trips = 0
         self._telemetry = None
         self._origin = "valve"
+        # Admission runs on concurrent request handlers in the serving
+        # layer: the token read-modify-write must be atomic.
+        self._admit_lock = threading.Lock()
 
     def bind_telemetry(self, telemetry, origin: str) -> None:
         self._telemetry = telemetry
@@ -310,35 +313,70 @@ class LoadShedValve:
 
     def admit(self) -> bool:
         """Spend one token for a data tuple; ``False`` means shed it."""
+        return self.admit_n(1)
+
+    def admit_n(self, n: int = 1) -> bool:
+        """Spend ``n`` tokens atomically (all-or-nothing).
+
+        The serving layer admits whole ingest blocks: either every row
+        of the block fits the rate budget or the block is shed intact —
+        partial admission would break the zero-loss accounting on
+        admitted traffic.  Thread-safe: concurrent admitters contend on
+        one short lock.
+        """
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
         if self.max_rate_hz is None:
             return True
-        now = self._clock()
-        self._tokens = min(
-            self._capacity,
-            self._tokens + (now - self._refill_at) * self.max_rate_hz,
-        )
-        self._refill_at = now
-        if self._opened_at is not None:
-            if now - self._opened_at < self.open_for_s:
-                self.n_shed += 1
+        with self._admit_lock:
+            now = self._clock()
+            self._tokens = min(
+                self._capacity,
+                self._tokens + (now - self._refill_at) * self.max_rate_hz,
+            )
+            self._refill_at = now
+            if self._opened_at is not None:
+                if now - self._opened_at < self.open_for_s:
+                    self.n_shed += n
+                    return False
+                # Cooldown over: close with a half-full bucket so a
+                # still-hot stream re-opens quickly instead of
+                # oscillating per tuple.
+                self._opened_at = None
+                self._tokens = max(self._tokens, self._capacity / 2.0)
+                self._emit_event("closed", shed_so_far=self.n_shed)
+            if self._tokens < float(n):
+                # The matching repro_breaker_trips_total counter is
+                # exported by the registry collector over ``n_trips``
+                # (see telemetry.operator_metric_samples); only the
+                # event is emitted here.
+                self._opened_at = now
+                self.n_trips += 1
+                self.n_shed += n
+                self._emit_event("open", trip=self.n_trips)
                 return False
-            # Cooldown over: close with a half-full bucket so a still-hot
-            # stream re-opens quickly instead of oscillating per tuple.
-            self._opened_at = None
-            self._tokens = max(self._tokens, self._capacity / 2.0)
-            self._emit_event("closed", shed_so_far=self.n_shed)
-        if self._tokens < 1.0:
-            # The matching repro_breaker_trips_total counter is exported
-            # by the registry collector over ``n_trips`` (see
-            # telemetry.operator_metric_samples); only the event is
-            # emitted here.
-            self._opened_at = now
-            self.n_trips += 1
-            self.n_shed += 1
-            self._emit_event("open", trip=self.n_trips)
-            return False
-        self._tokens -= 1.0
-        return True
+            self._tokens -= float(n)
+            return True
+
+    def retry_after_s(self, n: int = 1) -> float:
+        """Seconds until ``n`` tokens could plausibly be admitted.
+
+        While the valve is open this is the remaining cooldown; while
+        closed it is the refill time of the missing tokens.  Served to
+        clients as the 429 ``Retry-After`` hint.
+        """
+        if self.max_rate_hz is None:
+            return 0.0
+        with self._admit_lock:
+            now = self._clock()
+            if self._opened_at is not None:
+                return max(0.0, self.open_for_s - (now - self._opened_at))
+            tokens = min(
+                self._capacity,
+                self._tokens + (now - self._refill_at) * self.max_rate_hz,
+            )
+            deficit = max(0.0, float(n) - tokens)
+            return deficit / self.max_rate_hz
 
 
 class CircuitBreaker(Operator):

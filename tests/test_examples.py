@@ -71,3 +71,14 @@ def test_live_stream_monitoring_runs(capsys):
     out = capsys.readouterr().out
     assert "DRIFT ALARM" in out
     assert "detection delay" in out
+
+
+def test_serving_quickstart_runs(capsys):
+    import serving_quickstart
+
+    serving_quickstart.main()
+    out = capsys.readouterr().out
+    assert "serving two tenants" in out
+    assert "snapshot v1 published" in out
+    assert "outlier flags" in out
+    assert "serving quickstart done" in out

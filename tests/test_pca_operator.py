@@ -150,3 +150,101 @@ class TestLifecycle:
             StreamingPCAOperator("p", 0, est, sync_gate_factor=0.0)
         with pytest.raises(ValueError, match="snapshot_every"):
             StreamingPCAOperator("p", 0, est, snapshot_every=-1)
+
+
+class TestConcurrentStateReads:
+    """Regression tests for the serving-layer thread-safety guard: the
+    estimator's block update mutates the eigensystem *in place*, so a
+    reader on another thread must only ever see state through
+    ``published_state()`` (copied under the state lock)."""
+
+    def test_published_state_none_during_warmup(self):
+        op, _ = _make_op()
+        assert op.published_state() is None
+
+    def test_published_state_is_a_torn_free_copy(self, model, rng):
+        op, _ = _make_op()
+        _feed(op, model, rng, 100)
+        state = op.published_state()
+        before = state.basis.copy()
+        _feed(op, model, rng, 500)  # keep mutating in place
+        np.testing.assert_array_equal(state.basis, before)
+
+    def test_concurrent_reads_during_block_updates(self, model, rng):
+        """Hammer ``published_state`` from two reader threads while the
+        owner thread streams block updates; every observed state must be
+        internally consistent (orthonormal basis, finite eigenvalues,
+        matching shapes) — a torn read fails these invariants."""
+        import threading
+
+        op, _ = _make_op()
+        op.estimator.update_block(model.sample(100, rng))
+        stop = threading.Event()
+        problems: list[str] = []
+
+        def reader():
+            while not stop.is_set():
+                state = op.published_state()
+                if state is None:
+                    continue
+                basis, eigs = state.basis, state.eigenvalues
+                if basis.shape[1] != eigs.shape[0]:
+                    problems.append("shape mismatch")
+                    return
+                if not np.all(np.isfinite(basis)):
+                    problems.append("non-finite basis")
+                    return
+                gram = basis.T @ basis
+                if not np.allclose(gram, np.eye(gram.shape[0]), atol=1e-6):
+                    problems.append("basis not orthonormal (torn read?)")
+                    return
+
+        threads = [
+            threading.Thread(target=reader, daemon=True) for _ in range(2)
+        ]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(60):
+                with op._lock():
+                    op.estimator.update_block(model.sample(64, rng))
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=10.0)
+        assert problems == []
+
+    def test_snapshot_listener_receives_copies(self, model, rng):
+        seen = []
+        op, _ = _make_op(snapshot_every=25)
+        op.add_snapshot_listener(
+            lambda engine_id, state: seen.append((engine_id, state))
+        )
+        _feed(op, model, rng, 100)
+        assert seen
+        assert all(eid == 0 for eid, _ in seen)
+        frozen = seen[0][1].basis.copy()
+        _feed(op, model, rng, 200)
+        np.testing.assert_array_equal(seen[0][1].basis, frozen)
+
+    def test_broken_listener_does_not_stall_stream(self, model, rng):
+        op, _ = _make_op(snapshot_every=25)
+        op.add_snapshot_listener(lambda *a: 1 / 0)
+        _feed(op, model, rng, 100)  # must not raise
+        assert op.estimator.n_seen == 100
+
+    def test_operator_survives_pickle_roundtrip(self, model, rng):
+        """The ProcessEngine ships operators to workers and their
+        ``__dict__`` payloads back through multiprocessing queues; the
+        state lock and listeners must never reach a pickler."""
+        import pickle
+
+        est = RobustIncrementalPCA(3, alpha=0.99, init_size=20)
+        op = StreamingPCAOperator("pca-0", engine_id=0, estimator=est)
+        op.add_snapshot_listener(lambda *a: None)
+        op.estimator.update_block(model.sample(60, rng))
+        clone = pickle.loads(pickle.dumps(op))
+        assert clone.estimator.n_seen == 60
+        # the revived lock is a real lock, usable immediately
+        assert clone.published_state() is not None
+        assert clone._snapshot_listeners == []

@@ -1,5 +1,6 @@
 """ProcessEngine: wire format, shm rings, parity, shutdown, restart."""
 
+import multiprocessing as mp
 import os
 import signal
 import threading
@@ -475,6 +476,50 @@ def _wedge_graph(tmp_path, n=40):
     g.connect(src, wedge)
     g.connect(wedge, sink)
     return g, sink
+
+
+class TestCmdQueueUnpoison:
+    """A worker SIGKILLed inside ``Queue.get`` dies holding the queue's
+    shared reader lock; the respawn path must force-release it or the
+    new worker reads nothing and the run livelocks (producers spinning
+    on Full, the replacement spinning on Empty)."""
+
+    def _engine_with_queue(self, q):
+        eng = ProcessEngine.__new__(ProcessEngine)
+        eng._cmd_qs = {0: q}
+        return eng
+
+    def test_orphaned_reader_lock_is_released(self):
+        ctx = mp.get_context("forkserver")
+        q = ctx.Queue(maxsize=4)
+        q.put({"t": "tuple"})
+        # Simulate the victim's orphaned hold: take the reader lock and
+        # never release it (the SIGKILLed process can't).
+        assert q._rlock.acquire(block=False)
+        eng = self._engine_with_queue(q)
+        eng._unpoison_cmd_queue(0)
+        # A fresh consumer can read again.
+        assert q._rlock.acquire(block=False)
+        q._rlock.release()
+        assert q.get(timeout=5.0) == {"t": "tuple"}
+        q.close()
+        q.join_thread()
+
+    def test_healthy_queue_is_left_alone(self):
+        ctx = mp.get_context("forkserver")
+        q = ctx.Queue(maxsize=4)
+        eng = self._engine_with_queue(q)
+        eng._unpoison_cmd_queue(0)
+        eng._unpoison_cmd_queue(0)  # idempotent, never over-releases
+        assert q._rlock.acquire(block=False)
+        q._rlock.release()
+        q.close()
+        q.join_thread()
+
+    def test_missing_worker_id_is_a_noop(self):
+        eng = ProcessEngine.__new__(ProcessEngine)
+        eng._cmd_qs = {}
+        eng._unpoison_cmd_queue(7)
 
 
 class TestStallRecovery:
