@@ -13,6 +13,7 @@ sampled tuples).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -352,6 +353,33 @@ def serve_main(argv: list[str]) -> int:
         "--out", metavar="FILE",
         help="[--smoke] write the telemetry event log to FILE as JSONL",
     )
+    parser.add_argument(
+        "--data-dir", metavar="DIR",
+        help="durability root (WAL + checkpoints); restarting with the "
+        "same DIR recovers all tenant state",
+    )
+    parser.add_argument(
+        "--durability", choices=("none", "async", "fsync"),
+        default="async",
+        help="[--data-dir] WAL ack mode: none (buffered), async "
+        "(survives process death; default), fsync (survives power loss)",
+    )
+    parser.add_argument(
+        "--port-file", metavar="FILE",
+        help="write the bound port to FILE once listening (lets a "
+        "driver use --port 0 and still find the server)",
+    )
+    parser.add_argument(
+        "--crash-smoke", action="store_true",
+        help="run the SIGKILL/restart durability chaos scenario "
+        "instead of serving (requires --data-dir semantics; a scratch "
+        "dir is used unless --data-dir is given)",
+    )
+    parser.add_argument(
+        "--crash-out", metavar="DIR",
+        help="[--crash-smoke] write crash_report.json and the driver "
+        "event log under DIR",
+    )
     args = parser.parse_args(argv)
 
     from repro.serving import (
@@ -362,6 +390,28 @@ def serve_main(argv: list[str]) -> int:
         run_smoke,
     )
 
+    if args.crash_smoke:
+        from repro.serving.crashtest import run_crash_restart
+
+        try:
+            report = run_crash_restart(
+                data_dir=args.data_dir,
+                durability=args.durability,
+                seed=args.seed,
+                out_dir=args.crash_out,
+                verbose=True,
+            )
+        except AssertionError as exc:
+            print(f"CRASH-RESTART CONTRACT VIOLATION: {exc}")
+            return 1
+        print(
+            "crash-restart smoke OK: "
+            f"acked_rows={report['total_acked_rows']} "
+            f"recovered_rows={report['total_recovered_rows']} "
+            f"min_affinity={report['min_affinity']:.4f}"
+        )
+        return 0
+
     if args.smoke:
         try:
             run_smoke(
@@ -370,13 +420,19 @@ def serve_main(argv: list[str]) -> int:
                 seed=args.seed,
                 n_lanes=args.lanes,
                 telemetry_out=args.out,
+                data_dir=args.data_dir,
+                durability=args.durability,
             )
         except AssertionError as exc:
             print(exc)
             return 1
         return 0
 
-    config = ServingConfig(n_lanes=args.lanes)
+    config = ServingConfig(
+        n_lanes=args.lanes,
+        data_dir=args.data_dir,
+        durability=args.durability,
+    )
     if args.auto_tenants or not args.tenant:
         config.auto_tenant_template = TenantSpec("template")
     service = PCAService(config)
@@ -387,7 +443,19 @@ def serve_main(argv: list[str]) -> int:
         )
     server = ServingServer(service, host=args.host, port=args.port)
     server.start()
-    print(f"serving on {server.url} (lanes={args.lanes}); Ctrl-C to stop")
+    if args.port_file:
+        tmp = args.port_file + ".tmp"
+        with open(tmp, "w") as fh:
+            fh.write(str(server.port))
+        os.replace(tmp, args.port_file)
+    print(
+        f"serving on {server.url} (lanes={args.lanes}"
+        + (
+            f", durability={args.durability} at {args.data_dir}"
+            if args.data_dir else ""
+        )
+        + "); Ctrl-C to stop"
+    )
     from repro.serving.http import serve_forever
 
     serve_forever(server)

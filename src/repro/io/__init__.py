@@ -1,11 +1,19 @@
 """Persistence: CSV vector IO and eigensystem checkpoints."""
 
-from .checkpoint import CheckpointStore, load_eigensystem, save_eigensystem
+from .checkpoint import (
+    CheckpointStore,
+    fsync_directory,
+    load_eigensystem,
+    load_eigensystem_extras,
+    save_eigensystem,
+)
 from .csvio import read_vectors_csv, write_vectors_csv
 
 __all__ = [
     "CheckpointStore",
+    "fsync_directory",
     "load_eigensystem",
+    "load_eigensystem_extras",
     "read_vectors_csv",
     "save_eigensystem",
     "write_vectors_csv",

@@ -8,30 +8,71 @@ directory of them *is* the convergence history of a run.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 import re
+from typing import Any
 
 import numpy as np
 
 from ..core.eigensystem import Eigensystem
 
-__all__ = ["save_eigensystem", "load_eigensystem", "CheckpointStore"]
+__all__ = [
+    "save_eigensystem",
+    "load_eigensystem",
+    "load_eigensystem_extras",
+    "fsync_directory",
+    "CheckpointStore",
+]
 
 _CKPT_RE = re.compile(r"^eigensystem-(\d+)\.npz$")
 
 
-def save_eigensystem(path: str | pathlib.Path, state: Eigensystem) -> None:
+def fsync_directory(directory: str | pathlib.Path) -> None:
+    """fsync a directory so a just-replaced entry survives power loss.
+
+    ``os.replace`` makes the rename atomic against concurrent readers,
+    but the *directory entry* itself lives in the parent directory's
+    data — until that is flushed, a power cut can roll the rename back
+    and leave the old (or no) file.  Best-effort: platforms that cannot
+    open a directory read-only for fsync (Windows) are skipped.
+    """
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def save_eigensystem(
+    path: str | pathlib.Path,
+    state: Eigensystem,
+    *,
+    extras: dict[str, Any] | None = None,
+    fsync: bool = False,
+) -> None:
     """Write one eigensystem to an ``.npz`` file, atomically.
 
     Written via a temp file + :func:`os.replace` so a reader (or a
     process killed mid-write — e.g. a SIGKILLed worker that restarts
     from this very store) never observes a truncated archive.
+
+    ``extras`` is an optional JSON-able dict stored alongside the
+    arrays (no pickle — it crosses restarts as text); read it back with
+    :func:`load_eigensystem_extras`.  ``fsync=True`` additionally
+    fsyncs the temp file before the rename and the parent directory
+    after it, making the checkpoint durable against power loss, not
+    just process death.
     """
     path = pathlib.Path(path)
     tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp.npz")
-    np.savez(
-        tmp,
+    arrays = dict(
         mean=state.mean,
         basis=state.basis,
         eigenvalues=state.eigenvalues,
@@ -46,7 +87,17 @@ def save_eigensystem(path: str | pathlib.Path, state: Eigensystem) -> None:
             ]
         ),
     )
+    if extras is not None:
+        # A 0-d unicode array: numpy stores it without pickle, and the
+        # JSON round-trip keeps the extras type-safe across restarts.
+        arrays["extras_json"] = np.array(json.dumps(extras))
+    np.savez(tmp, **arrays)
+    if fsync:
+        with open(tmp, "rb") as fh:
+            os.fsync(fh.fileno())
     os.replace(tmp, path)
+    if fsync:
+        fsync_directory(path.parent)
 
 
 def load_eigensystem(path: str | pathlib.Path) -> Eigensystem:
@@ -66,6 +117,20 @@ def load_eigensystem(path: str | pathlib.Path) -> Eigensystem:
         )
 
 
+def load_eigensystem_extras(
+    path: str | pathlib.Path,
+) -> tuple[Eigensystem, dict[str, Any]]:
+    """Like :func:`load_eigensystem`, plus the ``extras`` dict (or {})."""
+    state = load_eigensystem(path)
+    extras: dict[str, Any] = {}
+    with np.load(pathlib.Path(path)) as data:
+        if "extras_json" in data.files:
+            loaded = json.loads(str(data["extras_json"]))
+            if isinstance(loaded, dict):
+                extras = loaded
+    return state, extras
+
+
 class CheckpointStore:
     """A directory of periodic eigensystem snapshots.
 
@@ -79,7 +144,13 @@ class CheckpointStore:
     keep:
         Retain at most this many snapshots (oldest pruned); ``None`` keeps
         everything — useful when the snapshots themselves are the
-        experiment (Figs. 4–5 convergence history).
+        experiment (Figs. 4–5 convergence history).  Long-running
+        services should set this (or call :meth:`gc`) so the directory
+        does not grow unboundedly.
+    fsync:
+        Make every save durable against power loss, not just process
+        death: fsync the archive before the atomic rename and the
+        directory after it.
     """
 
     def __init__(
@@ -88,6 +159,7 @@ class CheckpointStore:
         *,
         every: int = 1000,
         keep: int | None = None,
+        fsync: bool = False,
     ) -> None:
         if every < 1:
             raise ValueError(f"every must be >= 1, got {every}")
@@ -97,6 +169,7 @@ class CheckpointStore:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.every = int(every)
         self.keep = keep
+        self.fsync = bool(fsync)
         # Resume over an existing directory: seed the period tracker from
         # the snapshots already on disk so the first maybe_save() after a
         # restart doesn't re-write (or double-count) a persisted state.
@@ -117,7 +190,7 @@ class CheckpointStore:
     def save(self, state: Eigensystem) -> pathlib.Path:
         """Snapshot unconditionally."""
         path = self._path_for(state.n_seen)
-        save_eigensystem(path, state)
+        save_eigensystem(path, state, fsync=self.fsync)
         self._last_saved_at = state.n_seen
         self._prune()
         return path
@@ -125,9 +198,28 @@ class CheckpointStore:
     def _prune(self) -> None:
         if self.keep is None:
             return
+        self.gc(self.keep)
+
+    def gc(self, keep_last: int) -> int:
+        """Delete all but the newest ``keep_last`` snapshots.
+
+        Retention GC for long-running services; returns the number of
+        snapshots removed.  A snapshot that vanished underneath us
+        (concurrent GC, manual cleanup) is not an error.
+        """
+        if keep_last < 1:
+            raise ValueError(f"keep_last must be >= 1, got {keep_last}")
         snaps = self.list()
-        for n_seen, path in snaps[: max(len(snaps) - self.keep, 0)]:
-            path.unlink()
+        removed = 0
+        for _n_seen, path in snaps[: max(len(snaps) - keep_last, 0)]:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        if removed and self.fsync:
+            fsync_directory(self.directory)
+        return removed
 
     def list(self) -> list[tuple[int, pathlib.Path]]:
         """All snapshots as ``(n_seen, path)``, ascending."""

@@ -28,6 +28,14 @@ Boot one with ``python -m repro serve`` or::
 """
 
 from .client import Reply, ServingClient, WebSocketClient
+from .durability import (
+    DurabilityPlane,
+    RecoveryManager,
+    TenantCheckpointer,
+    TenantCheckpointStore,
+    WalError,
+    WriteAheadLog,
+)
 from .http import ServingServer
 from .pool import ElasticController, EngineLane, EnginePool
 from .service import EventBus, PCAService, ServingConfig
@@ -44,6 +52,7 @@ from .tenancy import (
 
 __all__ = [
     "BasisSnapshot",
+    "DurabilityPlane",
     "EigenbasisCache",
     "ElasticController",
     "EngineLane",
@@ -52,14 +61,18 @@ __all__ = [
     "IngestQueue",
     "PCAService",
     "QueueFull",
+    "RecoveryManager",
     "Reply",
     "run_smoke",
     "ServingClient",
     "ServingConfig",
     "ServingServer",
+    "TenantCheckpointer",
+    "TenantCheckpointStore",
     "TenantModel",
     "TenantRouter",
     "TenantSpec",
     "TenantState",
-    "WebSocketClient",
+    "WalError",
+    "WriteAheadLog",
 ]

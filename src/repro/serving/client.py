@@ -1,8 +1,15 @@
 """Blocking clients for the serving API (tests, smoke runs, benchmarks).
 
 :class:`ServingClient` wraps one keep-alive ``http.client`` connection —
-use one instance per thread.  :class:`WebSocketClient` is the matching
-minimal RFC 6455 client for the ``/v1/<tenant>/events`` push channel.
+use one instance per thread.  Requests retry under a bounded
+exponential-backoff budget (the
+:class:`~repro.streams.network_sources._RetryBudget` discipline):
+connection resets are retried only for idempotent requests (GETs and
+the read-only query POSTs — an ingest that died mid-exchange may have
+been applied, so it is never silently re-sent), and 429 shed replies
+are retried honoring the server's ``Retry-After`` when ``retry_429``
+is enabled.  :class:`WebSocketClient` is the matching minimal RFC 6455
+client for the ``/v1/<tenant>/events`` push channel.
 """
 
 from __future__ import annotations
@@ -14,12 +21,29 @@ import json
 import os
 import socket
 import struct
+import time
 from dataclasses import dataclass
 from typing import Any
+
+from ..streams.network_sources import _RetryBudget
 
 __all__ = ["Reply", "ServingClient", "WebSocketClient"]
 
 _WS_MAGIC = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+
+class _ClientRetryBudget(_RetryBudget):
+    """The network-source retry budget, plus a per-wait delay floor so a
+    429's ``Retry-After`` can stretch (never shrink) the backoff."""
+
+    def wait(self, floor_s: float = 0.0) -> bool:
+        if self.left <= 0:
+            return False
+        self.left -= 1
+        delay = self._delay * (1.0 + self._jitter * self._rng.random())
+        time.sleep(max(delay, float(floor_s)))
+        self._delay = min(self._delay * 2.0, self._cap)
+        return True
 
 
 @dataclass(frozen=True)
@@ -44,12 +68,54 @@ class ServingClient:
     """One keep-alive connection to a :class:`ServingServer`."""
 
     def __init__(
-        self, host: str, port: int, *, timeout_s: float = 10.0
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout_s: float = 10.0,
+        max_retries: int = 3,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+        jitter: float = 0.25,
+        retry_429: bool = False,
+        seed: int = 0,
+        telemetry=None,
     ) -> None:
         self.host = host
         self.port = int(port)
         self.timeout_s = float(timeout_s)
+        self.max_retries = int(max_retries)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_cap_s = float(backoff_cap_s)
+        self.jitter = float(jitter)
+        #: Opt-in: transparently wait out 429 sheds (honoring the
+        #: server's ``Retry-After``) instead of returning them.  Off by
+        #: default — load generators and admission tests must *see*
+        #: their 429s.
+        self.retry_429 = bool(retry_429)
+        self.seed = int(seed)
+        self.telemetry = telemetry
+        self.n_retries = 0
         self._conn: http.client.HTTPConnection | None = None
+
+    def _budget(self) -> _ClientRetryBudget:
+        return _ClientRetryBudget(
+            self.max_retries,
+            base_s=self.backoff_base_s,
+            cap_s=self.backoff_cap_s,
+            jitter=self.jitter,
+            seed=self.seed,
+        )
+
+    def _note_retry(self, kind: str) -> None:
+        self.n_retries += 1
+        if self.telemetry is not None:
+            try:
+                self.telemetry.metrics.counter(
+                    "repro_client_retries_total", kind=kind
+                ).inc()
+            except Exception:
+                pass
 
     def _connection(self) -> http.client.HTTPConnection:
         if self._conn is None:
@@ -70,28 +136,60 @@ class ServingClient:
         self.close()
 
     def request(
-        self, method: str, path: str, payload: Any = None
+        self,
+        method: str,
+        path: str,
+        payload: Any = None,
+        *,
+        idempotent: bool | None = None,
     ) -> Reply:
+        """One exchange, with bounded retries.
+
+        ``idempotent`` defaults to ``method == "GET"``.  A failure while
+        *sending* is always safe to retry (the server never saw the
+        request); a failure while *receiving* the response is retried
+        only for idempotent requests — the server may have applied a
+        non-idempotent one (e.g. an ingest) before the socket died, and
+        re-sending would double-count its rows.
+        """
+        if idempotent is None:
+            idempotent = method.upper() == "GET"
         body = None
         headers = {}
         if payload is not None:
             body = json.dumps(payload).encode()
             headers["Content-Type"] = "application/json"
-        for attempt in (1, 2):
+        budget = self._budget()
+        while True:
             conn = self._connection()
+            sent = False
             try:
                 conn.request(method, path, body=body, headers=headers)
+                sent = True
                 resp = conn.getresponse()
                 raw = resp.read()
-                break
             except (
                 http.client.HTTPException, ConnectionError, OSError
             ):
-                # Server closed the keep-alive socket between requests:
-                # reconnect once, then propagate.
                 self.close()
-                if attempt == 2:
+                if sent and not idempotent:
                     raise
+                if not budget.wait():
+                    raise
+                self._note_retry("reconnect")
+                continue
+            reply = self._decode(resp, raw)
+            if reply.code == 429 and self.retry_429:
+                floor = reply.retry_after_s
+                if floor is None and isinstance(reply.body, dict):
+                    floor = reply.body.get("retry_after_s")
+                if budget.wait(float(floor or 0.0)):
+                    self._note_retry("shed")
+                    continue
+            return reply
+
+    @staticmethod
+    def _decode(resp, raw: bytes) -> Reply:
         hdrs = {k.lower(): v for k, v in resp.getheaders()}
         try:
             doc = json.loads(raw) if raw else None
@@ -104,25 +202,29 @@ class ServingClient:
     def ingest(self, tenant: str, rows) -> Reply:
         rows = rows.tolist() if hasattr(rows, "tolist") else rows
         return self.request(
-            "POST", f"/v1/{tenant}/ingest", {"rows": rows}
+            "POST", f"/v1/{tenant}/ingest", {"rows": rows},
+            idempotent=False,
         )
 
     def transform(self, tenant: str, rows) -> Reply:
         rows = rows.tolist() if hasattr(rows, "tolist") else rows
         return self.request(
-            "POST", f"/v1/{tenant}/transform", {"rows": rows}
+            "POST", f"/v1/{tenant}/transform", {"rows": rows},
+            idempotent=True,
         )
 
     def reconstruction_error(self, tenant: str, rows) -> Reply:
         rows = rows.tolist() if hasattr(rows, "tolist") else rows
         return self.request(
-            "POST", f"/v1/{tenant}/reconstruction_error", {"rows": rows}
+            "POST", f"/v1/{tenant}/reconstruction_error", {"rows": rows},
+            idempotent=True,
         )
 
     def outlier_score(self, tenant: str, rows) -> Reply:
         rows = rows.tolist() if hasattr(rows, "tolist") else rows
         return self.request(
-            "POST", f"/v1/{tenant}/outlier_score", {"rows": rows}
+            "POST", f"/v1/{tenant}/outlier_score", {"rows": rows},
+            idempotent=True,
         )
 
     def eigenspectra(

@@ -291,7 +291,11 @@ class ServingServer:
                 return code, payload, {}
             if path == "/ready":
                 code, payload = svc.ready()
-                return code, payload, {}
+                extra = {}
+                if code == 503 and "retry_after_s" in payload:
+                    retry = payload["retry_after_s"]
+                    extra["Retry-After"] = f"{max(retry, 0.001):.3f}"
+                return code, payload, extra
             if path == "/metrics":
                 return 200, svc.telemetry.metrics.to_prometheus(), {
                     "Content-Type": "text/plain; version=0.0.4",
@@ -336,7 +340,7 @@ class ServingServer:
             else:
                 code, payload = svc.outlier_score(tenant, rows)
             extra = {}
-            if code == 429:
+            if code in (429, 503) and "retry_after_s" in payload:
                 retry = payload.get("retry_after_s", 0.05)
                 extra["Retry-After"] = f"{max(retry, 0.001):.3f}"
             return code, payload, extra

@@ -122,15 +122,16 @@ class EngineLane(threading.Thread):
                 lane=self.lane_id,
                 from_version=snap.version if snap is not None else 0,
             )
-        block = tenant.queue.pop(tenant.spec.max_block_rows)
-        if block is None:
+        popped = tenant.queue.pop_block(tenant.spec.max_block_rows)
+        if popped is None:
             if tenant.model.should_publish():
                 self._publish(tenant)
             return False
+        block, wal_seq = popped
         try:
-            tenant.model.apply_block(block)
+            tenant.model.apply_block(block, wal_seq=wal_seq)
         except BaseException:
-            tenant.queue.requeue_front(block)
+            tenant.queue.requeue_front(block, wal_seq)
             raise
         self.rows_processed += int(block.shape[0])
         self.blocks_processed += 1

@@ -81,6 +81,17 @@ class ServingConfig:
     #: template when set (name is filled in); ``None`` → 404.
     auto_tenant_template: TenantSpec | None = None
     telemetry: Telemetry | None = None
+    #: Root of the durability plane (WAL + checkpoints + tenant specs);
+    #: ``None`` keeps the pre-durability behaviour: memory only, state
+    #: lost on restart.
+    data_dir: str | None = None
+    #: WAL ack mode: ``none`` (buffered), ``async`` (survives process
+    #: death), ``fsync`` (survives power loss).  See docs/serving.md.
+    durability: str = "async"
+    wal_segment_bytes: int = 4 << 20
+    checkpoint_every_publishes: int = 8
+    checkpoint_interval_s: float = 0.5
+    keep_checkpoints: int = 3
 
     def make_telemetry(self) -> Telemetry:
         return self.telemetry or Telemetry(
@@ -168,6 +179,21 @@ class PCAService:
         self.elastic: ElasticController | None = None
         self.rule_engine = _ServingRuleEngine(self)
         self._started = False
+        self.durability = None
+        if self.config.data_dir is not None:
+            from .durability import DurabilityPlane
+
+            self.durability = DurabilityPlane(
+                self.config.data_dir,
+                durability=self.config.durability,
+                segment_max_bytes=self.config.wal_segment_bytes,
+                checkpoint_every_publishes=(
+                    self.config.checkpoint_every_publishes
+                ),
+                checkpoint_interval_s=self.config.checkpoint_interval_s,
+                keep_checkpoints=self.config.keep_checkpoints,
+                telemetry=self.telemetry,
+            )
         self._register_metrics()
         self.cache.add_listener(self._on_snapshot)
 
@@ -178,6 +204,11 @@ class PCAService:
             return
         self._started = True
         self.pool.start()
+        if self.durability is not None:
+            # Recovery runs on its own thread: /ready answers 503 with
+            # replay progress while checkpoints load and WAL tails
+            # replay; ingest is refused until recovery completes.
+            self.durability.attach(self)
         cfg = self.config
         self.sampler = BackpressureSampler(
             self.telemetry,
@@ -209,6 +240,14 @@ class PCAService:
         for st in self.get_tenants().values():
             st.model.flush()
         self.pool.stop()
+        if self.durability is not None:
+            # Final publish per tenant so the shutdown checkpoint covers
+            # everything applied, then flush the checkpointer and close
+            # the WALs.
+            for st in self.get_tenants().values():
+                if st.model.is_initialized:
+                    st.model.publish(self.cache)
+            self.durability.stop()
 
     # -- tenants ----------------------------------------------------------
 
@@ -216,7 +255,9 @@ class PCAService:
         with self._tenants_lock:
             return dict(self._tenants)
 
-    def add_tenant(self, spec: TenantSpec) -> TenantState:
+    def add_tenant(
+        self, spec: TenantSpec, *, persist: bool = True
+    ) -> TenantState:
         with self._tenants_lock:
             if spec.name in self._tenants:
                 raise ValueError(f"tenant {spec.name!r} already exists")
@@ -225,8 +266,17 @@ class PCAService:
                 self.telemetry, f"serving/{spec.name}"
             )
             self._tenants[spec.name] = st
+        if persist and self.durability is not None:
+            # The spec goes to disk so recovery can re-create the tenant
+            # before a single client reconnects (persist=False on the
+            # recovery path itself — the spec is already there).
+            self.durability.save_spec(spec)
         self.bus.publish({"event": "tenant_added", "tenant": spec.name})
         return st
+
+    def tenant_exists(self, name: str) -> bool:
+        with self._tenants_lock:
+            return name in self._tenants
 
     def tenant(self, name: str) -> TenantState | None:
         with self._tenants_lock:
@@ -261,6 +311,15 @@ class PCAService:
         invariant is checkable: ``rows_accepted == rows_applied +
         queued + model-pending`` at any quiet point.
         """
+        if self._recovering():
+            # Replay order must not interleave with fresh traffic.
+            return 503, {
+                "error": "recovering",
+                "tenant": tenant,
+                "reason": "recovering",
+                "retry_after_s": 0.25,
+                "recovery": self.durability.recovery.progress(),
+            }
         st = self.tenant(tenant)
         if st is None:
             return 404, {"error": "unknown tenant", "tenant": tenant}
@@ -283,25 +342,56 @@ class PCAService:
                 "rows": n,
                 "retry_after_s": st.valve.retry_after_s(),
             }
-        try:
-            depth = st.queue.push(x)
-        except QueueFull:
-            st.note_rejected_full(n)
-            return 429, {
-                "error": "shedding",
-                "tenant": tenant,
-                "reason": "queue_full",
-                "rows": n,
-                "retry_after_s": 0.05,
-            }
+        if self.durability is not None:
+            # WAL-ahead ordering: capacity is checked *before* the WAL
+            # append, and a logged block is force-pushed — once a record
+            # is durable its rows must reach the model, so the queue may
+            # overshoot by the in-flight race window but never drops.
+            if st.queue.depth_rows + n > st.queue.capacity_rows:
+                st.note_rejected_full(n)
+                return 429, {
+                    "error": "shedding",
+                    "tenant": tenant,
+                    "reason": "queue_full",
+                    "rows": n,
+                    "retry_after_s": 0.05,
+                }
+            try:
+                seq = self.durability.append(tenant, x)
+            except OSError as exc:
+                # Disk trouble must fail the request, not fake an ack.
+                return 503, {
+                    "error": f"wal append failed: {exc}",
+                    "tenant": tenant,
+                    "reason": "wal_error",
+                    "retry_after_s": 0.5,
+                }
+            depth = st.queue.push(x, seq, force=True)
+        else:
+            seq = -1
+            try:
+                depth = st.queue.push(x)
+            except QueueFull:
+                st.note_rejected_full(n)
+                return 429, {
+                    "error": "shedding",
+                    "tenant": tenant,
+                    "reason": "queue_full",
+                    "rows": n,
+                    "retry_after_s": 0.05,
+                }
         st.note_accepted(n)
         self.pool.work_event.set()
-        return 202, {
+        ack: dict[str, Any] = {
             "accepted_rows": n,
             "tenant": tenant,
             "queue_depth_rows": depth,
             "snapshot_version": self.cache.version(tenant),
         }
+        if self.durability is not None:
+            ack["wal_seq"] = seq
+            ack["durability"] = self.durability.durability
+        return 202, ack
 
     # -- query plane (snapshot-only, lock-free) ----------------------------
 
@@ -361,16 +451,31 @@ class PCAService:
 
     # -- health plane ------------------------------------------------------
 
+    def _recovering(self) -> bool:
+        return (
+            self.durability is not None
+            and self.durability.recovery is not None
+            and not self.durability.recovery.done.is_set()
+        )
+
     def ready(self) -> tuple[int, dict[str, Any]]:
-        """Readiness: every desired lane live and health not CRITICAL."""
+        """Readiness: every desired lane live, health not CRITICAL, and
+        — when a durability plane is attached — startup recovery done.
+
+        During recovery the 503 body carries the per-tenant replay
+        progress (checkpoint version loaded, WAL records replayed /
+        total), so an orchestrator's probe log *is* the recovery trace.
+        """
         live = len(self.pool.live_lane_ids())
         desired = self.pool.desired_lanes
         verdict = self.rule_engine.evaluate()
+        recovering = self._recovering()
         ok = (
             self._started and live >= desired
             and verdict.status != "CRITICAL"
+            and not recovering
         )
-        return (200 if ok else 503), {
+        body: dict[str, Any] = {
             "ready": ok,
             "started": self._started,
             "live_lanes": live,
@@ -378,6 +483,16 @@ class PCAService:
             "health_status": verdict.status,
             "firing": verdict.firing,
         }
+        if recovering:
+            body["recovering"] = True
+            body["retry_after_s"] = 0.25
+            body["recovery"] = self.durability.recovery.progress()
+        elif self.durability is not None and self.durability.recovery:
+            body["recovering"] = False
+            body["recovery_duration_s"] = (
+                self.durability.recovery.duration_s
+            )
+        return (200 if ok else 503), body
 
     def live(self) -> tuple[int, dict[str, Any]]:
         """Liveness: the process serves requests (pool may be degraded)."""
@@ -399,6 +514,10 @@ class PCAService:
                 self.elastic.snapshot() if self.elastic is not None else None
             ),
             "health": self.rule_engine.snapshot(),
+            "durability": (
+                self.durability.status()
+                if self.durability is not None else None
+            ),
         }
 
     # -- events & metrics --------------------------------------------------
@@ -475,6 +594,20 @@ class PCAService:
                 "repro_serving_cache_misses_total", "counter", {},
                 stats["n_misses"],
             ))
+            if self.durability is not None:
+                dur = self.durability.status()
+                for name, t in dur["tenants"].items():
+                    labels = {"tenant": name}
+                    age = t["checkpoint_age_s"]
+                    samples.append((
+                        "repro_checkpoint_age_seconds", "gauge", labels,
+                        age if age is not None else -1.0,
+                    ))
+                    if t["wal"] is not None:
+                        samples.append((
+                            "repro_wal_size_bytes", "gauge", labels,
+                            t["wal"]["size_bytes"],
+                        ))
             return samples
 
         self.telemetry.metrics.register_collector(_serving_samples)

@@ -52,6 +52,10 @@ class BasisSnapshot:
     rows_applied: int
     blocks_applied: int
     outlier_t: float = DEFAULT_OUTLIER_T
+    #: Highest write-ahead-log sequence folded into ``state`` when the
+    #: snapshot was taken (-1 when the tenant has no durability plane).
+    #: A checkpoint of this snapshot covers every WAL record <= wal_seq.
+    wal_seq: int = -1
     published_at: float = field(default_factory=time.monotonic)
     published_unix: float = field(default_factory=time.time)
 
@@ -175,21 +179,33 @@ class EigenbasisCache:
         rows_applied: int,
         blocks_applied: int,
         outlier_t: float = DEFAULT_OUTLIER_T,
+        wal_seq: int = -1,
+        version: int | None = None,
     ) -> BasisSnapshot:
         """Install a new immutable snapshot for ``tenant``.
 
         ``state`` is deep-copied here so the caller may keep mutating its
         own working state after publishing (copy-on-publish).
+
+        ``version`` is normally assigned here (previous + 1); recovery
+        passes the pre-crash version explicitly so the version stream a
+        client observes stays monotone across a restart.  An explicit
+        version below the current one is clamped up — versions never
+        move backwards.
         """
         with self._lock:
             prev = self._snapshots.get(tenant)
+            next_version = (prev.version + 1) if prev is not None else 1
+            if version is not None:
+                next_version = max(int(version), next_version)
             snap = BasisSnapshot(
                 tenant=tenant,
-                version=(prev.version + 1) if prev is not None else 1,
+                version=next_version,
                 state=state.copy(),
                 rows_applied=int(rows_applied),
                 blocks_applied=int(blocks_applied),
                 outlier_t=float(outlier_t),
+                wal_seq=int(wal_seq),
             )
             self._snapshots[tenant] = snap
             self.n_published += 1

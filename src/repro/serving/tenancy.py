@@ -155,7 +155,9 @@ class IngestQueue:
 
     def __init__(self, capacity_rows: int) -> None:
         self.capacity_rows = int(capacity_rows)
-        self._blocks: deque[np.ndarray] = deque()
+        #: FIFO of ``(block, wal_seq)``; seq is -1 when the tenant has
+        #: no durability plane (nothing to account against the WAL).
+        self._blocks: deque[tuple[np.ndarray, int]] = deque()
         self._rows = 0
         self._lock = threading.Lock()
         self.rows_pushed = 0
@@ -166,40 +168,57 @@ class IngestQueue:
     def depth_rows(self) -> int:
         return self._rows
 
-    def push(self, block: np.ndarray) -> int:
-        """Enqueue one admitted block; returns the new depth in rows."""
+    def push(
+        self, block: np.ndarray, seq: int = -1, *, force: bool = False
+    ) -> int:
+        """Enqueue one admitted block; returns the new depth in rows.
+
+        ``force=True`` admits past capacity — used for rows that are
+        already durable in the WAL (an acked row must never be dropped;
+        capacity is enforced by the ingest pre-check instead).
+        """
         n = block.shape[0]
         with self._lock:
-            if self._rows + n > self.capacity_rows:
+            if not force and self._rows + n > self.capacity_rows:
                 raise QueueFull(
                     f"queue at {self._rows}/{self.capacity_rows} rows"
                 )
-            self._blocks.append(block)
+            self._blocks.append((block, int(seq)))
             self._rows += n
             self.rows_pushed += n
             return self._rows
 
     def pop(self, max_rows: int) -> np.ndarray | None:
         """Dequeue up to ``max_rows`` rows (coalescing whole blocks)."""
+        popped = self.pop_block(max_rows)
+        return None if popped is None else popped[0]
+
+    def pop_block(self, max_rows: int) -> tuple[np.ndarray, int] | None:
+        """Like :meth:`pop`, plus the highest WAL seq of the coalesced
+        blocks.  FIFO ordering makes the last block's seq cover every
+        earlier one, so a checkpoint at that seq accounts for the whole
+        coalesced batch."""
         out: list[np.ndarray] = []
+        seq = -1
         got = 0
         with self._lock:
             while self._blocks and (
-                not out or got + self._blocks[0].shape[0] <= max_rows
+                not out or got + self._blocks[0][0].shape[0] <= max_rows
             ):
-                blk = self._blocks.popleft()
+                blk, blk_seq = self._blocks.popleft()
                 self._rows -= blk.shape[0]
                 got += blk.shape[0]
+                seq = max(seq, blk_seq)
                 out.append(blk)
         if not out:
             return None
         self.rows_popped += got
-        return out[0] if len(out) == 1 else np.vstack(out)
+        return (out[0] if len(out) == 1 else np.vstack(out)), seq
 
-    def requeue_front(self, block: np.ndarray) -> None:
+    def requeue_front(self, block: np.ndarray, seq: int = -1) -> None:
         """Put an in-flight block back (lane died before applying it)."""
         with self._lock:
-            self._blocks.appendleft(block)
+            self._blocks.appendleft((block, int(seq)))
             self._rows += block.shape[0]
             self.rows_requeued += block.shape[0]
 
@@ -235,6 +254,10 @@ class TenantModel:
         self.n_outliers = 0
         self.n_publishes = 0
         self.n_reseeds = 0
+        #: Highest WAL sequence folded into the model (-1 = none); the
+        #: durability plane checkpoints this so recovery knows where the
+        #: replay tail starts.
+        self.last_wal_seq = -1
         self._blocks_since_publish = 0
         self._published_initialized = False
 
@@ -265,7 +288,7 @@ class TenantModel:
 
     # -- compute side (owning lane only) ---------------------------------
 
-    def apply_block(self, xs: np.ndarray) -> None:
+    def apply_block(self, xs: np.ndarray, wal_seq: int = -1) -> None:
         """Fold one block of admitted rows into the model."""
         with self.lock:
             if self.parallel:
@@ -287,6 +310,8 @@ class TenantModel:
                     self.monitor.maybe_check(self._estimator)
             self.rows_applied += int(xs.shape[0])
             self.blocks_applied += 1
+            if wal_seq > self.last_wal_seq:
+                self.last_wal_seq = wal_seq
             self._blocks_since_publish += 1
 
     def _apply_parallel(self, xs: np.ndarray) -> None:
@@ -364,8 +389,13 @@ class TenantModel:
             return True  # first snapshot goes out immediately
         return self._blocks_since_publish >= self.spec.publish_every_blocks
 
-    def publish(self, cache: EigenbasisCache):
-        """Copy-on-publish the current state into the cache."""
+    def publish(self, cache: EigenbasisCache, *, version: int | None = None):
+        """Copy-on-publish the current state into the cache.
+
+        ``version`` is the recovery override (see
+        :meth:`EigenbasisCache.publish`); normal publishes leave it
+        ``None`` and the cache assigns previous + 1.
+        """
         with self.lock:
             if not self.is_initialized:
                 return None
@@ -382,12 +412,14 @@ class TenantModel:
                     else self.spec.outlier_t
                 )
             rows, blocks = self.rows_applied, self.blocks_applied
+            wal_seq = self.last_wal_seq
             self._blocks_since_publish = 0
             self._published_initialized = True
             self.n_publishes += 1
         return cache.publish(
             self.spec.name, state,
             rows_applied=rows, blocks_applied=blocks, outlier_t=outlier_t,
+            wal_seq=wal_seq, version=version,
         )
 
     # -- recovery (the rejoin/reseed path) --------------------------------
@@ -415,8 +447,47 @@ class TenantModel:
                 else:
                     self._estimator.adopt_state(snapshot.state)
                 self._published_initialized = True
+                if snapshot.wal_seq > self.last_wal_seq:
+                    self.last_wal_seq = snapshot.wal_seq
             self.n_reseeds += 1
             if self.monitor is not None and snapshot is not None:
+                view = (
+                    self._estimator_view() if self.parallel
+                    else self._estimator
+                )
+                self.monitor.on_merge(view, reseed=True)
+
+    def adopt_recovered(
+        self,
+        state: Eigensystem,
+        *,
+        rows_applied: int,
+        blocks_applied: int,
+        wal_seq: int,
+    ) -> None:
+        """Restore the model from a durable checkpoint at startup.
+
+        Unlike :meth:`reseed` (which keeps in-memory accounting — the
+        lane merely lost its estimator), a restart lost *everything*:
+        the checkpoint's accounting becomes the model's accounting, and
+        the WAL tail past ``wal_seq`` is replayed on top by the
+        :class:`~.durability.RecoveryManager`.
+        """
+        with self.lock:
+            self._estimator = self._make_estimator()
+            self._pending.clear()
+            self._pending_rows = 0
+            self._merged = None
+            if self.parallel:
+                self._merged = state.copy()
+            else:
+                self._estimator.adopt_state(state)
+            self.rows_applied = int(rows_applied)
+            self.blocks_applied = int(blocks_applied)
+            self.last_wal_seq = int(wal_seq)
+            self._blocks_since_publish = 0
+            self._published_initialized = True
+            if self.monitor is not None:
                 view = (
                     self._estimator_view() if self.parallel
                     else self._estimator
@@ -431,6 +502,7 @@ class TenantModel:
             "n_outliers": self.n_outliers,
             "n_publishes": self.n_publishes,
             "n_reseeds": self.n_reseeds,
+            "last_wal_seq": self.last_wal_seq,
             "initialized": self.is_initialized,
             "parallel": self.parallel,
             "n_engines": self.spec.n_engines,
@@ -475,6 +547,12 @@ class TenantState:
     def note_rejected_full(self, n: int) -> None:
         with self._lock:
             self.rows_rejected_full += n
+
+    def publish_now(self, cache, version: int | None = None) -> None:
+        """Publish the current model state unconditionally (recovery —
+        the first post-restart query must see the replayed rows, not
+        just the checkpoint)."""
+        self.model.publish(cache, version=version)
 
     def stats(self) -> dict[str, Any]:
         return {
